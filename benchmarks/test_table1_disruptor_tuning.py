@@ -1,0 +1,94 @@
+"""Table 1 — Disruptor options used for PvWatts, regenerated as the
+tuning sweep that selected them.
+
+Paper: "Table 1 shows the Disruptor settings and alternatives that we
+used while tuning the Disruptor version of the PvWatts program.  The
+best results with a single producer and 12 consumers were with the
+BlockingWaitStrategy for the consumers, a ring buffer of 1024 elements,
+and a producer batch size of 256."
+
+The sweep varies each Table 1 row around the chosen configuration on
+the virtual-time pipeline (8 cores, by-month input) and asserts the
+paper's choice is (near-)optimal in the model — i.e. Table 1 is
+*derivable*, not just quotable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pvwatts_disruptor import DisruptorConfig, run_disruptor_simulated
+from repro.bench import FigureRow, figure_block
+from repro.disruptor import (
+    BlockingWaitStrategy,
+    BusySpinWaitStrategy,
+    SleepingWaitStrategy,
+    YieldingWaitStrategy,
+)
+
+CORES = 8
+
+WAITS = {
+    "BlockingWaitStrategy (paper's pick)": BlockingWaitStrategy,
+    "BusySpinWaitStrategy": BusySpinWaitStrategy,
+    "YieldingWaitStrategy": YieldingWaitStrategy,
+    "SleepingWaitStrategy": SleepingWaitStrategy,
+}
+RING_SIZES = (64, 256, 1024, 4096)
+BATCHES = (1, 16, 256, 1024)
+CONSUMER_COUNTS = (4, 8, 12, 16)
+
+
+@pytest.fixture(scope="module")
+def sweep(csv_by_month):
+    def run(**kw):
+        cfg = DisruptorConfig(**kw)
+        return run_disruptor_simulated(csv_by_month, threads=CORES, config=cfg).elapsed
+
+    waits = {label: run(wait_strategy_factory=w) for label, w in WAITS.items()}
+    rings = {r: run(ring_size=r) for r in RING_SIZES}
+    batches = {b: run(batch=b) for b in BATCHES}
+    consumers = {c: run(n_consumers=c) for c in CONSUMER_COUNTS}
+    return waits, rings, batches, consumers
+
+
+def test_table1_paper_config_wall(benchmark, csv_by_month):
+    benchmark.pedantic(
+        lambda: run_disruptor_simulated(csv_by_month, threads=CORES),
+        rounds=3,
+        warmup_rounds=1,
+    )
+
+
+def test_table1_report(benchmark, sweep, emit):
+    benchmark.pedantic(lambda: None, rounds=1)
+    waits, rings, batches, consumers = sweep
+    rows = (
+        [FigureRow(f"wait = {label}", v, unit="wu") for label, v in waits.items()]
+        + [FigureRow(f"ring size = {r}", v, unit="wu") for r, v in rings.items()]
+        + [FigureRow(f"producer batch = {b}", v, unit="wu") for b, v in batches.items()]
+        + [FigureRow(f"consumers = {c}", v, unit="wu") for c, v in consumers.items()]
+    )
+    emit(
+        "table1_disruptor_tuning",
+        figure_block(
+            "Table 1 — Disruptor tuning sweep (8 cores, by-month input); "
+            "paper's pick: Blocking wait, ring 1024, batch 256, 12 consumers",
+            rows,
+            note="elapsed virtual time; lower is better; the paper's row "
+            "should be at or near each sweep's minimum",
+        ),
+    )
+    # Blocking is the best wait strategy when 13 actors share 8 cores
+    # (spinning strategies burn cores that real work needs)
+    assert waits["BlockingWaitStrategy (paper's pick)"] == min(waits.values())
+    # undersized rings hurt badly; improvement is monotone up to the
+    # paper's 1024.  (The paper found 1024 strictly optimal — larger
+    # rings lose to cache footprint, a physical effect outside the
+    # virtual-time model; documented in EXPERIMENTS.md.)
+    assert rings[64] > rings[256] > rings[1024]
+    # batch 256 within 2% of the best batch, and better than batch 1
+    assert batches[256] <= min(batches.values()) * 1.02
+    assert batches[256] < batches[1]
+    # 16 consumers oversubscribe 8 cores harder than the paper's 12
+    assert consumers[12] < consumers[16]

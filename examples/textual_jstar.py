@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Running the paper's listings verbatim: the textual front-end.
+
+`repro.lang` parses the concrete syntax the paper prints in Figs 4 & 5
+and compiles it onto the runtime — including automatic extraction of
+the causality proof obligations (§4), so `check_causality()` works on
+textual rules exactly as the paper's compiler-to-SMT pipeline does.
+
+Run:  python examples/textual_jstar.py
+"""
+
+from repro.core import ExecOptions
+from repro.lang import compile_source
+
+FIG4 = """
+    // Fig 4, VERBATIM — including the request put: the compiler
+    // generates the CSV read-loop rule from the *Request table pair
+    table PvWattsRequest(String filename) orderby (Req);
+    table PvWatts(int year, int month, int day, String hour, int power) orderby (PvWatts);
+    table SumMonth(int year, int month) orderby (SumMonth);
+    order Req < PvWatts < SumMonth;
+
+    put PvWattsRequest("large1000.csv");
+
+    foreach (PvWatts pv) {put new SumMonth(pv.year, pv.month);}
+
+    foreach (SumMonth s) {
+      val stats = new Statistics()
+      for (record : get PvWatts(s.year, s.month)) {
+        stats += record.power
+      }
+      println(s.year + "/" + s.month + ": " + stats.mean)
+    }
+"""
+
+FIG5 = """
+    table Edge(int src, int dst, int value) orderby (Edge);
+    /** Estimated shortest distance to vertex. */
+    table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate);
+    put new Estimate(0, 0); // Set the origin.
+    /** Final shortest-path to each vertex. */
+    table Done(int vertex -> int distance) orderby (Int, seq distance, Done)
+    order Edge < Int;
+    order Estimate < Done;
+
+    /** This implements Dijkstra's shortest path algorithm. */
+    foreach (Estimate dist) {
+      if (get uniq? Done(dist.vertex, [distance < dist.distance]) == null) {
+        println("shortest path to " + dist.vertex + " is " + dist.distance);
+        put new Done(dist.vertex, dist.distance);
+        for (edge : get Edge(dist.vertex)) {
+          if (get uniq? Done(edge.dst) == null) {
+            put new Estimate(edge.dst, dist.distance + edge.value);
+          }
+        }
+      }
+    }
+"""
+
+
+def main() -> None:
+    # ---- Fig 4, verbatim, against a synthetic large1000.csv ------------
+    from repro.csvio import generate_csv_bytes
+
+    data = generate_csv_bytes(n_years=1, seed=42)
+    p4 = compile_source(FIG4, "fig4", files={"large1000.csv": data})
+
+    print("== Fig 4 (PvWatts) static causality check ==")
+    print(p4.check_causality().summary())
+    r4 = p4.run(
+        ExecOptions(strategy="forkjoin", threads=4, no_delta=frozenset({"PvWatts"}))
+    )
+    print("\n== Fig 4 output (12 months from 8 760 synthetic records) ==")
+    for line in sorted(r4.output):
+        print(" ", line)
+
+    # ---- Fig 5 -----------------------------------------------------------
+    p5 = compile_source(FIG5, "fig5")
+    Edge = p5.tables["Edge"]
+    edges = [(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 6), (3, 4, 2)]
+    for s, d, w in edges:
+        p5.put(Edge.new(s, d, w))
+
+    import warnings
+
+    print("\n== Fig 5 (Dijkstra) static causality check ==")
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        rep = p5.check_causality()
+    print(rep.summary())
+
+    # §4's workflow: "strengthen invariants ... so that the solver can
+    # prove that the ordering relationship is satisfied".  Edge weights
+    # are nonnegative — declare it and the Estimate put proves.
+    from repro.solver import check_program
+
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        rep2 = check_program(p5, invariants={"Edge": lambda f: [f["value"] >= 0]})
+    unproved = [o for f in rep2.findings for o in f.failed_obligations]
+    print(f"\nwith the invariant Edge.value >= 0: {len(unproved)} obligation(s) left —")
+    for o in unproved:
+        print("  ", o.description)
+    print("(the unbounded 'get uniq? Done(edge.dst)' still fails, as §4 says")
+    print(" it should: its guard needs a temporal invariant beyond the")
+    print(" prover's fragment; the bounded guard and the puts prove fine)")
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        r5 = p5.run()
+    print("\n== Fig 5 output (the Delta tree is the priority queue) ==")
+    for line in r5.output:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

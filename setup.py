@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on hosts without the `wheel`
+package (legacy setup.py develop path); all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

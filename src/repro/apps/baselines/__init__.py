@@ -1,0 +1,17 @@
+"""Hand-coded imperative baselines — the 'Java' side of Fig 6."""
+
+from repro.apps.baselines.matmul_base import matmul_naive, matmul_transposed
+from repro.apps.baselines.median_base import median_sort_baseline, quickselect_reference
+from repro.apps.baselines.pvwatts_base import baseline_output_lines, pvwatts_baseline
+from repro.apps.baselines.shortestpath_base import adjacency, dijkstra_baseline
+
+__all__ = [
+    "matmul_naive",
+    "matmul_transposed",
+    "median_sort_baseline",
+    "quickselect_reference",
+    "pvwatts_baseline",
+    "baseline_output_lines",
+    "dijkstra_baseline",
+    "adjacency",
+]

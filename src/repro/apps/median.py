@@ -1,0 +1,240 @@
+"""The Median-Finding case study (§6, §6.6, Fig 13).
+
+"Unlike most JStar programs ... this program uses a more explicitly
+parallel algorithm.  It chooses a global pivot value, divides the
+array into N consecutive regions, partitions each of those regions
+using the pivot value (similar to a Quicksort) and reports the size of
+those partitions back to a central controller.  The controller then
+repeats this process (each time focusing on the partitions that must
+contain the median value) until only one value is left in the
+partition, which is the median."
+
+Tables (all under the per-iteration timestamp ``(Int, seq iter, L)``
+with literal order ``Data < Pivot < Region < Result < Ctrl``)::
+
+    table Data(int iter, int index -> double value)
+        orderby (Int, seq iter, Data, seq index)           # §6.6 verbatim
+    table Pivot(int iter -> double value)
+    table Region(int iter, int region, int lo, int hi)     # par region
+    table RegionResult(int iter, int region -> ...)        # par region
+    table Ctrl(int iter -> int k)
+    table MedianResult(double value)
+
+Within one iteration the Delta ordering alone sequences the phases:
+pivot and region tasks pop first, their results next, the controller
+last — no other synchronisation exists in the program.  Across
+iterations the ``seq iter`` level advances time.
+
+Data storage uses the paper's combined optimisation (§6.6): a
+:class:`~repro.gamma.nativearray.TwoIterationArrayStore`
+(``double[2][N]``, ``iter % 2`` plane selection — native arrays + the
+keep-two-iterations Gamma GC hint), written in bulk by unsafe rules
+through ``ctx.native`` instead of per-tuple puts.  Each region task
+partitions its slice of plane *i* into plane *i+1* at the same
+positions; the kept side stays contiguous *within each region*, so the
+controller can narrow every region's active slice without ever
+compacting the array.  Each region's result carries a sample from both
+sides, so the next pivot is chosen causally (from data already
+reported), never by peeking at iteration *i+1*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ExecOptions, Program, RunResult
+from repro.core.tuples import TableHandle
+from repro.gamma import TwoIterationArrayStore
+
+__all__ = [
+    "MedianHandles",
+    "build_median_program",
+    "run_median",
+    "median_from_result",
+    "random_doubles",
+]
+
+
+def random_doubles(n: int, seed: int = 11) -> np.ndarray:
+    return np.random.default_rng(seed).random(n)
+
+
+@dataclass
+class MedianHandles:
+    program: Program
+    Data: TableHandle
+    Region: TableHandle
+    RegionResult: TableHandle
+    Ctrl: TableHandle
+    MedianResult: TableHandle
+
+
+def build_median_program(values: np.ndarray, n_regions: int = 24) -> MedianHandles:
+    """Find the lower median (index ``(n-1)//2`` of the sorted order)."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("median of an empty array")
+    n_regions = max(1, min(n_regions, n))
+
+    p = Program("median")
+    MedianRequest = p.table("MedianRequest", "int n", orderby=("Req",))
+    Data = p.table(
+        "Data",
+        "int iter, int index -> float value",
+        orderby=("Int", "seq iter", "Data", "seq index"),
+    )
+    Pivot = p.table("Pivot", "int iter -> float value", orderby=("Int", "seq iter", "Pivot"))
+    Region = p.table(
+        "Region",
+        "int iter, int region, int lo, int hi",
+        orderby=("Int", "seq iter", "Region", "par region"),
+    )
+    RegionResult = p.table(
+        "RegionResult",
+        "int iter, int region -> int lo, int hi, int below, int equal, "
+        "float sample_below, float sample_above",
+        orderby=("Int", "seq iter", "Result", "par region"),
+    )
+    Ctrl = p.table("Ctrl", "int iter -> int k", orderby=("Int", "seq iter", "Ctrl"))
+    MedianResult = p.table("MedianResult", "float value", orderby=("Out",))
+    p.order("Req", "Int", "Out")
+    p.order("Data", "Pivot", "Region", "Result", "Ctrl")
+
+    @p.foreach(MedianRequest, unsafe=True)
+    def init(ctx, req):
+        """Bulk-load plane 0, pick the first pivot, spawn the regions."""
+        store: TwoIterationArrayStore = ctx.native(Data)  # type: ignore[assignment]
+        store.bulk_set(0, 0, values)
+        ctx.charge(0.05 * n, "user_work")
+        ctx.put(Pivot.new(0, float(values[0])))
+        chunk = (n + n_regions - 1) // n_regions
+        for r in range(n_regions):
+            lo, hi = r * chunk, min((r + 1) * chunk, n)
+            if lo < hi:
+                ctx.put(Region.new(0, r, lo, hi))
+        ctx.put(Ctrl.new(0, (n - 1) // 2))
+
+    @p.foreach(Region, unsafe=True)
+    def partition_region(ctx, reg):
+        """Partition this region's slice of plane ``iter`` around the
+        global pivot into plane ``iter + 1`` (same positions)."""
+        store: TwoIterationArrayStore = ctx.native(Data)  # type: ignore[assignment]
+        pivot_t = ctx.get_uniq(Pivot, iter=reg.iter)
+        assert pivot_t is not None, "pivot must precede regions in the Delta order"
+        pivot = pivot_t.value
+        src = store.plane_for(reg.iter, create=False)
+        assert src is not None
+        dst = store.plane_for(reg.iter + 1)
+        assert dst is not None
+        sl = src[reg.lo : reg.hi]
+        below = sl[sl < pivot]
+        above = sl[sl > pivot]
+        nb, na = below.size, above.size
+        ne = sl.size - nb - na
+        # write the partitioned arrangement straight into this region's
+        # slice of the next plane (no concatenate allocation)
+        dst[reg.lo : reg.lo + nb] = below
+        dst[reg.lo + nb : reg.lo + nb + ne] = pivot
+        dst[reg.lo + nb + ne : reg.hi] = above
+        store.note_written(reg.iter + 1, reg.hi)
+        ctx.charge(1.0 * (reg.hi - reg.lo), "user_work")
+        ctx.put(
+            RegionResult.new(
+                reg.iter,
+                reg.region,
+                reg.lo,
+                reg.hi,
+                int(nb),
+                int(ne),
+                float(below[0]) if nb else 0.0,
+                float(above[0]) if na else 0.0,
+            )
+        )
+
+    @p.foreach(RegionResult)
+    def request_control(ctx, res):
+        """Every result pings the controller; set semantics collapse the
+        pings to one Ctrl firing per iteration (the SumMonth pattern)."""
+        # Ctrl(iter, k) was already put by the previous controller (or
+        # init); nothing to do — this rule exists for fidelity with the
+        # paper's 'reports back to a central controller' description and
+        # gives the stats/graph view the Result -> Ctrl edge.
+        ctx.charge(0.2, "user_work")
+
+    @p.foreach(Ctrl, assume_stratified=True)
+    def control(ctx, c):
+        """The central controller: pick the side containing index k."""
+        results = ctx.get(RegionResult, iter=c.iter)
+        results.sort(key=lambda r: r.region)
+        total = sum(r.hi - r.lo for r in results)
+        below = sum(r.below for r in results)
+        equal = sum(r.equal for r in results)
+        ctx.charge(2.0 * len(results) + 5.0, "user_work")
+        k = c.k
+        if below <= k < below + equal:
+            # the pivot IS the median
+            pivot_t = ctx.get_uniq(Pivot, iter=c.iter)
+            assert pivot_t is not None
+            ctx.put(MedianResult.new(pivot_t.value))
+            ctx.println(f"median is {pivot_t.value!r}")
+            return
+        keep_below = k < below
+        nxt = c.iter + 1
+        new_k = k if keep_below else k - below - equal
+        pivot_value = None
+        new_regions = []
+        for r in results:
+            if keep_below:
+                lo, hi = r.lo, r.lo + r.below
+                sample = r.sample_below
+            else:
+                lo, hi = r.lo + r.below + r.equal, r.hi
+                sample = r.sample_above
+            if lo < hi:
+                new_regions.append((r.region, lo, hi))
+                if pivot_value is None:
+                    pivot_value = sample
+        assert new_regions, "median index must fall in some region"
+        if sum(hi - lo for _, lo, hi in new_regions) == 1:
+            # single survivor: it is the median; its value is the sample
+            assert new_k == 0
+            ctx.put(MedianResult.new(pivot_value))
+            ctx.println(f"median is {pivot_value!r}")
+            return
+        ctx.put(Pivot.new(nxt, pivot_value))
+        for region, lo, hi in new_regions:
+            ctx.put(Region.new(nxt, region, lo, hi))
+        ctx.put(Ctrl.new(nxt, new_k))
+        del total
+
+    p.put(MedianRequest.new(n))
+    return MedianHandles(p, Data, Region, RegionResult, Ctrl, MedianResult)
+
+
+def run_median(
+    values: np.ndarray,
+    options: ExecOptions | None = None,
+    n_regions: int = 24,
+) -> RunResult:
+    handles = build_median_program(values, n_regions)
+    opts = options or ExecOptions()
+    n = len(values)
+    opts = opts.with_(
+        store_overrides={
+            **dict(opts.store_overrides),
+            "Data": lambda schema: TwoIterationArrayStore(schema, n),
+        },
+        # RegionResult/Region/Pivot tuples are consumed within their
+        # iteration only; Ctrl is keyed per iteration. Data never
+        # transits the Delta tree at all (native bulk writes).
+    )
+    return handles.program.run(opts)
+
+
+def median_from_result(result: RunResult) -> float:
+    rows = list(result.database.store("MedianResult").scan())
+    if len(rows) != 1:
+        raise AssertionError(f"expected one MedianResult, got {rows}")
+    return rows[0].value

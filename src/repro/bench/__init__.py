@@ -1,0 +1,13 @@
+"""Benchmark harness utilities (paper's §6 measurement protocol)."""
+
+from repro.bench.figures import FigureRow, comparison_block, figure_block
+from repro.bench.harness import SpeedupSeries, speedup_series, timed_average
+
+__all__ = [
+    "timed_average",
+    "SpeedupSeries",
+    "speedup_series",
+    "FigureRow",
+    "figure_block",
+    "comparison_block",
+]

@@ -1,0 +1,42 @@
+"""The law of causality — runtime-enforcement entry points.
+
+§4: "rules can affect the future, but they are not allowed to change
+the past ... a rule that puts a tuple with timestamp T into the
+database can only perform positive queries with timestamps ≤ T, and
+negative or aggregate queries with timestamps < T."
+
+Enforcement is split across two layers:
+
+* **dynamic** (this module + :class:`~repro.core.rules.RuleContext`):
+  every ``put`` is checked against the trigger's timestamp, and
+  negative/aggregate queries are checked when their observable region
+  has a computable upper bound (:func:`query_upper_bound`); controlled
+  by ``ExecOptions.causality_check`` ∈ {off, warn, strict};
+* **static** (:mod:`repro.solver`): the SMT-style prover discharges the
+  paper's proof obligations (1)–(3) from symbolic rule metadata before
+  the program runs.
+
+This module re-exports the dynamic-check helpers so the DESIGN.md
+module map has a stable import point; the implementations live next to
+the rule context that uses them.
+"""
+
+from repro.core.errors import CausalityError, StratificationError, StratificationWarning
+from repro.core.ordering import Timestamp, compare_timestamps
+from repro.core.rules import query_upper_bound
+
+__all__ = [
+    "CausalityError",
+    "StratificationError",
+    "StratificationWarning",
+    "Timestamp",
+    "compare_timestamps",
+    "query_upper_bound",
+    "put_respects_causality",
+]
+
+
+def put_respects_causality(trigger_ts: Timestamp, put_ts: Timestamp) -> bool:
+    """True iff a put at ``put_ts`` from a trigger at ``trigger_ts``
+    satisfies the law of causality (put into the present or future)."""
+    return compare_timestamps(trigger_ts, put_ts) <= 0

@@ -1,0 +1,244 @@
+"""The Delta tree: a multi-level deduplicating priority structure.
+
+§5 of the paper: "the Delta set is organised as a single tree,
+containing tuples from many tables, sorted lexicographically by the
+orderby lists of those tables.  That is, the *i*-th level of the Delta
+tree is sorted according to the *i*-th entries of the orderby lists."
+
+* literal levels are "a linear array of subtrees, indexed by a total
+  ordering of the order relationship" — here a rank-keyed child map;
+* ``seq`` levels use a sorted map (the paper's ``TreeMap`` /
+  ``ConcurrentSkipListMap``) — here our skip list;
+* ``par`` levels collapse: all values share one subtree (unordered ⇒
+  equivalent ⇒ parallel);
+* leaves hold *sets* of tuples — one equivalence class, executable in
+  parallel ("a priority-queue is not sufficient, because we also need
+  to remove duplicate tuples as they are inserted", footnote 5).
+
+A tuple whose orderby list ends early lives in the interior node's
+``here`` set and is *earlier* than everything in that node's subtrees
+(prefix-before-extension, matching
+:func:`repro.core.ordering.compare_timestamps`).
+
+:meth:`DeltaTree.pop_min_class` removes and returns the minimal
+equivalence class — exactly the batch the all-minimums strategy fires
+in parallel each step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import OrderingError
+from repro.core.ordering import KIND_LIT, KIND_PAR, KIND_SEQ, Timestamp
+from repro.core.tuples import JTuple
+from repro.gamma.skiplist import SkipListMap
+
+__all__ = ["DeltaTree"]
+
+
+class _Node:
+    """One Delta-tree node.
+
+    ``here`` holds tuples whose timestamp ends at this node (insertion
+    -ordered dict used as a deterministic set).  ``kind`` is fixed by
+    the first child inserted: KIND_LIT (children keyed by literal rank,
+    plain dict), KIND_SEQ (children in a sorted skip list), or KIND_PAR
+    (single collapsed child).  Mixing kinds at one level is a malformed
+    program.
+    """
+
+    __slots__ = ("here", "kind", "children", "par_child", "count")
+
+    def __init__(self) -> None:
+        self.here: dict[JTuple, None] = {}
+        self.kind: int | None = None
+        self.children: dict | SkipListMap | None = None
+        self.par_child: _Node | None = None
+        self.count = 0  # tuples in this subtree, including `here`
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+
+class DeltaTree:
+    """The Delta set (§5, Fig 3).
+
+    Supports insert-with-dedup, minimal-class extraction, and snapshot
+    iteration (for visualisation).  All operations are deterministic.
+    """
+
+    def __init__(self, seed: int = 0xD317A):
+        self._root = _Node()
+        self._members: set[JTuple] = set()
+        self._seed = seed
+        self._seq_counter = 0  # distinct seeds for nested skip lists
+
+    def __len__(self) -> int:
+        return self._root.count
+
+    def __bool__(self) -> bool:
+        return self._root.count > 0
+
+    def __contains__(self, tup: JTuple) -> bool:
+        return tup in self._members
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, tup: JTuple, ts: Timestamp) -> bool:
+        """Insert a tuple at its timestamp; False if it is already
+        pending (duplicates are discarded on insertion, footnote 5)."""
+        if tup in self._members:
+            return False
+        self._members.add(tup)
+        node = self._root
+        path: list[_Node] = [node]
+        for comp in ts.key:
+            kind = comp[0]
+            if node.kind is None:
+                node.kind = kind
+                if kind == KIND_LIT:
+                    node.children = {}
+                elif kind == KIND_SEQ:
+                    self._seq_counter += 1
+                    node.children = SkipListMap(self._seed ^ self._seq_counter)
+                # KIND_PAR uses par_child only
+            elif node.kind != kind:
+                raise OrderingError(
+                    "Delta tree level kind mismatch: the program's orderby "
+                    "lists disagree on the structure of a level"
+                )
+            if kind == KIND_PAR:
+                child = node.par_child
+                if child is None:
+                    child = node.par_child = _Node()
+            elif kind == KIND_LIT:
+                assert isinstance(node.children, dict)
+                child = node.children.get(comp[1])
+                if child is None:
+                    child = node.children[comp[1]] = _Node()
+            else:  # KIND_SEQ
+                assert isinstance(node.children, SkipListMap)
+                child = node.children.get(comp[1])
+                if child is None:
+                    child = _Node()
+                    node.children.insert(comp[1], child)
+            node = child
+            path.append(node)
+        node.here[tup] = None
+        for n in path:
+            n.count += 1
+        return True
+
+    # -- extraction -----------------------------------------------------------
+
+    def peek_min_node(self) -> _Node | None:
+        """The node holding the minimal equivalence class (or None)."""
+        node = self._root
+        if node.count == 0:
+            return None
+        while not node.here:
+            node = self._min_child(node)
+        return node
+
+    def _min_child(self, node: _Node) -> _Node:
+        if node.kind == KIND_PAR:
+            child = node.par_child
+            assert child is not None and child.count > 0
+            return child
+        if node.kind == KIND_LIT:
+            assert isinstance(node.children, dict)
+            best_rank = min(r for r, c in node.children.items() if c.count > 0)
+            return node.children[best_rank]
+        assert isinstance(node.children, SkipListMap)
+        for _, child in node.children.items():
+            if child.count > 0:
+                return child
+        raise AssertionError("non-empty node had no non-empty child")
+
+    def pop_min_class(self) -> list[JTuple]:
+        """Remove and return the minimal equivalence class (insertion
+        order preserved — deterministic).  Empty list if the tree is
+        empty."""
+        if self._root.count == 0:
+            return []
+        # descend, remembering the path so counts/pruning can be fixed up
+        path: list[tuple[_Node, int | None]] = []  # (node, child key or None)
+        node = self._root
+        while not node.here:
+            if node.kind == KIND_PAR:
+                child = node.par_child
+                key: int | None = None
+            elif node.kind == KIND_LIT:
+                assert isinstance(node.children, dict)
+                key = min(r for r, c in node.children.items() if c.count > 0)
+                child = node.children[key]
+            else:
+                assert isinstance(node.children, SkipListMap)
+                key = None
+                child = None
+                for k, c in node.children.items():
+                    if c.count > 0:
+                        key, child = k, c
+                        break
+            assert child is not None
+            path.append((node, key))
+            node = child
+        batch = list(node.here)
+        n = len(batch)
+        node.here.clear()
+        node.count -= n
+        for parent, key in reversed(path):
+            parent.count -= n
+            # prune empty children to keep min-descent fast
+            child_empty = False
+            if parent.kind == KIND_PAR:
+                if parent.par_child is not None and parent.par_child.count == 0:
+                    parent.par_child = None
+                    child_empty = True
+            elif parent.kind == KIND_LIT:
+                assert isinstance(parent.children, dict)
+                if key is not None and parent.children[key].count == 0:
+                    del parent.children[key]
+                    child_empty = True
+            else:
+                assert isinstance(parent.children, SkipListMap)
+                if key is not None:
+                    c = parent.children.get(key)
+                    if c is not None and c.count == 0:
+                        parent.children.delete(key)
+                        child_empty = True
+            del child_empty  # pruning is best-effort; counts are authoritative
+        self._members.difference_update(batch)
+        return batch
+
+    def drain(self) -> Iterator[list[JTuple]]:
+        """Iterate equivalence classes in causal order, consuming the tree."""
+        while self:
+            yield self.pop_min_class()
+
+    # -- introspection ----------------------------------------------------------
+
+    def snapshot(self) -> list[tuple[tuple, list[str]]]:
+        """(path-key, [tuple reprs]) for every non-empty leaf set, in
+        causal order — used by the Delta-tree visualiser."""
+        out: list[tuple[tuple, list[str]]] = []
+
+        def walk(node: _Node, prefix: tuple) -> None:
+            if node.here:
+                out.append((prefix, [repr(t) for t in node.here]))
+            if node.kind == KIND_PAR and node.par_child is not None:
+                walk(node.par_child, prefix + ("par",))
+            elif node.kind == KIND_LIT and isinstance(node.children, dict):
+                for rank in sorted(node.children):
+                    walk(node.children[rank], prefix + (("lit", rank),))
+            elif node.kind == KIND_SEQ and isinstance(node.children, SkipListMap):
+                for k, child in node.children.items():
+                    walk(child, prefix + (("seq", k),))
+
+        walk(self._root, ())
+        return out
+
+    def clear(self) -> None:
+        self._root = _Node()
+        self._members.clear()

@@ -1,0 +1,395 @@
+"""The pseudo-naive incremental execution engine (§3, §5, Fig 3).
+
+The tuple lifecycle implemented here is exactly Fig 3:
+
+1. a rule (or an initial ``put``) creates a tuple, which enters the
+   **Delta** tree to await processing — unless its table is in the
+   ``-noDelta`` set, in which case it goes straight to Gamma and fires
+   its rules immediately inside the producing task (§5.1);
+2. each step removes the minimal *equivalence class* from Delta,
+   inserts those tuples into **Gamma** (unless ``-noGamma``), and fires
+   every rule they trigger — one task per tuple, all tasks of the class
+   conceptually in parallel (the all-minimums strategy, §5);
+3. rules query Gamma; batch effects (new puts) are buffered per task
+   and applied in deterministic task order after the batch joins;
+4. lifetime hints may discard tuples (``Database.discard``).
+
+Determinism: batches leave the Delta tree in a deterministic order,
+effects are applied in task order, so program output is identical under
+every strategy and thread count (§1.3) — asserted by the test suite.
+
+Cost attribution: each task's meter is charged for the Gamma insertion
+of its trigger, the rules it fires, the queries they make, and the
+Delta insertions of the tuples it put — the *producer* pays for shared
+Delta traffic, which is what makes the Delta tree Dijkstra's
+scalability bottleneck in Fig 12.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import ContextManager
+
+from repro.core.database import Database, InsertOutcome
+from repro.core.delta import DeltaTree
+from repro.core.errors import EngineError
+from repro.core.program import ExecOptions, Program
+from repro.core.rules import Rule, RuleContext
+from repro.core.tuples import JTuple
+from repro.exec.base import EngineTask, Strategy, TaskResult
+from repro.exec.forkjoin import ForkJoinStrategy
+from repro.exec.metering import DEFAULT_WEIGHTS, CostMeter
+from repro.exec.sequential import SequentialStrategy
+from repro.exec.threads import ThreadStrategy
+from repro.gamma.base import StoreRegistry
+from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
+from repro.simcore.machine import MachineReport
+from repro.stats.collector import StatsCollector
+
+__all__ = ["RunResult", "Engine"]
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced."""
+
+    program: str
+    strategy: str
+    threads: int
+    output: list[str]
+    wall_time: float
+    report: MachineReport | None
+    stats: StatsCollector
+    table_sizes: dict[str, int]
+    meter: CostMeter
+    steps: int
+    options: ExecOptions
+    database: Database = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def virtual_time(self) -> float:
+        """Elapsed virtual time (work units); falls back to total cost
+        for strategies without a machine."""
+        if self.report is not None:
+            return self.report.elapsed
+        return self.meter.total_cost
+
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+
+class Engine:
+    """One execution of one program under one set of options."""
+
+    def __init__(self, program: Program, options: ExecOptions):
+        program.freeze()
+        self.program = program
+        self.options = options
+        self.strategy = self._make_strategy(options)
+        registry = self._make_registry(options, self.strategy)
+        self.db = Database(program.schemas(), registry, program.decls)
+        self.delta = DeltaTree()
+        self.stats = StatsCollector()
+        self.output: list[str] = []
+        self.meter = CostMeter()  # whole-run aggregate
+        self._no_delta = options.no_delta
+        self._no_gamma = options.no_gamma
+        self._check_mode = options.causality_check
+        self._delta_serial = options.calib.delta_serial_fraction
+        self._per_rule_tasks = options.task_granularity == "rule"
+        # retention hints: table -> (field position, keep_last, max seen)
+        self._retention: dict[str, tuple[int, int, int | None]] = {}
+        for name, hint in options.retention.items():
+            schema = program.schemas().get(name)
+            if schema is None:
+                raise EngineError(f"retention hint for unknown table {name!r}")
+            self._retention[name] = (schema.field_position(hint.field), hint.keep_last, None)
+        self._lock: ContextManager | None = None
+        if self.strategy.needs_locks:
+            import threading
+
+            self._lock = threading.Lock()
+        self._ran = False
+        self._steps = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def _make_strategy(options: ExecOptions) -> Strategy:
+        if options.strategy == "sequential":
+            return SequentialStrategy(gc=options.gc_model)
+        if options.strategy == "forkjoin":
+            return ForkJoinStrategy(
+                options.threads, calib=options.calib, gc=options.gc_model
+            )
+        return ThreadStrategy(options.threads)
+
+    @staticmethod
+    def _make_registry(options: ExecOptions, strategy: Strategy) -> StoreRegistry:
+        if strategy.concurrent_stores:
+            default = lambda schema: ConcurrentSkipListStore(schema)  # noqa: E731
+        else:
+            default = lambda schema: TreeSetStore(schema)  # noqa: E731
+        registry = StoreRegistry(default)
+        for name, factory in options.store_overrides.items():
+            registry.override(name, factory)
+        return registry
+
+    def _guarded(self) -> ContextManager:
+        return self._lock if self._lock is not None else nullcontext()
+
+    # -- put routing -------------------------------------------------------------
+
+    def _handle_puts(self, ctx_puts: list[JTuple], result: TaskResult, rule_name: str) -> None:
+        """Route a rule's puts.  -noDelta tables cascade immediately
+        inside the producing task (§5.1); everything else is buffered on
+        the task result and enters Delta after the batch joins — which
+        keeps Delta mutation out of the parallel phase and effect order
+        deterministic."""
+        for tup in ctx_puts:
+            name = tup.schema.name
+            self.stats.on_put(rule_name, name)
+            if name in self._no_delta:
+                self.stats.table(name).delta_bypass += 1
+                self._immediate(tup, result)
+            else:
+                result.puts.append(tup)
+
+    def _immediate(self, tup: JTuple, result: TaskResult) -> None:
+        """-noDelta path: straight into Gamma and fire now, inside the
+        producing task."""
+        name = tup.schema.name
+        if name not in self._no_gamma:
+            store = self.db.store(name)
+            with self._guarded():
+                outcome = self.db.insert(tup)
+            result.meter.charge_store_op("insert", store)
+            if outcome is InsertOutcome.DUPLICATE:
+                self.stats.table(name).duplicates += 1
+                return
+            self.stats.table(name).gamma_inserts += 1
+        else:
+            self.stats.table(name).gamma_skipped += 1
+        self._fire_rules(tup, result)
+
+    def _enqueue_delta(self, tup: JTuple, meter: CostMeter) -> None:
+        """Post-batch (sequential) insertion of one deferred put into
+        the Delta tree, charged to the producing task's meter."""
+        name = tup.schema.name
+        if name not in self._no_gamma and tup in self.db:
+            self.stats.table(name).duplicates += 1
+            return
+        ts = self.db.timestamp(tup)
+        if self.delta.insert(tup, ts):
+            self.stats.table(name).delta_inserts += 1
+            meter.charge("delta_insert")
+            if self._delta_serial > 0.0:
+                meter.charge_shared(
+                    "delta", DEFAULT_WEIGHTS["delta_insert"] * self._delta_serial
+                )
+        else:
+            self.stats.table(name).duplicates += 1
+
+    # -- rule firing -------------------------------------------------------------
+
+    def _fire_rules(self, tup: JTuple, result: TaskResult) -> None:
+        for rule in self.program.rules_for(tup.schema.name):
+            self._fire_one(rule, tup, result)
+
+    def _fire_one(self, rule: Rule, tup: JTuple, result: TaskResult) -> None:
+        self.stats.on_fire(tup.schema.name, rule.name)
+        result.meter.charge("rule_fire")
+        ctx = RuleContext(
+            self.db,
+            self.program.decls,
+            result.meter,
+            rule,
+            tup,
+            self.db.timestamp(tup),
+            check_mode=self._check_mode,
+            collector=self.stats,
+            lock=self._lock,
+        )
+        rule.body(ctx, tup)
+        ctx.finish()
+        result.fired_rules.append(rule.name)
+        if ctx.output:
+            result.output.extend(ctx.output)
+            self.stats.rule(rule.name).output_lines += len(ctx.output)
+        self._handle_puts(ctx.puts, result, rule.name)
+
+    # -- step machinery -------------------------------------------------------------
+
+    def _make_task(self, tup: JTuple, outcome: InsertOutcome | None) -> EngineTask:
+        """Task closure for one popped tuple.  ``outcome`` is the Gamma
+        insertion result decided in the sequential prepare phase; the
+        task charges for it and fires the triggered rules."""
+
+        def run() -> TaskResult:
+            result = TaskResult(trigger=tup)
+            result.meter.charge("delta_pop")
+            name = tup.schema.name
+            if outcome is None:  # -noGamma table
+                self.stats.table(name).gamma_skipped += 1
+            else:
+                result.meter.charge_store_op("insert", self.db.store(name))
+                if outcome is InsertOutcome.DUPLICATE:
+                    result.duplicate = True
+                    self.stats.table(name).duplicates += 1
+                    return result
+                self.stats.table(name).gamma_inserts += 1
+            self._fire_rules(tup, result)
+            return result
+
+        return EngineTask(trigger=tup, run=run)
+
+    def _make_rule_task(
+        self,
+        tup: JTuple,
+        rule: Rule,
+        outcome: InsertOutcome | None,
+        charge_insert: bool,
+    ) -> EngineTask:
+        """§5.2's first extension: "we could create one task per rule
+        that is triggered".  The first rule task of a tuple also pays
+        its Delta-pop and Gamma-insert costs."""
+
+        def run() -> TaskResult:
+            result = TaskResult(trigger=tup)
+            name = tup.schema.name
+            if charge_insert:
+                result.meter.charge("delta_pop")
+                if outcome is None:
+                    self.stats.table(name).gamma_skipped += 1
+                else:
+                    result.meter.charge_store_op("insert", self.db.store(name))
+                    self.stats.table(name).gamma_inserts += 1
+            self._fire_one(rule, tup, result)
+            return result
+
+        return EngineTask(trigger=tup, run=run)
+
+    def _build_tasks(
+        self, prepared: list[tuple[JTuple, InsertOutcome | None]]
+    ) -> list[EngineTask]:
+        if not self._per_rule_tasks:
+            return [self._make_task(tup, outcome) for tup, outcome in prepared]
+        tasks: list[EngineTask] = []
+        for tup, outcome in prepared:
+            if outcome is InsertOutcome.DUPLICATE:
+                tasks.append(self._make_task(tup, outcome))  # dup bookkeeping
+                continue
+            rules = self.program.rules_for(tup.schema.name)
+            if not rules:
+                tasks.append(self._make_task(tup, outcome))
+                continue
+            for i, rule in enumerate(rules):
+                tasks.append(self._make_rule_task(tup, rule, outcome, charge_insert=i == 0))
+        return tasks
+
+    def _apply_retention(self) -> None:
+        """Prune Gamma generations per the lifetime hints (§5 step 4)."""
+        for name, (pos, keep, max_seen) in list(self._retention.items()):
+            store = self.db.store(name)
+            new_max = max_seen
+            for t in store.scan():
+                v = t.values[pos]
+                if new_max is None or v > new_max:
+                    new_max = v
+            if new_max is None or new_max == max_seen:
+                continue
+            cutoff = new_max - keep + 1
+            doomed = [t for t in store.scan() if t.values[pos] < cutoff]
+            for t in doomed:
+                store.discard(t)
+            if doomed:
+                self.stats.table(name).gamma_discarded += len(doomed)
+            self._retention[name] = (pos, keep, new_max)
+
+    def _run_step(self, batch: list[JTuple]) -> None:
+        self.stats.on_step(len(batch))
+        # Phase A (sequential): move the whole class into Gamma, so the
+        # rules fired in phase B see every tuple of the class ("positive
+        # queries with timestamps <= T", §4) and Gamma stays read-only
+        # while the batch fires.
+        prepared: list[tuple[JTuple, InsertOutcome | None]] = []
+        for tup in batch:
+            if tup.schema.name in self._no_gamma:
+                prepared.append((tup, None))
+            else:
+                prepared.append((tup, self.db.insert(tup)))
+        # Phase B: fire (possibly genuinely threaded).
+        tasks = self._build_tasks(prepared)
+        results = self.strategy.run_batch(tasks)
+        # Phase C (sequential, deterministic order): apply buffered puts.
+        for r in results:
+            for put in r.puts:
+                self._enqueue_delta(put, r.meter)
+        if self._retention:
+            self._apply_retention()
+        allocations = 0.0
+        for r in results:
+            self.output.extend(r.output)
+            allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
+            self.meter.merge(r.meter)
+        retained = float(self.db.heap_tuples())
+        self.strategy.account_step(results, allocations=allocations, retained=retained)
+
+    # -- run -------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        if self._ran:
+            raise EngineError("an Engine instance can only run once")
+        self._ran = True
+        start = time.perf_counter()
+
+        # Initial puts run as one synthetic sequential task so -noDelta
+        # cascades work during initialisation too.
+        init_result = TaskResult(trigger=None)  # type: ignore[arg-type]
+        for tup in self.program.initial_puts:
+            init_result.meter.charge("tuple_put")
+            self.stats.on_put("<init>", tup.schema.name)
+            if tup.schema.name in self._no_delta:
+                self.stats.table(tup.schema.name).delta_bypass += 1
+                self._immediate(tup, init_result)
+            else:
+                init_result.puts.append(tup)
+        for put in init_result.puts:
+            self._enqueue_delta(put, init_result.meter)
+        self.output.extend(init_result.output)
+        self.meter.merge(init_result.meter)
+        self.strategy.account_serial(init_result.meter.total_cost)
+        if self._retention:
+            # -noDelta cascades can run entirely inside initialisation
+            # (zero engine steps); lifetime hints still apply
+            self._apply_retention()
+
+        max_steps = self.options.max_steps
+        while self.delta:
+            if max_steps is not None and self._steps >= max_steps:
+                raise EngineError(
+                    f"program exceeded max_steps={max_steps}; "
+                    f"{len(self.delta)} tuples still pending"
+                )
+            self._steps += 1
+            batch = self.delta.pop_min_class()
+            self._run_step(batch)
+
+        wall = time.perf_counter() - start
+        self.strategy.close()
+        return RunResult(
+            program=self.program.name,
+            strategy=self.strategy.name,
+            threads=self.strategy.n_threads,
+            output=self.output,
+            wall_time=wall,
+            report=self.strategy.report(),
+            stats=self.stats,
+            table_sizes=self.db.table_sizes(),
+            meter=self.meter,
+            steps=self._steps,
+            options=self.options,
+            database=self.db,
+        )

@@ -1,0 +1,92 @@
+"""Exception taxonomy for the JStar runtime.
+
+The paper distinguishes several classes of program error:
+
+* schema errors (bad table declarations, unknown fields),
+* key-invariant violations (a primary key mapped to two different
+  dependent values — the ``->`` invariant of §3),
+* causality violations (a rule tried to "change the past", §4),
+* stratification errors (the static prover could not show a rule is
+  consistent with the declared causality ordering — the paper surfaces
+  these as SMT warnings / ``Stratification error`` messages, §6.2).
+
+All runtime errors derive from :class:`JStarError` so callers can catch
+the whole family at once.
+"""
+
+from __future__ import annotations
+
+
+class JStarError(Exception):
+    """Base class for all errors raised by the JStar runtime."""
+
+
+class SchemaError(JStarError):
+    """A table or field declaration is malformed or inconsistent."""
+
+
+class UnknownTableError(SchemaError):
+    """A rule or query referenced a table that was never declared."""
+
+
+class UnknownFieldError(SchemaError):
+    """A tuple or query referenced a field not present in the schema."""
+
+
+class OrderingError(JStarError):
+    """The ``order`` declarations are inconsistent (cyclic), or two
+    timestamps were compared that the program's orderings leave
+    structurally incomparable (e.g. a literal against a value)."""
+
+
+class KeyInvariantError(JStarError):
+    """Two tuples with the same primary key but different dependent
+    values were put into a table (violates the ``->`` invariant)."""
+
+
+class CausalityError(JStarError):
+    """A rule violated the law of causality at runtime: it put a tuple
+    into the past, or made a negative/aggregate query about the
+    present/future (§4)."""
+
+
+class StratificationError(JStarError):
+    """The static causality check could not prove that a rule respects
+    the declared ordering.  Mirrors the paper's ``Stratification
+    error`` message (§6.2)."""
+
+
+class StratificationWarning(UserWarning):
+    """Non-fatal variant: the prover failed but execution continues.
+
+    The paper "strongly recommends" fixing the program but does not
+    refuse to run it; strict mode upgrades this to
+    :class:`StratificationError`.
+    """
+
+
+class RuleError(JStarError):
+    """A rule body raised, or used the context incorrectly (e.g. called
+    ``put`` after the rule finished)."""
+
+
+class EngineError(JStarError):
+    """Internal engine invariant broken, or the engine was driven
+    incorrectly (e.g. ``run`` called twice)."""
+
+
+class UnsafeOperationError(JStarError):
+    """Side-effecting operation attempted outside an ``unsafe`` rule.
+
+    The paper bans mutable state and side effects in ordinary rules;
+    system rules (CSV reading, printing) must be declared unsafe
+    (footnote 1 of §1.2).
+    """
+
+
+class DisruptorError(JStarError):
+    """Misuse of the disruptor substrate (overrun, double start, ...)."""
+
+
+class SolverError(JStarError):
+    """The causality prover was given a malformed obligation."""

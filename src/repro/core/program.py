@@ -1,0 +1,248 @@
+"""The ``Program``: tables + rules + order declarations + options.
+
+A JStar program (§3) is declared in the embedded DSL::
+
+    p = Program("pvwatts")
+    PvWatts  = p.table("PvWatts", "int year, int month, int day, str hour, int power",
+                       orderby=("PvWatts",))
+    SumMonth = p.table("SumMonth", "int year, int month", orderby=("SumMonth",))
+    p.order("Req", "PvWatts", "SumMonth")
+
+    @p.foreach(PvWatts)
+    def make_summonth(ctx, pv):
+        ctx.put(SumMonth.new(pv.year, pv.month))
+
+    p.put(PvWattsRequest.new("large1000.csv"))
+    result = p.run(ExecOptions(strategy="forkjoin", threads=8))
+
+Everything architecture-dependent — strategy, thread count, noDelta /
+noGamma table sets, Gamma store overrides — lives in
+:class:`ExecOptions`, *outside* the program, which is the paper's
+central workflow claim (§2: hints "are separate from the program").
+Running the same program under different options must produce the same
+output; our property tests assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.errors import EngineError, SchemaError, UnknownTableError
+from repro.core.ordering import Lit, OrderDecls
+from repro.core.rules import Rule, RuleBody
+from repro.core.schema import Field, TableSchema
+from repro.core.tuples import JTuple, TableHandle
+from repro.gamma.base import StoreFactory
+from repro.simcore.contention import CalibratedCosts
+from repro.simcore.gc import GcModel
+
+__all__ = ["RetentionHint", "ExecOptions", "Program"]
+
+
+@dataclass(frozen=True)
+class RetentionHint:
+    """A manual tuple-lifetime hint (§5 step 4).
+
+    "Currently, this program analysis is not automated, so we simply
+    retain all tuples, or use manual lifetime hints from the user to
+    determine when tuples can be discarded."
+
+    Keep only tuples whose integer ``field`` is within ``keep_last`` of
+    the largest value seen so far; older generations are discarded from
+    Gamma after each step (and garbage-collected, relieving the GC
+    pressure model).  The Median program's ``double[2][N]`` store is
+    the hand-specialised version of ``RetentionHint("iter", 2)``.
+    """
+
+    field: str
+    keep_last: int = 2
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 1:
+            raise EngineError("retention must keep at least one generation")
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Architecture-dependent execution choices (the paper's compiler
+    hints + runtime flags, §2 stages 3-4).
+
+    ``strategy`` is ``"sequential"`` (the ``-sequential`` flag),
+    ``"forkjoin"`` (simulated all-minimums parallelism; ``threads`` is
+    the pool size, the paper's ``--threads=N``) or ``"threads"`` (real
+    CPython threads, functional validation only).
+    """
+
+    strategy: str = "sequential"
+    threads: int = 4
+    #: tables whose tuples bypass the Delta tree (-noDelta T, §5.1)
+    no_delta: frozenset[str] = frozenset()
+    #: tables whose tuples are never stored in Gamma (-noGamma T, §5.1)
+    no_gamma: frozenset[str] = frozenset()
+    #: dynamic causality enforcement: "off" | "warn" | "strict"
+    causality_check: str = "warn"
+    #: task granularity: "tuple" (paper's default: "we create only one
+    #: task for that tuple") or "rule" (§5.2's first extension: one task
+    #: per triggered rule)
+    task_granularity: str = "tuple"
+    #: per-table lifetime hints (§5 step 4: manual hints determine when
+    #: tuples can be discarded from Gamma); table name -> RetentionHint
+    retention: Mapping[str, "RetentionHint"] = field(default_factory=dict)
+    #: per-table Gamma store replacements (§1.4 late commitment)
+    store_overrides: Mapping[str, StoreFactory] = field(default_factory=dict)
+    #: virtual-machine calibration
+    calib: CalibratedCosts = field(default_factory=CalibratedCosts)
+    gc_model: GcModel = field(default_factory=GcModel)
+    collect_stats: bool = True
+    #: safety valve against diverging programs (None = unlimited)
+    max_steps: int | None = None
+
+    def with_(self, **kw: Any) -> "ExecOptions":
+        """Functional update, e.g. ``opts.with_(threads=8)``."""
+        return replace(self, **kw)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("sequential", "forkjoin", "threads"):
+            raise EngineError(f"unknown strategy {self.strategy!r}")
+        if self.causality_check not in ("off", "warn", "strict"):
+            raise EngineError(f"unknown causality_check {self.causality_check!r}")
+        if self.task_granularity not in ("tuple", "rule"):
+            raise EngineError(f"unknown task_granularity {self.task_granularity!r}")
+        if self.threads < 1:
+            raise EngineError("threads must be >= 1")
+
+
+class Program:
+    """A declared JStar program, ready to be run under any options."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.tables: dict[str, TableHandle] = {}
+        self.rules: list[Rule] = []
+        self.decls = OrderDecls()
+        self.initial_puts: list[JTuple] = []
+        self._rules_by_trigger: dict[str, list[Rule]] | None = None
+
+    # -- declarations -----------------------------------------------------
+
+    def table(
+        self,
+        name: str,
+        fields: str | Iterable[Field],
+        orderby: Iterable[Any] = (),
+    ) -> TableHandle:
+        """Declare a table (the ``table`` command of §3)."""
+        if self._frozen:
+            raise SchemaError("cannot declare tables after the program ran")
+        if name in self.tables:
+            raise SchemaError(f"table {name} declared twice")
+        schema = TableSchema(name, fields, orderby)
+        handle = TableHandle(schema)
+        self.tables[name] = handle
+        for lit in schema.literal_names():
+            self.decls.mention(lit)
+        return handle
+
+    def order(self, *names: str) -> None:
+        """An ``order A < B < C`` declaration (§4, Fig 4)."""
+        self.decls.declare(*names)
+
+    def rule(
+        self,
+        trigger: TableHandle,
+        *,
+        name: str | None = None,
+        unsafe: bool = False,
+        meta: Any = None,
+        assume_stratified: bool = False,
+    ) -> Callable[[RuleBody], Rule]:
+        """Decorator declaring a ``foreach`` rule.
+
+        ``@p.foreach(Ship)`` is the idiomatic alias matching the paper's
+        keyword.
+        """
+        if trigger.schema.name not in self.tables:
+            raise UnknownTableError(
+                f"rule trigger {trigger.schema.name} is not a table of this program"
+            )
+
+        def deco(body: RuleBody) -> Rule:
+            r = Rule(
+                trigger,
+                body,
+                name=name,
+                unsafe=unsafe,
+                meta=meta,
+                assume_stratified=assume_stratified,
+            )
+            self.rules.append(r)
+            self._rules_by_trigger = None
+            return r
+
+        return deco
+
+    # the paper's keyword
+    foreach = rule
+
+    def put(self, tup: JTuple) -> None:
+        """An initial ``put`` command (§3, e.g. ``put new Estimate(0,0)``)."""
+        if tup.schema.name not in self.tables:
+            raise UnknownTableError(
+                f"initial put into unknown table {tup.schema.name}"
+            )
+        self.initial_puts.append(tup)
+
+    # -- finalisation ------------------------------------------------------
+
+    @property
+    def _frozen(self) -> bool:
+        return self.decls.frozen
+
+    def freeze(self) -> None:
+        """Freeze order declarations and index rules by trigger.
+        Idempotent; called automatically by :meth:`run`."""
+        self.decls.freeze()
+        self._index_rules()
+
+    def _index_rules(self) -> None:
+        by_trigger: dict[str, list[Rule]] = {}
+        for r in self.rules:
+            by_trigger.setdefault(r.trigger.schema.name, []).append(r)
+        self._rules_by_trigger = by_trigger
+
+    def rules_for(self, table_name: str) -> list[Rule]:
+        if self._rules_by_trigger is None:
+            self._index_rules()
+        assert self._rules_by_trigger is not None
+        return self._rules_by_trigger.get(table_name, [])
+
+    def schemas(self) -> dict[str, TableSchema]:
+        return {name: h.schema for name, h in self.tables.items()}
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, options: ExecOptions | None = None, **kw: Any):
+        """Execute the program; returns a
+        :class:`repro.core.engine.RunResult`.  Keyword arguments are
+        shorthand for ``ExecOptions`` fields."""
+        from repro.core.engine import Engine  # local: engine imports us
+
+        opts = options if options is not None else ExecOptions()
+        if kw:
+            opts = opts.with_(**kw)
+        return Engine(self, opts).run()
+
+    def check_causality(self, strict: bool = False):
+        """Run the static causality prover over every rule that carries
+        symbolic metadata; returns the list of findings.  The analogue
+        of the paper's SMT pass (§4)."""
+        from repro.solver.check import check_program
+
+        return check_program(self, strict=strict)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program {self.name}: {len(self.tables)} tables, "
+            f"{len(self.rules)} rules, {len(self.initial_puts)} initial puts>"
+        )

@@ -1,0 +1,491 @@
+"""Rules and the rule-execution context.
+
+A rule is the paper's ``foreach`` construct: it is *triggered* by each
+tuple of one table, may query the Gamma database, and ``put``s new
+tuples (§3).  Rule bodies here are plain Python callables
+``body(ctx, trigger_tuple)`` — the analogue of the generated Java rule
+methods — but they interact with the world only through the
+:class:`RuleContext`, which
+
+* records every ``put`` (the engine applies them after the body runs,
+  so a body can never observe its own effects — matching the paper's
+  semantics where puts land in the Delta set);
+* serves queries against the read-only Gamma snapshot;
+* meters abstract cost for the virtual-time machine;
+* enforces the law of causality dynamically (puts must not travel into
+  the past; negative/aggregate queries must be about the fixed past)
+  when the engine runs with ``causality_check != "off"``.
+
+Rules may carry symbolic metadata (``meta``) consumed by the static
+causality prover in :mod:`repro.solver`; that is the analogue of the
+paper's SMT proof obligations (§4).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.core.errors import (
+    CausalityError,
+    RuleError,
+    StratificationWarning,
+    UnsafeOperationError,
+)
+from repro.core.ordering import Lit, OrderDecls, Seq, Timestamp, compare_timestamps
+from repro.core.query import Query, QueryKind, build_query
+from repro.core.reducers import Reducer, reduce_all
+from repro.core.tuples import JTuple, TableHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.database import Database
+    from repro.exec.metering import CostMeter
+
+__all__ = ["Rule", "RuleContext", "query_upper_bound"]
+
+RuleBody = Callable[["RuleContext", JTuple], None]
+
+
+class Rule:
+    """One ``foreach`` rule.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name (defaults to the body function's name).
+    trigger:
+        The table whose tuples fire this rule.
+    body:
+        ``body(ctx, tup)``.
+    unsafe:
+        Allows side-effecting context operations (file I/O); mirrors the
+        paper's 'unsafe' system-rule blocks (§1.2 footnote).
+    meta:
+        Optional symbolic description for the static prover
+        (:class:`repro.solver.obligations.RuleMeta`).
+    assume_stratified:
+        Suppresses dynamic negative-query warnings for this rule — the
+        analogue of the programmer accepting an SMT warning after
+        manual reasoning/invariants (§4).
+    """
+
+    __slots__ = ("name", "trigger", "body", "unsafe", "meta", "assume_stratified")
+
+    def __init__(
+        self,
+        trigger: TableHandle,
+        body: RuleBody,
+        name: str | None = None,
+        unsafe: bool = False,
+        meta: Any = None,
+        assume_stratified: bool = False,
+    ):
+        self.trigger = trigger
+        self.body = body
+        self.name = name or getattr(body, "__name__", "<rule>")
+        self.unsafe = unsafe
+        self.meta = meta
+        self.assume_stratified = assume_stratified
+
+    def __repr__(self) -> str:
+        tag = " unsafe" if self.unsafe else ""
+        return f"<rule {self.name} foreach({self.trigger.name}){tag}>"
+
+
+def query_upper_bound(
+    query: Query, decls: OrderDecls
+) -> tuple[Timestamp, bool] | None:
+    """Best-effort upper bound on the timestamps a query can observe.
+
+    Returns ``(ts, strict)`` where ``strict`` means the real bound is
+    strictly below ``ts`` (an exclusive range closed the deciding
+    level), or ``None`` when the constraints leave some ``seq`` level
+    unbounded — in that case the dynamic checker cannot adjudicate and
+    defers to the static prover / ``assume_stratified``.
+    """
+    key: list[tuple] = []
+    display: list[Any] = []
+    strict = False
+    from repro.core.ordering import KIND_LIT, KIND_PAR, KIND_SEQ  # local: avoid cycle noise
+
+    for entry in query.schema.orderby:
+        if isinstance(entry, Lit):
+            key.append((KIND_LIT, decls.rank(entry.name)))
+            display.append(entry.name)
+        elif isinstance(entry, Seq):
+            pos = query.schema.field_position(entry.field)
+            if pos in query.eq:
+                key.append((KIND_SEQ, query.eq[pos]))
+                display.append(query.eq[pos])
+            elif pos in query.ranges:
+                lo, hi, lo_inc, hi_inc = query.ranges[pos]
+                if hi is None:
+                    return None
+                key.append((KIND_SEQ, hi))
+                display.append(hi)
+                strict = not hi_inc
+                break  # later levels cannot raise the bound past this one
+            else:
+                return None
+        else:  # Par level: all values equivalent, contributes nothing
+            key.append((KIND_PAR,))
+            display.append("*")
+    return Timestamp(tuple(key), tuple(display)), strict
+
+
+def _literal_levels_declared(a: Timestamp, b: Timestamp, decls: OrderDecls) -> bool:
+    """True iff the first level at which ``a`` and ``b`` differ is not a
+    literal pair that lacks an explicit ``order`` declaration.
+
+    The runtime's Delta tree totalises undeclared literals arbitrarily
+    (deterministic but meaningless), so a causality argument resting on
+    such a pair is unsound — the missing-``order`` situation of §6.1.
+    """
+    from repro.core.ordering import KIND_LIT
+
+    names = None
+    for ca, cb in zip(a.key, b.key):
+        if ca == cb:
+            continue
+        if ca[0] == KIND_LIT and cb[0] == KIND_LIT:
+            if names is None:
+                names = decls.literals()
+            try:
+                return decls.comparable(names[ca[1]], names[cb[1]])
+            except IndexError:  # pragma: no cover - defensive
+                return False
+        return True  # first difference is a value level: fine
+    return True  # equal or prefix-related: no literal decision involved
+
+
+class RuleContext:
+    """Execution context handed to a rule body for one firing."""
+
+    __slots__ = (
+        "_db",
+        "_decls",
+        "_meter",
+        "_rule",
+        "trigger",
+        "trigger_ts",
+        "puts",
+        "output",
+        "_check_mode",
+        "_finished",
+        "_neg_warned",
+        "_collector",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        db: "Database",
+        decls: OrderDecls,
+        meter: "CostMeter",
+        rule: Rule,
+        trigger: JTuple,
+        trigger_ts: Timestamp,
+        check_mode: str = "warn",
+        collector: Any = None,
+        lock: Any = None,
+    ):
+        self._db = db
+        self._decls = decls
+        self._meter = meter
+        self._rule = rule
+        self.trigger = trigger
+        self.trigger_ts = trigger_ts
+        self.puts: list[JTuple] = []
+        self.output: list[str] = []
+        self._check_mode = check_mode
+        self._finished = False
+        self._neg_warned = False
+        self._collector = collector
+        self._lock = lock
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def finish(self) -> None:
+        self._finished = True
+
+    def _guard(self) -> None:
+        if self._finished:
+            raise RuleError(
+                f"rule {self._rule.name} used its context after completion"
+            )
+
+    # -- effects ------------------------------------------------------------
+
+    def put(self, tup: JTuple) -> None:
+        """Add a tuple to the database (via the Delta set).
+
+        Enforces the law of causality: the new tuple's timestamp must
+        not precede the trigger's (§4: "rules can affect the future,
+        but they are not allowed to change the past").
+        """
+        self._guard()
+        if not isinstance(tup, JTuple):
+            raise RuleError(f"put expects a tuple, got {type(tup).__name__}")
+        if self._check_mode != "off":
+            ts = self._db.timestamp(tup)
+            if compare_timestamps(ts, self.trigger_ts) < 0:
+                raise CausalityError(
+                    f"rule {self._rule.name} put {tup!r} (ts {ts}) into the "
+                    f"past of its trigger {self.trigger!r} (ts {self.trigger_ts})"
+                )
+        self._meter.charge("tuple_put")
+        self.puts.append(tup)
+
+    def println(self, *args: Any) -> None:
+        """Debug printing (§6.2 footnote 8: side-effecting, tolerated in
+        rules for tracing; the kosher route is putting Println tuples).
+        Output is captured into the run result, keeping runs pure."""
+        self._guard()
+        self.output.append(" ".join(str(a) for a in args))
+
+    def charge(self, n: float, counter: str = "user_work") -> None:
+        """Explicitly meter abstract work for an inner loop (the
+        analogue of real computation inside a generated Java rule)."""
+        self._meter.charge(counter, n=1, cost=n)
+
+    def charge_shared(self, resource: str, cost: float) -> None:
+        """Mark part of this task's work as serialising on a shared
+        machine resource (``"membw"`` for dense-array streaming,
+        ``"gamma:<Table>"`` for a shared structure).  Rules using the
+        ``ctx.native`` bulk path charge their memory traffic this way,
+        since no store-op metering sees those writes — it is what bends
+        Fig 11 past ~20 cores."""
+        self._guard()
+        self._meter.charge_shared(resource, cost)
+
+    def io_allowed(self) -> None:
+        """Raise unless this rule was declared ``unsafe``."""
+        if not self._rule.unsafe:
+            raise UnsafeOperationError(
+                f"rule {self._rule.name} attempted I/O but is not declared unsafe"
+            )
+
+    def native(self, table: TableHandle):
+        """Direct access to a table's Gamma store — the 'native arrays'
+        escape hatch (§6.4/§6.6): unsafe rules may read/write a
+        :class:`~repro.gamma.nativearray.NativeArrayStore`'s numpy
+        arrays in bulk, bypassing per-tuple ``put`` (the analogue of
+        generated Java writing primitive arrays).  The rule must be
+        declared ``unsafe`` because this steps outside the immutable
+        tuple discipline; it remains deterministic as long as writes
+        target slices owned by this rule's trigger (par-partitioned
+        regions), which is the invariant the Median program maintains."""
+        self._guard()
+        self.io_allowed()
+        return self._db.store(table)
+
+    # -- queries ------------------------------------------------------------
+
+    def _run_query(self, query: Query) -> list[JTuple]:
+        store = self._db.store(query.schema.name)
+        if self._lock is not None:
+            # real-threads strategy: coarse lock so store iteration never
+            # races a -noDelta cascade insert (functional validation only)
+            with self._lock:
+                results = self._db.select(query)
+        else:
+            results = self._db.select(query)
+        self._meter.charge_store_op("lookup", store)
+        if results:
+            self._meter.charge_store_op("result", store, len(results))
+        if self._collector is not None:
+            names = query.schema.field_names
+            self._collector.on_query(
+                self._rule.name,
+                query.schema.name,
+                len(results),
+                eq_fields=tuple(sorted(names[i] for i in query.eq)),
+                range_fields=tuple(sorted(names[i] for i in query.ranges)),
+            )
+        return results
+
+    def _check_negative(self, query: Query) -> None:
+        """Dynamic slice of the §4 law for negative/aggregate queries:
+        their observable region must lie strictly before the trigger."""
+        if self._check_mode == "off" or self._rule.assume_stratified:
+            return
+        bound = query_upper_bound(query, self._decls)
+        ok: bool | None
+        if bound is None:
+            ok = None  # cannot adjudicate dynamically
+        else:
+            ts, strict = bound
+            if not _literal_levels_declared(ts, self.trigger_ts, self._decls):
+                # the deciding literal pair is only ordered by the
+                # arbitrary totalisation, not by the programmer's order
+                # declarations — the §6.1 missing-`order` scenario
+                ok = None
+            else:
+                c = compare_timestamps(ts, self.trigger_ts)
+                ok = c < 0 or (c == 0 and strict)
+        if ok is None:
+            if not self._neg_warned:
+                self._neg_warned = True
+                warnings.warn(
+                    f"rule {self._rule.name}: {query.kind.value} query on "
+                    f"{query.schema.name} has no statically bounded timestamp; "
+                    f"stratification not verified dynamically",
+                    StratificationWarning,
+                    stacklevel=3,
+                )
+        elif not ok:
+            msg = (
+                f"rule {self._rule.name}: {query.kind.value} query on "
+                f"{query.schema.name} can observe the present/future of its "
+                f"trigger (ts {self.trigger_ts}) — violates local stratification"
+            )
+            if self._check_mode == "strict":
+                raise CausalityError(msg)
+            if not self._neg_warned:
+                self._neg_warned = True
+                warnings.warn(msg, StratificationWarning, stacklevel=3)
+
+    def get(
+        self,
+        table: TableHandle,
+        *prefix: Any,
+        where: Callable[[JTuple], bool] | None = None,
+        ranges: Mapping[str, Any] | None = None,
+        **eq: Any,
+    ) -> list[JTuple]:
+        """Positive query: all matching tuples (``get T(args)``)."""
+        self._guard()
+        q = build_query(table, *prefix, where=where, ranges=ranges, **eq)
+        return self._run_query(q)
+
+    def get_uniq(
+        self,
+        table: TableHandle,
+        *prefix: Any,
+        where: Callable[[JTuple], bool] | None = None,
+        ranges: Mapping[str, Any] | None = None,
+        **eq: Any,
+    ) -> JTuple | None:
+        """``get uniq? T(args)``: the unique match or ``None``.
+
+        Observing *absence* is a negative query for causality purposes,
+        so this is checked as NEGATIVE.  More than one match raises.
+        """
+        self._guard()
+        q = build_query(
+            table, *prefix, where=where, ranges=ranges, kind=QueryKind.NEGATIVE, **eq
+        )
+        self._check_negative(q)
+        results = self._run_query(q)
+        if len(results) > 1:
+            raise RuleError(
+                f"get uniq? {table.name} matched {len(results)} tuples"
+            )
+        return results[0] if results else None
+
+    def exists(self, table: TableHandle, *prefix: Any, **kw: Any) -> bool:
+        """Positive existence test."""
+        return bool(self.get(table, *prefix, **kw))
+
+    def absent(
+        self,
+        table: TableHandle,
+        *prefix: Any,
+        where: Callable[[JTuple], bool] | None = None,
+        ranges: Mapping[str, Any] | None = None,
+        **eq: Any,
+    ) -> bool:
+        """Negative query: true iff *no* tuple matches."""
+        self._guard()
+        q = build_query(
+            table, *prefix, where=where, ranges=ranges, kind=QueryKind.NEGATIVE, **eq
+        )
+        self._check_negative(q)
+        return not self._run_query(q)
+
+    def get_min(
+        self,
+        table: TableHandle,
+        *prefix: Any,
+        by: str,
+        where: Callable[[JTuple], bool] | None = None,
+        ranges: Mapping[str, Any] | None = None,
+        **eq: Any,
+    ) -> JTuple | None:
+        """``get min T(args)``: matching tuple minimising field ``by``
+        (an aggregate query)."""
+        self._guard()
+        q = build_query(
+            table, *prefix, where=where, ranges=ranges, kind=QueryKind.AGGREGATE, **eq
+        )
+        self._check_negative(q)
+        pos = table.schema.field_position(by)
+        results = self._run_query(q)
+        if not results:
+            return None
+        return min(results, key=lambda t: t.values[pos])
+
+    def count(self, table: TableHandle, *prefix: Any, **kw: Any) -> int:
+        """Aggregate count of matching tuples."""
+        self._guard()
+        q = build_query(table, *prefix, kind=QueryKind.AGGREGATE, **kw)
+        self._check_negative(q)
+        return len(self._run_query(q))
+
+    def reduce(
+        self,
+        table: TableHandle,
+        *prefix: Any,
+        reducer: Reducer,
+        value: Callable[[JTuple], Any],
+        where: Callable[[JTuple], bool] | None = None,
+        ranges: Mapping[str, Any] | None = None,
+        **eq: Any,
+    ) -> Any:
+        """Aggregate reduction over matching tuples — the Fig 4 pattern
+        ``for (record : get PvWatts(...)) stats += record.power``."""
+        self._guard()
+        q = build_query(
+            table, *prefix, where=where, ranges=ranges, kind=QueryKind.AGGREGATE, **eq
+        )
+        self._check_negative(q)
+        results = self._run_query(q)
+        self._meter.charge("reduce_op", n=len(results))
+        return reduce_all(reducer, (value(t) for t in results))
+
+    def par_reduce(
+        self,
+        values: Iterable[Any],
+        reducer: Reducer,
+        chunks: int = 8,
+        cost_per_item: float = 0.3,
+    ) -> Any:
+        """§5.2's reducer-loop extension: "Loops that do involve a
+        reducer object could also be executed in parallel, with a
+        tree-based pass to combine the final reducer results."
+
+        Folds ``values`` chunk-wise and combines the partials in a
+        balanced tree (results identical to the sequential fold up to
+        float reassociation, guaranteed by the reducer's ``combine``
+        law), while metering the loop's cost as *divisible* so the
+        virtual fork/join machine spreads it over cores.
+        """
+        self._guard()
+        from repro.core.reducers import tree_reduce
+
+        vals = list(values)
+        chunks = max(1, min(chunks, len(vals))) if vals else 1
+        size = (len(vals) + chunks - 1) // chunks if vals else 0
+        chunked = [vals[i * size : (i + 1) * size] for i in range(chunks)] if vals else []
+        result, _depth = tree_reduce(reducer, chunked)
+        self._meter.charge_parallel(cost_per_item * len(vals), chunks)
+        return result
+
+    def par_loop(self, items: Iterable[Any]) -> Iterable[Any]:
+        """Mark a loop body as independent (no reducer), the §5.2
+        "embarrassingly parallel for loops within rules" hook.  The
+        current all-minimums strategy runs it sequentially — exactly
+        like the paper's implementation — but the marker lets the
+        metering layer account the loop's parallel potential."""
+        self._guard()
+        return items

@@ -1,0 +1,226 @@
+"""Table declarations: schemas, fields, primary keys.
+
+The paper declares tables with a concise one-line notation::
+
+    table Ship(int frame -> int x, int y, int dx, int dy) orderby (Int, seq frame)
+
+``->`` separates the primary-key fields from the dependent fields; the
+generated table carries the invariant that at most one tuple exists per
+key value (§3).  Tables with no ``->`` are plain sets of tuples.
+
+This module parses that notation (:func:`parse_fields`) and represents
+the result as a :class:`TableSchema`, which also owns the table's
+``orderby`` specification.  Actual tuple instances live in
+:mod:`repro.core.tuples`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.errors import SchemaError, UnknownFieldError
+from repro.core.ordering import Lit, OrderByEntry, Par, Seq, parse_orderby
+
+__all__ = ["Field", "TableSchema", "parse_fields", "TYPE_DEFAULTS"]
+
+# Java-style type names from the paper mapped to Python checkers.
+_TYPE_ALIASES = {
+    "int": "int",
+    "long": "int",
+    "double": "float",
+    "float": "float",
+    "String": "str",
+    "str": "str",
+    "boolean": "bool",
+    "bool": "bool",
+    "any": "any",
+}
+
+_TYPE_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "any": lambda v: True,
+}
+
+#: Default values used when a field is omitted at construction time
+#: ("use default values for frame and dy", §3).
+TYPE_DEFAULTS = {"int": 0, "float": 0.0, "str": "", "bool": False, "any": None}
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One column of a table."""
+
+    name: str
+    type: str  # normalised: int/float/str/bool/any
+    is_key: bool
+
+    def check(self, value: Any) -> bool:
+        return _TYPE_CHECKS[self.type](value)
+
+    @property
+    def default(self) -> Any:
+        return TYPE_DEFAULTS[self.type]
+
+
+def _parse_one_field(text: str, is_key: bool, prev_type: str | None) -> Field:
+    parts = text.split()
+    if len(parts) == 2:
+        tname, fname = parts
+    elif len(parts) == 1 and prev_type is not None:
+        # "int x, y" style: y inherits the preceding type
+        tname, fname = prev_type, parts[0]
+    else:
+        raise SchemaError(f"cannot parse field declaration {text!r}")
+    if tname not in _TYPE_ALIASES:
+        raise SchemaError(f"unknown field type {tname!r} in {text!r}")
+    if not fname.isidentifier():
+        raise SchemaError(f"bad field name {fname!r}")
+    return Field(fname, _TYPE_ALIASES[tname], is_key)
+
+
+def parse_fields(decl: str) -> tuple[Field, ...]:
+    """Parse ``"int frame -> int x, int y"`` into Field objects.
+
+    Everything before ``->`` is key, everything after is dependent.  If
+    there is no ``->`` all fields are ordinary (whole-tuple set
+    semantics).
+    """
+    decl = decl.strip()
+    if not decl:
+        raise SchemaError("empty field declaration")
+    if "->" in decl:
+        key_part, _, dep_part = decl.partition("->")
+        key_texts = [t.strip() for t in key_part.split(",") if t.strip()]
+        dep_texts = [t.strip() for t in dep_part.split(",") if t.strip()]
+        if not key_texts or not dep_texts:
+            raise SchemaError(f"'->' needs fields on both sides: {decl!r}")
+    else:
+        key_texts = []
+        dep_texts = [t.strip() for t in decl.split(",") if t.strip()]
+
+    fields: list[Field] = []
+    prev_type: str | None = None
+    for text in key_texts:
+        f = _parse_one_field(text, True, prev_type)
+        prev_type = f.type if len(text.split()) == 2 else prev_type
+        fields.append(f)
+    prev_type = None
+    for text in dep_texts:
+        f = _parse_one_field(text, "->" in decl, prev_type)  # placeholder, fixed below
+        f = Field(f.name, f.type, False)
+        prev_type = f.type if len(text.split()) == 2 else prev_type
+        fields.append(f)
+
+    names = [f.name for f in fields]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"duplicate field names in {decl!r}")
+    return tuple(fields)
+
+
+class TableSchema:
+    """Schema of one relational table: named typed fields, optional
+    primary key, and the table's orderby specification.
+
+    Parameters
+    ----------
+    name:
+        Table name (also the default literal tag used in orderby lists).
+    fields:
+        Either the paper's one-line string notation or an iterable of
+        :class:`Field`.
+    orderby:
+        The orderby list — entries may be :class:`Lit`/:class:`Seq`/
+        :class:`Par` objects or strings (``"Int"``, ``"seq frame"``).
+        An empty orderby is legal: all tuples of the table are mutually
+        equivalent.
+    """
+
+    __slots__ = (
+        "name",
+        "fields",
+        "orderby",
+        "index",
+        "key_indexes",
+        "dep_indexes",
+        "field_names",
+        "_defaults",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        fields: str | Iterable[Field],
+        orderby: Iterable[OrderByEntry | str] = (),
+    ):
+        if not name.isidentifier() or not name[0].isupper():
+            raise SchemaError(f"table names must be capitalised identifiers: {name!r}")
+        self.name = name
+        if isinstance(fields, str):
+            self.fields = parse_fields(fields)
+        else:
+            self.fields = tuple(fields)
+            if not all(isinstance(f, Field) for f in self.fields):
+                raise SchemaError("fields must be Field instances")
+        if not self.fields:
+            raise SchemaError(f"table {name} has no fields")
+        self.field_names = tuple(f.name for f in self.fields)
+        self.index = {f.name: i for i, f in enumerate(self.fields)}
+        if len(self.index) != len(self.fields):
+            raise SchemaError(f"duplicate field names in table {name}")
+        self.key_indexes = tuple(i for i, f in enumerate(self.fields) if f.is_key)
+        self.dep_indexes = tuple(i for i, f in enumerate(self.fields) if not f.is_key)
+        self.orderby = parse_orderby(orderby)
+        for entry in self.orderby:
+            if isinstance(entry, (Seq, Par)) and entry.field not in self.index:
+                raise UnknownFieldError(
+                    f"orderby of {name} references unknown field {entry.field!r}"
+                )
+        self._defaults = tuple(f.default for f in self.fields)
+
+    # -- helpers used by tuples/engine -----------------------------------
+
+    @property
+    def has_key(self) -> bool:
+        return bool(self.key_indexes)
+
+    def literal_names(self) -> tuple[str, ...]:
+        """Literal tags appearing in this table's orderby list."""
+        return tuple(e.name for e in self.orderby if isinstance(e, Lit))
+
+    def field_position(self, name: str) -> int:
+        try:
+            return self.index[name]
+        except KeyError:
+            raise UnknownFieldError(f"table {self.name} has no field {name!r}") from None
+
+    def defaults(self) -> tuple:
+        return self._defaults
+
+    def check_types(self, values: tuple) -> None:
+        for f, v in zip(self.fields, values):
+            if not f.check(v):
+                raise SchemaError(
+                    f"{self.name}.{f.name} expects {f.type}, got {type(v).__name__} ({v!r})"
+                )
+
+    def key_of(self, values: tuple) -> tuple:
+        """Primary-key projection of a value tuple."""
+        return tuple(values[i] for i in self.key_indexes)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.type} {f.name}{'*' if f.is_key else ''}" for f in self.fields)
+        ob = ", ".join(repr(e) for e in self.orderby)
+        return f"table {self.name}({cols}) orderby ({ob})"
+
+    # Identity semantics: schemas are compared by object identity — a
+    # program must not declare two tables with the same name (enforced
+    # by Program), and tuples hold a direct schema reference.
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,32 @@
+"""CSV substrate: byte-oriented reader, region-split parallel reading,
+and the synthetic PVWatts data generator (DESIGN.md §2 substitutions)."""
+
+from repro.csvio.reader import (
+    iter_lines,
+    parse_int_fields,
+    read_records_bytes,
+    read_records_text,
+)
+from repro.csvio.split import read_region, region_bounds, split_regions
+from repro.csvio.synth import (
+    PVWATTS_FIELDS,
+    PVWATTS_INT_POSITIONS,
+    expected_month_means,
+    generate_csv_bytes,
+    hourly_records,
+)
+
+__all__ = [
+    "iter_lines",
+    "parse_int_fields",
+    "read_records_bytes",
+    "read_records_text",
+    "read_region",
+    "region_bounds",
+    "split_regions",
+    "PVWATTS_FIELDS",
+    "PVWATTS_INT_POSITIONS",
+    "expected_month_means",
+    "generate_csv_bytes",
+    "hourly_records",
+]

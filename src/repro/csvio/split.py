@@ -1,0 +1,94 @@
+"""Region-split parallel CSV reading.
+
+§6.2: "the CSV reader library can run several readers in parallel, on
+different parts of the input file.  (Each reader continues reading a
+little way past the end of its region, to ensure that all records have
+been read.  This strategy is also employed by some of the input file
+readers in Hadoop.)"
+
+The classic protocol, implemented here over an in-memory byte buffer:
+
+* the file is cut at ``N`` arbitrary byte offsets;
+* every reader except the first *skips* forward to the first newline at
+  or after its region start (that partial record belongs to the
+  previous reader);
+* every reader keeps reading past its region end until it finishes the
+  record that straddles the boundary.
+
+Together the regions partition the record stream exactly once —
+:func:`read_region` of all regions concatenated equals a whole-file
+read, a property the test suite checks for arbitrary cut points
+(hypothesis).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.csvio.reader import iter_lines, parse_int_fields
+
+__all__ = ["split_regions", "region_bounds", "read_region"]
+
+
+def split_regions(size: int, n: int) -> list[tuple[int, int]]:
+    """Cut ``size`` bytes into ``n`` near-equal ``[start, end)`` regions."""
+    if n < 1:
+        raise ValueError("need at least one region")
+    n = min(n, max(1, size))
+    base = size // n
+    cuts = [i * base for i in range(n)] + [size]
+    return [(cuts[i], cuts[i + 1]) for i in range(n)]
+
+
+def _align(data: bytes, p: int) -> int:
+    """Byte offset of the first record start at or after ``p``.
+
+    A record starts at offset 0 or immediately after a newline; if
+    ``p`` lands mid-record, the reader "continues reading a little way
+    past the end of its region" — i.e. ownership moves forward to the
+    next newline.
+    """
+    if p <= 0:
+        return 0
+    if p >= len(data):
+        return len(data)
+    if data[p - 1 : p] == b"\n":
+        return p
+    nl = data.find(b"\n", p)
+    return len(data) if nl < 0 else nl + 1
+
+
+def region_bounds(data: bytes, start: int, end: int) -> tuple[int, int]:
+    """Resolve a raw byte region to record-aligned bounds.
+
+    The returned ``(first, last)`` are byte offsets such that reading
+    lines in ``[first, last)`` yields exactly the records *owned* by
+    this region: records whose first byte lies at the first record
+    start ≥ ``start`` but before the first record start ≥ ``end``.
+    Both bounds use the same alignment, so consecutive raw regions tile
+    the record stream exactly once (every record read by exactly one
+    reader), whatever the cut points.
+    """
+    first = _align(data, start)
+    last = _align(data, end)
+    return first, max(first, last)
+
+
+def read_region(
+    data: bytes,
+    start: int,
+    end: int,
+    int_positions: Sequence[int],
+    n_fields: int,
+    on_record: Callable[[tuple], None],
+) -> int:
+    """Stream the records owned by byte region ``[start, end)`` to
+    ``on_record``; returns the record count."""
+    first, last = region_bounds(data, start, end)
+    n = 0
+    for line in iter_lines(data, first, last):
+        rec = parse_int_fields(line, int_positions, n_fields)
+        if rec is not None:
+            on_record(rec)
+            n += 1
+    return n

@@ -1,0 +1,52 @@
+"""LMAX-Disruptor-style ring-buffer substrate (§6.3, Table 1).
+
+Real threaded implementation (`Disruptor`, `RingBuffer`, wait/claim
+strategies) for functional tests, plus a virtual-time pipeline model
+(`simulate_pipeline`) for the Fig 10 / Table 1 benchmarks.
+"""
+
+from repro.disruptor.claim import (
+    ClaimStrategy,
+    MultiThreadedClaimStrategy,
+    SingleThreadedClaimStrategy,
+)
+from repro.disruptor.dsl import BatchEventProcessor, Disruptor, EventHandler
+from repro.disruptor.ring import RingBuffer
+from repro.disruptor.sequence import (
+    INITIAL,
+    BarrierAlert,
+    Sequence,
+    SequenceBarrier,
+    minimum_sequence,
+)
+from repro.disruptor.simulated import PipelineCosts, PipelineResult, simulate_pipeline
+from repro.disruptor.wait import (
+    BlockingWaitStrategy,
+    BusySpinWaitStrategy,
+    SleepingWaitStrategy,
+    WaitStrategy,
+    YieldingWaitStrategy,
+)
+
+__all__ = [
+    "Disruptor",
+    "EventHandler",
+    "BatchEventProcessor",
+    "RingBuffer",
+    "Sequence",
+    "SequenceBarrier",
+    "BarrierAlert",
+    "minimum_sequence",
+    "INITIAL",
+    "ClaimStrategy",
+    "SingleThreadedClaimStrategy",
+    "MultiThreadedClaimStrategy",
+    "WaitStrategy",
+    "BlockingWaitStrategy",
+    "BusySpinWaitStrategy",
+    "YieldingWaitStrategy",
+    "SleepingWaitStrategy",
+    "PipelineCosts",
+    "PipelineResult",
+    "simulate_pipeline",
+]

@@ -1,0 +1,96 @@
+"""Producer claim strategies (Table 1's ``Claim Strategy`` row).
+
+The paper uses ``SingleThreaded-ClaimStrategy`` with one producer
+claiming slots "in a batch of 256".  We implement:
+
+* :class:`SingleThreadedClaimStrategy` — no synchronisation on claim
+  (only one producer exists); wrap-protection spins until the gating
+  consumers free space;
+* :class:`MultiThreadedClaimStrategy` — a lock-arbitrated variant for
+  multiple producers (the Java version uses CAS; a lock gives the same
+  semantics under the GIL), with out-of-order publishes buffered until
+  the cursor can advance contiguously.
+
+Both carry virtual-time cost constants for the simulated pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.disruptor.sequence import INITIAL, Sequence, minimum_sequence
+
+__all__ = ["ClaimStrategy", "SingleThreadedClaimStrategy", "MultiThreadedClaimStrategy"]
+
+
+class ClaimStrategy:
+    """Base claim strategy; owns the producer cursor."""
+
+    #: virtual cost of claiming one batch (amortised over its slots)
+    claim_cost: float = 0.3
+    #: virtual cost of publishing one slot
+    publish_cost: float = 0.15
+
+    def __init__(self, ring_size: int):
+        self.ring_size = ring_size
+        self.cursor = Sequence(INITIAL)
+        self._claimed = INITIAL
+
+    def next(self, n: int, gating: list[Sequence]) -> int:
+        """Claim ``n`` slots; returns the highest claimed sequence."""
+        raise NotImplementedError
+
+    def publish(self, lo: int, hi: int) -> None:
+        """Make slots ``[lo, hi]`` visible to consumers."""
+        raise NotImplementedError
+
+    def _wait_for_capacity(self, hi: int, gating: list[Sequence]) -> None:
+        wrap_point = hi - self.ring_size
+        while wrap_point > minimum_sequence(gating, INITIAL):
+            time.sleep(0.00005)  # backpressure: consumers are behind
+
+
+class SingleThreadedClaimStrategy(ClaimStrategy):
+    """The paper's configuration: exactly one producer."""
+
+    claim_cost = 0.2
+    publish_cost = 0.1
+
+    def next(self, n: int, gating: list[Sequence]) -> int:
+        hi = self._claimed + n
+        self._wait_for_capacity(hi, gating)
+        self._claimed = hi
+        return hi
+
+    def publish(self, lo: int, hi: int) -> None:
+        # single producer publishes in order: cursor jumps to hi
+        self.cursor.set(hi)
+
+
+class MultiThreadedClaimStrategy(ClaimStrategy):
+    """Lock-arbitrated multi-producer claims with contiguous publish."""
+
+    claim_cost = 0.6
+    publish_cost = 0.25
+
+    def __init__(self, ring_size: int):
+        super().__init__(ring_size)
+        self._lock = threading.Lock()
+        self._pending: set[int] = set()
+
+    def next(self, n: int, gating: list[Sequence]) -> int:
+        with self._lock:
+            hi = self._claimed + n
+            self._claimed = hi
+        self._wait_for_capacity(hi, gating)
+        return hi
+
+    def publish(self, lo: int, hi: int) -> None:
+        with self._lock:
+            self._pending.update(range(lo, hi + 1))
+            nxt = self.cursor.get() + 1
+            while nxt in self._pending:
+                self._pending.remove(nxt)
+                nxt += 1
+            self.cursor.set(nxt - 1)

@@ -1,0 +1,189 @@
+"""Disruptor façade: producers, consumer groups, start/halt.
+
+Mirrors the LMAX DSL the paper configures in Table 1: build a
+:class:`Disruptor` around a ring, attach event handlers (optionally in
+dependent stages with ``then``), ``start()`` the consumer threads, feed
+events, then ``halt()``.  Consumers are *batch event processors*: each
+waits on its barrier, processes every available slot, then updates its
+own sequence — end-of-batch is signalled to the handler so reducers can
+flush (how the PvWatts consumers detect progress cheaply).
+
+Shutdown protocol: :meth:`Disruptor.halt_when_drained` waits until all
+final-stage consumers have consumed everything published, then alerts
+the barriers and joins the threads.  (The PvWatts application instead
+uses an in-band sentinel tuple, as in §6.3 — both idioms are tested.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence as Seq
+
+from repro.core.errors import DisruptorError
+from repro.disruptor.claim import ClaimStrategy
+from repro.disruptor.ring import RingBuffer
+from repro.disruptor.sequence import INITIAL, BarrierAlert, Sequence, SequenceBarrier
+from repro.disruptor.wait import WaitStrategy
+
+__all__ = ["EventHandler", "BatchEventProcessor", "Disruptor"]
+
+
+class EventHandler:
+    """Consumer callback interface.
+
+    ``on_event(value, sequence, end_of_batch)`` per slot;
+    ``on_start`` / ``on_shutdown`` bracket the processor thread.
+    """
+
+    def on_start(self) -> None: ...
+
+    def on_event(self, value: Any, sequence: int, end_of_batch: bool) -> None:
+        raise NotImplementedError
+
+    def on_shutdown(self) -> None: ...
+
+
+class _FnHandler(EventHandler):
+    def __init__(self, fn: Callable[[Any, int, bool], None]):
+        self._fn = fn
+
+    def on_event(self, value: Any, sequence: int, end_of_batch: bool) -> None:
+        self._fn(value, sequence, end_of_batch)
+
+
+class BatchEventProcessor:
+    """One consumer: a thread draining the ring through a barrier."""
+
+    def __init__(self, ring: RingBuffer, barrier: SequenceBarrier, handler: EventHandler, name: str):
+        self.ring = ring
+        self.barrier = barrier
+        self.handler = handler
+        self.sequence = Sequence(INITIAL)
+        self.name = name
+        self._thread: threading.Thread | None = None
+
+    def run(self) -> None:
+        self.handler.on_start()
+        try:
+            next_seq = self.sequence.get() + 1
+            while True:
+                try:
+                    available = self.barrier.wait_for(next_seq)
+                except BarrierAlert:
+                    break
+                while next_seq <= available:
+                    self.handler.on_event(
+                        self.ring.get(next_seq), next_seq, next_seq == available
+                    )
+                    next_seq += 1
+                self.sequence.set(available)
+        finally:
+            self.handler.on_shutdown()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise DisruptorError(f"processor {self.name} already started")
+        self._thread = threading.Thread(target=self.run, name=self.name, daemon=True)
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+class _HandlerGroup:
+    """Result of ``handle_events_with`` — supports ``then`` chaining."""
+
+    def __init__(self, disruptor: "Disruptor", processors: list[BatchEventProcessor]):
+        self._disruptor = disruptor
+        self.processors = processors
+
+    def then(self, *handlers: EventHandler | Callable) -> "_HandlerGroup":
+        dependents = [p.sequence for p in self.processors]
+        return self._disruptor._add_stage(handlers, dependents)
+
+
+class Disruptor:
+    """The user-facing builder (Table 1's configuration surface)."""
+
+    def __init__(
+        self,
+        ring_size: int,
+        wait_strategy: WaitStrategy | None = None,
+        claim_strategy: ClaimStrategy | None = None,
+    ):
+        self.ring = RingBuffer(ring_size, wait_strategy, claim_strategy)
+        self.processors: list[BatchEventProcessor] = []
+        self._final_sequences: list[Sequence] = []
+        self._started = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def _coerce(self, h: EventHandler | Callable) -> EventHandler:
+        return h if isinstance(h, EventHandler) else _FnHandler(h)
+
+    def _add_stage(
+        self, handlers: Seq[EventHandler | Callable], dependents: list[Sequence]
+    ) -> _HandlerGroup:
+        if self._started:
+            raise DisruptorError("cannot add handlers after start()")
+        stage: list[BatchEventProcessor] = []
+        for i, h in enumerate(handlers):
+            barrier = self.ring.new_barrier(dependents)
+            p = BatchEventProcessor(
+                self.ring, barrier, self._coerce(h), f"consumer-{len(self.processors)}"
+            )
+            self.processors.append(p)
+            stage.append(p)
+        # final gating set = sequences with no downstream stage yet
+        for p in stage:
+            self._final_sequences.append(p.sequence)
+        for d in dependents:
+            if d in self._final_sequences:
+                self._final_sequences.remove(d)
+        return _HandlerGroup(self, stage)
+
+    def handle_events_with(self, *handlers: EventHandler | Callable) -> _HandlerGroup:
+        return self._add_stage(handlers, [])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> RingBuffer:
+        if self._started:
+            raise DisruptorError("Disruptor already started")
+        if not self.processors:
+            raise DisruptorError("no event handlers attached")
+        self.ring.add_gating_sequences(*self._final_sequences)
+        self._started = True
+        for p in self.processors:
+            p.start()
+        return self.ring
+
+    def publish(self, value: Any) -> None:
+        self.ring.publish_batch([value])
+
+    def publish_all(self, values: list[Any], batch: int = 1) -> None:
+        """Publish in claimed batches of ``batch`` (Table 1: 256)."""
+        for i in range(0, len(values), batch):
+            self.ring.publish_batch(values[i : i + batch])
+
+    def drained(self) -> bool:
+        cursor = self.ring.cursor.get()
+        return all(s.get() >= cursor for s in self._final_sequences)
+
+    def halt_when_drained(self, timeout: float = 30.0) -> None:
+        """Wait for every final consumer to catch up, then halt."""
+        deadline = time.monotonic() + timeout
+        while not self.drained():
+            if time.monotonic() > deadline:
+                raise DisruptorError("halt_when_drained timed out")
+            time.sleep(0.0005)
+        self.halt()
+
+    def halt(self) -> None:
+        for p in self.processors:
+            p.barrier.alert()
+        self.ring.wait_strategy.signal_all()
+        for p in self.processors:
+            p.join(timeout=5.0)

@@ -1,0 +1,87 @@
+"""Sequences and sequence barriers — the Disruptor's coordination core.
+
+The LMAX Disruptor (§6.3, [14]) coordinates a ring buffer with
+monotonic *sequences*: the producer cursor counts published slots, and
+each consumer owns a sequence counting processed slots.  A consumer may
+read slot *s* once ``cursor >= s``; the producer may claim slot *s*
+once every *gating* consumer has passed ``s - ring_size``.
+
+CPython's GIL makes single-word reads/writes atomic, so a plain
+attribute works as the store; notification (for the blocking wait
+strategy) goes through one shared :class:`threading.Condition` per
+ring, mirroring how the Java version pairs volatile longs with a wait
+strategy object.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+__all__ = ["INITIAL", "Sequence", "SequenceBarrier", "minimum_sequence"]
+
+#: sequences start one before slot 0, like the Java implementation
+INITIAL = -1
+
+
+class Sequence:
+    """A monotonic counter owned by one producer or consumer."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: int = INITIAL):
+        self._value = initial
+
+    def get(self) -> int:
+        return self._value
+
+    def set(self, value: int) -> None:
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"Sequence({self._value})"
+
+
+def minimum_sequence(sequences: Iterable[Sequence], default: int) -> int:
+    """Smallest of a gating group (the producer's wrap limit)."""
+    values = [s.get() for s in sequences]
+    return min(values) if values else default
+
+
+class SequenceBarrier:
+    """What a consumer waits on: the producer cursor plus any upstream
+    consumers it depends on (for consumer chains, Table 1's pipeline
+    shapes)."""
+
+    __slots__ = ("cursor", "dependents", "_wait", "_alerted")
+
+    def __init__(self, cursor: Sequence, dependents: list[Sequence], wait_strategy):
+        self.cursor = cursor
+        self.dependents = dependents
+        self._wait = wait_strategy
+        self._alerted = False
+
+    def available(self) -> int:
+        """Highest sequence this barrier currently allows."""
+        if self.dependents:
+            return min(self.cursor.get(), minimum_sequence(self.dependents, INITIAL))
+        return self.cursor.get()
+
+    def wait_for(self, sequence: int) -> int:
+        """Block (per the wait strategy) until ``sequence`` is
+        available; returns the highest available sequence (>= it), or
+        raises :class:`BarrierAlert` on shutdown."""
+        return self._wait.wait_for(sequence, self)
+
+    def alert(self) -> None:
+        """Wake waiters for shutdown."""
+        self._alerted = True
+        self._wait.signal_all()
+
+    @property
+    def alerted(self) -> bool:
+        return self._alerted
+
+
+class BarrierAlert(Exception):
+    """Raised out of ``wait_for`` when the barrier is alerted (halt)."""

@@ -1,0 +1,119 @@
+"""Consumer wait strategies (Table 1's ``Wait Strategy`` row).
+
+The paper tunes the PvWatts Disruptor over the standard LMAX wait
+strategies and lands on ``BlockingWaitStrategy``; we implement the four
+classic ones.  Trade-off (reproduced by the Table 1 tuning bench):
+
+* **Blocking** — lowest CPU burn, a wake-up latency per stall; the
+  right choice when consumers out-number cores (12 consumers on 8
+  cores in §6.3).
+* **BusySpin** — lowest latency, burns a core per waiting consumer;
+  only sensible when every consumer owns a core.
+* **Yielding** — spin a few times, then yield the core.
+* **Sleeping** — spin, yield, then sleep in short naps.
+
+Each strategy also carries the *virtual-time* cost constants the
+simulated pipeline uses (stall latency and CPU burn per stall), so the
+threaded implementation and the benchmark model stay one concept.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.disruptor.sequence import BarrierAlert
+
+__all__ = [
+    "WaitStrategy",
+    "BlockingWaitStrategy",
+    "BusySpinWaitStrategy",
+    "YieldingWaitStrategy",
+    "SleepingWaitStrategy",
+]
+
+
+class WaitStrategy:
+    """Base: spin-based waiting; subclasses refine the idle action."""
+
+    #: virtual-time cost model (work units): latency to notice progress
+    wake_latency: float = 0.0
+    #: virtual CPU burned per stalled wait (occupies a core)
+    spin_burn: float = 0.0
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+
+    def _idle(self, spins: int) -> int:
+        raise NotImplementedError
+
+    def wait_for(self, sequence: int, barrier) -> int:
+        spins = 0
+        while True:
+            if barrier.alerted:
+                raise BarrierAlert()
+            avail = barrier.available()
+            if avail >= sequence:
+                return avail
+            spins = self._idle(spins)
+
+    def signal_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
+class BlockingWaitStrategy(WaitStrategy):
+    """Condition-variable waiting (the paper's winning choice)."""
+
+    wake_latency = 3.0
+    spin_burn = 0.0
+
+    def _idle(self, spins: int) -> int:
+        with self._cond:
+            # re-check happens in the caller's loop; short timeout keeps
+            # us robust against missed notifies at halt time
+            self._cond.wait(timeout=0.01)
+        return spins
+
+    def signal_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
+class BusySpinWaitStrategy(WaitStrategy):
+    """Pure spinning — a core per waiter."""
+
+    wake_latency = 0.1
+    spin_burn = 1.0
+
+    def _idle(self, spins: int) -> int:
+        return spins + 1
+
+
+class YieldingWaitStrategy(WaitStrategy):
+    """Spin 100 times, then yield the core each iteration."""
+
+    wake_latency = 0.5
+    spin_burn = 0.6
+
+    def _idle(self, spins: int) -> int:
+        if spins >= 100:
+            time.sleep(0)  # os-level yield
+            return spins
+        return spins + 1
+
+
+class SleepingWaitStrategy(WaitStrategy):
+    """Spin, yield, then nap — lowest CPU, highest latency."""
+
+    wake_latency = 6.0
+    spin_burn = 0.05
+
+    def _idle(self, spins: int) -> int:
+        if spins >= 200:
+            time.sleep(0.0002)
+            return spins
+        if spins >= 100:
+            time.sleep(0)
+            return spins + 1
+        return spins + 1

@@ -1,0 +1,18 @@
+"""Execution strategies and cost metering (§5 parallelisation strategies)."""
+
+from repro.exec.base import EngineTask, Strategy, TaskResult
+from repro.exec.forkjoin import ForkJoinStrategy
+from repro.exec.metering import DEFAULT_WEIGHTS, CostMeter
+from repro.exec.sequential import SequentialStrategy
+from repro.exec.threads import ThreadStrategy
+
+__all__ = [
+    "EngineTask",
+    "Strategy",
+    "TaskResult",
+    "ForkJoinStrategy",
+    "SequentialStrategy",
+    "ThreadStrategy",
+    "CostMeter",
+    "DEFAULT_WEIGHTS",
+]

@@ -1,0 +1,93 @@
+"""Execution-strategy interface.
+
+§5: "The compiler generates parallel Java code and data structures by
+default, or can generate sequential code and data structures if the
+``-sequential`` compiler flag is supplied."  Here the same choice is a
+runtime *strategy* object, and — true to the language's promise — the
+choice can only change *time*, never results.
+
+A strategy decides three things:
+
+1. whether default Gamma stores are the sequential or the concurrent
+   variants (``concurrent_stores``);
+2. how a step's task batch is *executed* (``run_batch``) — every
+   built-in strategy except :class:`~repro.exec.threads.ThreadStrategy`
+   runs bodies sequentially in deterministic order, because virtual
+   time is accounted separately from real execution;
+3. how the batch is *accounted* (``account_step``) — the virtual-time
+   machine for the fork/join simulator, a plain sum for sequential.
+
+``TaskResult`` order always equals submission order, so effect
+application is deterministic regardless of strategy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.tuples import JTuple
+from repro.exec.metering import CostMeter
+from repro.simcore.machine import MachineReport
+
+__all__ = ["TaskResult", "EngineTask", "Strategy"]
+
+
+@dataclass(slots=True)
+class TaskResult:
+    """Outcome of executing one tuple-task."""
+
+    trigger: JTuple
+    puts: list[JTuple] = field(default_factory=list)
+    output: list[str] = field(default_factory=list)
+    meter: CostMeter = field(default_factory=CostMeter)
+    fired_rules: list[str] = field(default_factory=list)
+    duplicate: bool = False  # tuple was already in Gamma; nothing fired
+
+
+@dataclass(slots=True)
+class EngineTask:
+    """One schedulable unit: a tuple plus the closure that processes it
+    (Gamma insertion + firing every triggered rule).  §5.2: "Even if a
+    tuple triggers more than one rule, we create only one task for that
+    tuple"."""
+
+    trigger: JTuple
+    run: Callable[[], TaskResult]
+
+
+class Strategy(ABC):
+    """One way of executing and accounting all-minimums step batches."""
+
+    #: diagnostic name ("sequential", "forkjoin", "threads")
+    name: str = "abstract"
+    #: True -> Database defaults to concurrent store variants
+    concurrent_stores: bool = False
+    #: worker count (1 for sequential)
+    n_threads: int = 1
+    #: True -> engine must guard shared mutation with a real lock
+    needs_locks: bool = False
+
+    @abstractmethod
+    def run_batch(self, tasks: Sequence[EngineTask]) -> list[TaskResult]:
+        """Execute a batch; results in submission order."""
+
+    @abstractmethod
+    def account_step(
+        self,
+        results: Sequence[TaskResult],
+        allocations: float,
+        retained: float,
+    ) -> None:
+        """Advance virtual time for one completed step."""
+
+    def account_serial(self, cost: float) -> None:
+        """Account inherently sequential work (e.g. initial puts)."""
+
+    def report(self) -> MachineReport | None:
+        """Virtual-time report, if this strategy keeps one."""
+        return None
+
+    def close(self) -> None:
+        """Release pools/threads."""

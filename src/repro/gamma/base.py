@@ -1,0 +1,147 @@
+"""Gamma table-store interface and the data-structure factory registry.
+
+§1.4 of the paper ("late commitment to data structures") is the reason
+this module exists: programs are written against neutral relations, and
+the *representation* of each Gamma table is chosen afterwards — by
+default from the execution mode (sequential → tree store, parallel →
+concurrent skip list), or overridden per table via runtime flags /
+factory overrides ("we manually implemented a custom data structure for
+the PvWatts Gamma database ... by using inheritance to override one
+factory method", §6.2).
+
+A :class:`TableStore` must implement exact-duplicate detection
+(``insert`` returns ``False`` for duplicates — set semantics), primary
+key lookup when the table is keyed, and ``select`` over a
+:class:`~repro.core.query.Query`.  ``select`` may exploit whatever
+indexes the store has; filtering through :meth:`Query.matches` is the
+always-correct fallback.
+
+Each store also carries a :class:`CostProfile` used by the virtual-time
+machine: the op-cost weights and, for "concurrent" stores, the shared
+resource they serialise on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.core.errors import SchemaError
+from repro.core.query import Query
+from repro.core.schema import TableSchema
+from repro.core.tuples import JTuple
+
+__all__ = ["CostProfile", "TableStore", "StoreFactory", "StoreRegistry"]
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Abstract cost of one store operation, in work units, plus the
+    shared resource its parallel variant serialises on.
+
+    ``insert_cost`` / ``lookup_cost`` are charged per operation;
+    ``result_cost`` per tuple yielded by a select.  ``resource`` names
+    the contention domain (``None`` = uncontended, e.g. per-consumer
+    local stores); ``serial_fraction`` is the fraction of each op that
+    must serialise when the structure is shared between cores.
+    """
+
+    insert_cost: float = 1.0
+    lookup_cost: float = 1.0
+    result_cost: float = 0.25
+    resource: str | None = None
+    serial_fraction: float = 0.0
+
+
+class TableStore(ABC):
+    """Backing store for one Gamma table."""
+
+    #: human-readable backend name, used in benchmark reports
+    kind: str = "abstract"
+    #: default cost profile; factories may replace per instance
+    cost: CostProfile = CostProfile()
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+
+    # -- required API -------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, tup: JTuple) -> bool:
+        """Add a tuple; return False if this exact tuple was present."""
+
+    @abstractmethod
+    def __contains__(self, tup: JTuple) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def scan(self) -> Iterator[JTuple]:
+        """Iterate all tuples (order is store-specific)."""
+
+    @abstractmethod
+    def clear(self) -> None: ...
+
+    # -- overridable API -----------------------------------------------------
+
+    def lookup_key(self, key: tuple) -> JTuple | None:
+        """Primary-key lookup; default linear scan (keyed stores override)."""
+        if not self.schema.has_key:
+            raise SchemaError(f"table {self.schema.name} has no primary key")
+        for t in self.scan():
+            if t.key() == key:
+                return t
+        return None
+
+    def select(self, query: Query) -> Iterator[JTuple]:
+        """Yield tuples matching the query.  Default: exploit a fully
+        bound key if present, else filter a full scan."""
+        key = query.key_if_fully_bound()
+        if key is not None:
+            t = self.lookup_key(key)
+            if t is not None and query.matches(t):
+                yield t
+            return
+        yield from query.filter(self.scan())
+
+    def discard(self, tup: JTuple) -> bool:
+        """Remove a tuple (used only by lifetime-hint GC, §5 step 4).
+        Stores that cannot delete raise."""
+        raise SchemaError(f"{self.kind} store cannot discard tuples")
+
+    def heap_tuples(self) -> int:
+        """Number of tuples retained on the heap — feeds the GC-pressure
+        model.  Native-array stores override this to reflect their much
+        smaller object count."""
+        return len(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.schema.name} n={len(self)}>"
+
+
+StoreFactory = Callable[[TableSchema], TableStore]
+
+
+class StoreRegistry:
+    """Maps table name → store factory, with a mode-dependent default.
+
+    This is the runtime-flag mechanism of §1.4/§5: ``registry.override``
+    replaces the representation of one table without touching the
+    program, exactly like the paper's factory-method override.
+    """
+
+    def __init__(self, default: StoreFactory):
+        self._default = default
+        self._overrides: dict[str, StoreFactory] = {}
+
+    def override(self, table_name: str, factory: StoreFactory) -> None:
+        self._overrides[table_name] = factory
+
+    def create(self, schema: TableSchema) -> TableStore:
+        factory = self._overrides.get(schema.name, self._default)
+        return factory(schema)
+
+    def has_override(self, table_name: str) -> bool:
+        return table_name in self._overrides

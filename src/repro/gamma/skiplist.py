@@ -1,0 +1,246 @@
+"""A deterministic skip list: the sorted-map workhorse of the runtime.
+
+The paper's generated Java uses ``TreeMap``/``TreeSet`` for sequential
+code and ``ConcurrentSkipListMap``/``ConcurrentSkipListSet`` for
+parallel code (§5).  Python's standard library has no sorted container,
+so we implement a skip list once and use it for both roles: the
+"sequential" and "concurrent" Gamma stores share this structure and
+differ only in the contention cost model attached to them (see
+:mod:`repro.gamma.base` and :mod:`repro.simcore.contention`) — which is
+precisely the paper's observation that the concurrent variants are
+functionally identical but slower ("the small overhead of some Java
+concurrent data structures compared to their sequential equivalents",
+§6.1).
+
+Level choice uses a per-instance seeded PRNG so whole-program runs are
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+__all__ = ["SkipListMap", "SkipListSet"]
+
+_MAX_LEVEL = 24
+_P_NUMERATOR = 1  # promotion probability 1/4
+_P_DENOMINATOR = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int):
+        self.key = key
+        self.value = value
+        self.forward: list[_Node | None] = [None] * level
+
+
+class SkipListMap:
+    """Ordered map with O(log n) expected insert/lookup/floor/ceiling
+    and ordered iteration from any starting key.
+
+    Keys must be mutually comparable (the stores only ever mix keys of
+    one table, whose fields are uniformly typed).
+    """
+
+    __slots__ = ("_head", "_level", "_size", "_rng")
+
+    def __init__(self, seed: int = 0x5EED):
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def _random_level(self) -> int:
+        lvl = 1
+        while (
+            lvl < _MAX_LEVEL
+            and self._rng.randrange(_P_DENOMINATOR) < _P_NUMERATOR
+        ):
+            lvl += 1
+        return lvl
+
+    def _find_predecessors(self, key: Any) -> list[_Node]:
+        """Per-level rightmost node with node.key < key."""
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace; returns True if the key was new."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return False
+        lvl = self._random_level()
+        if lvl > self._level:
+            self._level = lvl
+        node = _Node(key, value, lvl)
+        for i in range(lvl):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+        return True
+
+    def setdefault(self, key: Any, value: Any) -> Any:
+        """Insert if absent; return the stored value either way."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        self._insert_after(update, key, value)
+        return value
+
+    def _insert_after(self, update: list[_Node], key: Any, value: Any) -> None:
+        lvl = self._random_level()
+        if lvl > self._level:
+            self._level = lvl
+        node = _Node(key, value, lvl)
+        for i in range(lvl):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+
+    def delete(self, key: Any) -> bool:
+        """Remove a key; returns True if it was present."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for i in range(self._level):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        self._head.forward = [None] * _MAX_LEVEL
+        self._level = 1
+        self._size = 0
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def min_item(self) -> tuple[Any, Any] | None:
+        node = self._head.forward[0]
+        return None if node is None else (node.key, node.value)
+
+    def max_item(self) -> tuple[Any, Any] | None:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None:
+                node = nxt
+                nxt = node.forward[lvl]
+        return None if node is self._head else (node.key, node.value)
+
+    def ceiling_item(self, key: Any) -> tuple[Any, Any] | None:
+        """Smallest (k, v) with k >= key."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        return None if node is None else (node.key, node.value)
+
+    # -- iteration ----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[Any]:
+        for _, v in self.items():
+            yield v
+
+    def items_from(self, key: Any) -> Iterator[tuple[Any, Any]]:
+        """Ordered iteration starting at the smallest key >= ``key``."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def __repr__(self) -> str:
+        return f"SkipListMap(size={self._size}, level={self._level})"
+
+
+class SkipListSet:
+    """Ordered set built on :class:`SkipListMap`."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, seed: int = 0x5EED):
+        self._map = SkipListMap(seed)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def add(self, key: Any) -> bool:
+        """Add a key; returns True if it was new."""
+        sentinel = object()
+        return self._map.setdefault(key, sentinel) is sentinel
+
+    def discard(self, key: Any) -> bool:
+        return self._map.delete(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._map
+
+    def __iter__(self) -> Iterator[Any]:
+        return self._map.keys()
+
+    def iter_from(self, key: Any) -> Iterator[Any]:
+        for k, _ in self._map.items_from(key):
+            yield k
+
+    def min(self) -> Any | None:
+        item = self._map.min_item()
+        return None if item is None else item[0]
+
+    def max(self) -> Any | None:
+        item = self._map.max_item()
+        return None if item is None else item[0]
+
+    def clear(self) -> None:
+        self._map.clear()
+
+    def __repr__(self) -> str:
+        return f"SkipListSet(size={len(self)})"

@@ -1,0 +1,103 @@
+"""Command-line runner for textual JStar programs.
+
+Usage::
+
+    python -m repro.lang program.jstar [options]
+
+Options mirror the paper's compiler flags:
+
+    --check              run the static causality prover and exit
+    --prover NAME        fourier-motzkin | simplex | cross-check
+    --sequential         the paper's -sequential flag (default)
+    --threads N          fork/join pool size (parallel mode)
+    --no-delta T[,T...]  -noDelta tables (§5.1)
+    --no-gamma T[,T...]  -noGamma tables (§5.1)
+    --report             print the run report (stats + virtual machine)
+    --graph              print the program's dependency graph (ASCII)
+
+Exit status: 0 on success; 1 on syntax/compile errors; 2 when --check
+finds unproved obligations (the paper's Stratification error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lang", description="Run a textual JStar program."
+    )
+    parser.add_argument("source", help="path to the .jstar source file")
+    parser.add_argument("--check", action="store_true", help="static causality check only")
+    parser.add_argument("--prover", default=None, help="decision procedure to use")
+    parser.add_argument("--sequential", action="store_true", help="sequential strategy")
+    parser.add_argument("--threads", type=int, default=None, help="fork/join pool size")
+    parser.add_argument("--no-delta", default="", help="comma-separated -noDelta tables")
+    parser.add_argument("--no-gamma", default="", help="comma-separated -noGamma tables")
+    parser.add_argument("--report", action="store_true", help="print the run report")
+    parser.add_argument("--graph", action="store_true", help="print the dependency graph")
+    args = parser.parse_args(argv)
+
+    from repro.core import ExecOptions
+    from repro.lang import CompileError, LangSyntaxError, compile_source
+
+    try:
+        with open(args.source, encoding="utf8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        program = compile_source(source, name=args.source)
+    except (LangSyntaxError, CompileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.graph:
+        from repro.stats import program_graph
+        from repro.viz import graph_ascii
+
+        print(graph_ascii(program_graph(program)))
+        if not (args.check or args.report):
+            return 0
+
+    if args.check:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = program.check_causality()
+            if args.prover:
+                from repro.solver import check_program
+
+                report = check_program(program, prover=args.prover)
+        print(report.summary())
+        return 0 if report.all_proved else 2
+
+    opts = ExecOptions(
+        strategy="sequential" if args.sequential or args.threads is None else "forkjoin",
+        threads=args.threads or 4,
+        no_delta=frozenset(t for t in args.no_delta.split(",") if t),
+        no_gamma=frozenset(t for t in args.no_gamma.split(",") if t),
+    )
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = program.run(opts)
+    except Exception as exc:  # runtime errors surface cleanly
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for line in result.output:
+        print(line)
+    if args.report:
+        from repro.stats import run_report
+
+        print(file=sys.stderr)
+        print(run_report(result), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

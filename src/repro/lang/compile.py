@@ -1,0 +1,400 @@
+"""Compile a parsed JStar program into an executable
+:class:`repro.core.Program`.
+
+The paper's compiler generates Java; ours targets the runtime directly:
+each textual rule becomes a :class:`~repro.core.rules.Rule` whose body
+interprets the statement AST against the rule context.  Expressions
+evaluate over an environment of local bindings (the trigger variable,
+``val`` bindings, loop variables); queries lower onto ``ctx.get`` /
+``ctx.get_uniq`` / ``ctx.get_min`` with bracketed predicates becoming
+range or equality constraints (so the dynamic causality checker and the
+data-structure advisor both see them — exactly the visibility the
+paper's compiler has).
+
+``new Statistics()`` builds a :class:`ReducerBox` — the mutable local
+accumulator of Fig 4's ``stats += record.power`` idiom; boxes expose
+the accumulator's fields (``.mean``, ``.count``, ...) as attributes.
+
+Causality metadata is extracted where the rule is simple enough
+(:mod:`repro.lang.meta`), so textual programs get static checking too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core import Program
+from repro.core.errors import JStarError
+from repro.core.reducers import Reducer, Statistics
+from repro.core.rules import RuleContext
+from repro.core.tuples import TableHandle
+from repro.lang import ast as A
+from repro.lang.lexer import LangSyntaxError
+from repro.lang.parser import parse_program
+
+__all__ = ["CompileError", "ReducerBox", "compile_program", "compile_source"]
+
+#: reducer constructors available to ``new Name()`` besides tables
+BUILTIN_REDUCERS: dict[str, Callable[[], Reducer]] = {
+    "Statistics": Statistics,
+}
+
+
+class CompileError(JStarError):
+    """Semantic error while compiling a textual program."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class ReducerBox:
+    """Mutable local accumulator for ``val stats = new Statistics()``.
+
+    ``+=`` steps it; attribute access reads the accumulator (so
+    ``stats.mean`` works like the paper's).  Lives only inside one rule
+    firing — no shared mutable state escapes (§1.2).
+    """
+
+    __slots__ = ("reducer", "acc")
+
+    def __init__(self, reducer: Reducer):
+        self.reducer = reducer
+        self.acc = reducer.zero()
+
+    def step(self, value: Any) -> None:
+        self.acc = self.reducer.step(self.acc, value)
+
+    def read(self, field: str) -> Any:
+        try:
+            return getattr(self.acc, field)
+        except AttributeError:
+            raise CompileError(f"reducer result has no field {field!r}") from None
+
+    def __repr__(self) -> str:
+        return f"ReducerBox({self.acc!r})"
+
+
+class _Evaluator:
+    """Statement/expression interpreter for one rule body."""
+
+    def __init__(self, tables: Mapping[str, TableHandle]):
+        self.tables = tables
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, expr: A.Expr, ctx: RuleContext, env: dict[str, Any]) -> Any:
+        if isinstance(expr, A.Literal):
+            return expr.value
+        if isinstance(expr, A.Name):
+            if expr.name in env:
+                return env[expr.name]
+            raise CompileError(f"unknown variable {expr.name!r}", expr.line)
+        if isinstance(expr, A.FieldAccess):
+            obj = self.eval(expr.obj, ctx, env)
+            if isinstance(obj, ReducerBox):
+                return obj.read(expr.field)
+            if obj is None:
+                raise CompileError(
+                    f"field access .{expr.field} on null", expr.line
+                )
+            try:
+                return obj.field(expr.field)  # JTuple
+            except AttributeError:
+                raise CompileError(
+                    f".{expr.field} on a non-tuple value {obj!r}", expr.line
+                ) from None
+        if isinstance(expr, A.Unary):
+            v = self.eval(expr.operand, ctx, env)
+            return (not v) if expr.op == "!" else (-v)
+        if isinstance(expr, A.Binary):
+            return self._binary(expr, ctx, env)
+        if isinstance(expr, A.NewTuple):
+            return self._new(expr, ctx, env)
+        if isinstance(expr, A.GetQuery):
+            return self._query(expr, ctx, env)
+        raise CompileError(f"cannot evaluate {type(expr).__name__}")
+
+    def _binary(self, expr: A.Binary, ctx: RuleContext, env: dict[str, Any]) -> Any:
+        op = expr.op
+        if op == "&&":
+            return bool(self.eval(expr.left, ctx, env)) and bool(
+                self.eval(expr.right, ctx, env)
+            )
+        if op == "||":
+            return bool(self.eval(expr.left, ctx, env)) or bool(
+                self.eval(expr.right, ctx, env)
+            )
+        left = self.eval(expr.left, ctx, env)
+        right = self.eval(expr.right, ctx, env)
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return f"{left}{right}"  # Java-style string concatenation
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            # Java semantics: int/int divides truncating toward zero
+            if isinstance(left, int) and isinstance(right, int):
+                q = abs(left) // abs(right)
+                return q if (left >= 0) == (right >= 0) else -q
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise CompileError(f"unknown operator {op!r}", expr.line)
+
+    def _new(self, expr: A.NewTuple, ctx: RuleContext, env: dict[str, Any]) -> Any:
+        if expr.table in BUILTIN_REDUCERS:
+            if expr.args or expr.named:
+                raise CompileError(
+                    f"new {expr.table}() takes no arguments", expr.line
+                )
+            return ReducerBox(BUILTIN_REDUCERS[expr.table]())
+        handle = self.tables.get(expr.table)
+        if handle is None:
+            raise CompileError(f"unknown table {expr.table!r}", expr.line)
+        args = [self.eval(a, ctx, env) for a in expr.args]
+        named = {f: self.eval(v, ctx, env) for f, v in expr.named}
+        return handle.new(*args, **named)
+
+    def _query(self, expr: A.GetQuery, ctx: RuleContext, env: dict[str, Any]) -> Any:
+        handle = self.tables.get(expr.table)
+        if handle is None:
+            raise CompileError(f"unknown queried table {expr.table!r}", expr.line)
+        args = [self.eval(a, ctx, env) for a in expr.args]
+        eq: dict[str, Any] = {}
+        ranges: dict[str, dict[str, Any]] = {}
+        for field, op, value_expr in expr.preds:
+            value = self.eval(value_expr, ctx, env)
+            if op == "==":
+                eq[field] = value
+            else:
+                spec = ranges.setdefault(field, {})
+                spec[{"<": "lt", "<=": "le", ">": "gt", ">=": "ge"}[op]] = value
+        kwargs: dict[str, Any] = dict(eq)
+        if ranges:
+            kwargs["ranges"] = ranges
+        if expr.mode == "uniq":
+            return ctx.get_uniq(handle, *args, **kwargs)
+        if expr.mode == "min":
+            by = _min_field(handle)
+            return ctx.get_min(handle, *args, by=by, **kwargs)
+        return ctx.get(handle, *args, **kwargs)
+
+    # -- statements -----------------------------------------------------------
+
+    def exec_block(
+        self, stmts: tuple[A.Stmt, ...], ctx: RuleContext, env: dict[str, Any]
+    ) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, ctx, env)
+
+    def exec_stmt(self, stmt: A.Stmt, ctx: RuleContext, env: dict[str, Any]) -> None:
+        if isinstance(stmt, A.ValDecl):
+            env[stmt.name] = self.eval(stmt.value, ctx, env)
+            return
+        if isinstance(stmt, A.PutStmt):
+            ctx.put(self.eval(stmt.value, ctx, env))
+            return
+        if isinstance(stmt, A.AddAssign):
+            box = env.get(stmt.name)
+            if not isinstance(box, ReducerBox):
+                raise CompileError(
+                    f"'{stmt.name} +=' needs a reducer (val {stmt.name} = new Statistics())",
+                    stmt.line,
+                )
+            box.step(self.eval(stmt.value, ctx, env))
+            ctx.charge(0.3, "reduce_op")
+            return
+        if isinstance(stmt, A.IfStmt):
+            if self.eval(stmt.cond, ctx, env):
+                self.exec_block(stmt.then, ctx, env)
+            else:
+                self.exec_block(stmt.orelse, ctx, env)
+            return
+        if isinstance(stmt, A.ForStmt):
+            rows = self._query(stmt.query, ctx, env)
+            for row in rows:
+                env[stmt.var] = row
+                self.exec_block(stmt.body, ctx, env)
+            env.pop(stmt.var, None)
+            return
+        if isinstance(stmt, A.PrintlnStmt):
+            ctx.println(self.eval(stmt.value, ctx, env))
+            return
+        if isinstance(stmt, A.ExprStmt):
+            self.eval(stmt.value, ctx, env)
+            return
+        raise CompileError(f"cannot execute {type(stmt).__name__}")
+
+
+def _min_field(handle: TableHandle) -> str:
+    """``get min T(...)`` minimises T's first ``seq`` orderby field."""
+    from repro.core.ordering import Seq
+
+    for entry in handle.schema.orderby:
+        if isinstance(entry, Seq):
+            return entry.field
+    raise CompileError(
+        f"get min {handle.name}: table has no seq orderby field to minimise"
+    )
+
+
+def _generate_read_loop(
+    program: Program,
+    request: TableHandle,
+    data_table: TableHandle,
+    files: Mapping[str, bytes],
+) -> None:
+    """The paper's automatically generated CSV read-loop (§6.2): a
+    ``FooRequest(String filename)`` tuple triggers an unsafe system rule
+    that parses the file's rows straight into ``Foo``, using the
+    byte-oriented reader; int fields parse, string fields decode."""
+    from repro.csvio.reader import read_records_bytes
+
+    schema = data_table.schema
+    int_positions = tuple(
+        i for i, f in enumerate(schema.fields) if f.type in ("int", "bool")
+    )
+    float_positions = tuple(
+        i for i, f in enumerate(schema.fields) if f.type == "float"
+    )
+    str_positions = tuple(
+        i for i, f in enumerate(schema.fields) if f.type == "str"
+    )
+    n_fields = len(schema.fields)
+
+    def read_loop(ctx, req):
+        ctx.io_allowed()
+        try:
+            data = files[req.filename]
+        except KeyError:
+            raise CompileError(
+                f"no file {req.filename!r} supplied to compile_source(files=...)"
+            ) from None
+
+        def on_record(rec: tuple) -> None:
+            vals = list(rec)
+            for i in float_positions:
+                vals[i] = float(vals[i])
+            for i in str_positions:
+                vals[i] = vals[i].decode("ascii")
+            ctx.put(data_table.new(*vals))
+
+        n = read_records_bytes(data, int_positions, n_fields, on_record=on_record)
+        ctx.charge(0.6 * n, "csv_parse")
+        ctx.charge(0.2 * n, "io_record")
+
+    program.rule(
+        request, name=f"read_loop_{data_table.name}", unsafe=True
+    )(read_loop)
+
+
+def compile_program(
+    tree: A.ProgramAst,
+    name: str = "jstar-program",
+    files: Mapping[str, bytes] | None = None,
+) -> Program:
+    """Lower a parsed AST into an executable Program.
+
+    ``files`` is the in-memory file registry for auto-generated read
+    loops: any table ``FooRequest(String filename)`` whose companion
+    table ``Foo`` exists gets the paper's generated reader rule (§6.2).
+    """
+    program = Program(name)
+    tables: dict[str, TableHandle] = {}
+    for t in tree.tables:
+        try:
+            tables[t.name] = program.table(t.name, t.fields_text, orderby=t.orderby)
+        except JStarError as exc:
+            raise CompileError(f"table {t.name}: {exc}", t.line) from exc
+    for o in tree.orders:
+        program.order(*o.names)
+
+    # the paper's auto-generated read-loop rules
+    for tname, handle in tables.items():
+        if not tname.endswith("Request"):
+            continue
+        base = tname[: -len("Request")]
+        data_table = tables.get(base)
+        if data_table is None:
+            continue
+        schema = handle.schema
+        if len(schema.fields) == 1 and schema.fields[0].type == "str":
+            _generate_read_loop(program, handle, data_table, files or {})
+
+    evaluator = _Evaluator(tables)
+
+    for i, rule in enumerate(tree.rules):
+        handle = tables.get(rule.trigger_table)
+        if handle is None:
+            raise CompileError(
+                f"foreach over unknown table {rule.trigger_table!r}", rule.line
+            )
+        rule_name = rule.name or f"foreach_{rule.trigger_table}_{i}"
+
+        def body(ctx, tup, _rule=rule):
+            env = {_rule.trigger_var: tup}
+            evaluator.exec_block(_rule.body, ctx, env)
+
+        from repro.lang.meta import extract_meta
+
+        meta = extract_meta(rule, tables)
+        program.rule(
+            handle,
+            name=rule_name,
+            unsafe=rule.unsafe,
+            meta=meta,
+            assume_stratified=meta is None,
+        )(body)
+
+    # initial puts evaluate in an empty environment (literals only in
+    # practice — the paper's `put new Estimate(0, 0)`)
+    init_ctx = _InitContext()
+    for p in tree.puts:
+        value = evaluator.eval(p.value, init_ctx, {})  # type: ignore[arg-type]
+        program.put(value)
+    return program
+
+
+class _InitContext:
+    """Minimal context for evaluating top-level put expressions (no
+    queries or effects allowed outside rules)."""
+
+    def put(self, *_a):  # pragma: no cover - guarded by parser shape
+        raise CompileError("nested put in a top-level put expression")
+
+    def get(self, *_a, **_k):
+        raise CompileError("queries are not allowed in top-level puts")
+
+    get_uniq = get_min = get
+
+    def println(self, *_a):
+        raise CompileError("println is not allowed in top-level puts")
+
+    def charge(self, *_a, **_k):
+        pass
+
+
+def compile_source(
+    source: str,
+    name: str = "jstar-program",
+    files: Mapping[str, bytes] | None = None,
+) -> Program:
+    """Parse + compile a textual JStar program in one call.  ``files``
+    feeds the auto-generated read loops (see :func:`compile_program`)."""
+    return compile_program(parse_program(source), name, files=files)

@@ -1,0 +1,190 @@
+"""Tokenizer for the JStar concrete syntax.
+
+The paper writes programs in an XText-based syntax (Figs 4 & 5)::
+
+    table Ship(int frame -> int x, int y, int dx, int dy) orderby (Int, seq frame)
+    order Req < PvWatts < SumMonth;
+    put new Estimate(0, 0);
+    foreach (Estimate dist) {
+      if (get uniq? Done(dist.vertex, [distance < dist.distance]) == null) { ... }
+    }
+
+This lexer covers that surface: identifiers, integer/float/string
+literals, the operator set, ``//`` line and ``/* */`` block comments,
+with line/column tracking for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import JStarError
+
+__all__ = ["LangSyntaxError", "Token", "tokenize", "KEYWORDS"]
+
+
+class LangSyntaxError(JStarError):
+    """Lexical or syntactic error in a textual JStar program."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"line {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+KEYWORDS = frozenset(
+    {
+        "table",
+        "orderby",
+        "order",
+        "foreach",
+        "put",
+        "get",
+        "new",
+        "if",
+        "else",
+        "for",
+        "val",
+        "println",
+        "seq",
+        "par",
+        "uniq",
+        "min",
+        "null",
+        "true",
+        "false",
+        "unsafe",
+    }
+)
+
+# multi-character operators first (longest match wins)
+_OPERATORS = (
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    ",",
+    ";",
+    ":",
+    ".",
+    "?",
+    "!",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "name" | "keyword" | "int" | "float" | "string" | "op" | "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LangSyntaxError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if c == '"':
+            start_line, start_col = line, col
+            advance(1)
+            buf = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise LangSyntaxError("unterminated string", start_line, start_col)
+                if source[i] == "\\" and i + 1 < n:
+                    esc = source[i + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    advance(2)
+                else:
+                    buf.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LangSyntaxError("unterminated string", start_line, start_col)
+            advance(1)
+            tokens.append(Token("string", "".join(buf), start_line, start_col))
+            continue
+        if c.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("float" if is_float else "int", text, start_line, start_col))
+            continue
+        if c.isalpha() or c == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LangSyntaxError(f"unexpected character {c!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,348 @@
+"""Causality-metadata extraction from textual rules.
+
+The paper's compiler sends each rule's puts and queries to the SMT
+solvers automatically (§4) — it can, because it sees the source.  Our
+Python-DSL rules are opaque closures (authors supply
+:class:`~repro.solver.obligations.RuleMeta` by hand), but *textual*
+rules are ASTs, so this module recovers the metadata mechanically:
+
+* every ``put`` becomes a symbolic put under its ``if`` path
+  conditions (linear conditions kept, opaque ones soundly dropped —
+  weaker hypotheses can only make obligations harder to prove);
+* every ``get`` — including those inside conditions and loop headers —
+  becomes a symbolic query of the right causality kind (plain/uniq/min
+  → positive/negative/aggregate) with its positional bindings and
+  bracket predicates translated;
+* ``val`` bindings of linear expressions are inlined; loop variables
+  get fresh field variables (constrainable through table invariants).
+
+If anything prevents registering a *query* (never the case for the
+grammar as parsed, but kept as a guard), extraction returns ``None``
+and the compiled rule is marked ``assume_stratified`` — missing an
+obligation would be unsound, missing hypotheses is not.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.query import QueryKind
+from repro.core.tuples import TableHandle
+from repro.lang import ast as A
+from repro.solver.obligations import RuleMeta, SymQuery
+from repro.solver.terms import Constraint, Term, var
+
+__all__ = ["extract_meta"]
+
+_NUMERIC = ("int", "float", "bool")
+
+
+class _Opaque(Exception):
+    """An expression with no linear translation (not an error)."""
+
+
+class _Extractor:
+    def __init__(self, rule: A.RuleDecl, tables: Mapping[str, TableHandle]):
+        self.rule = rule
+        self.tables = tables
+        self.meta = RuleMeta(tables[rule.trigger_table])
+        # variable environments: tuple vars -> {field: Term}; val vars -> Term
+        self.tuple_vars: dict[str, dict[str, Term]] = {
+            rule.trigger_var: self.meta.trigger
+        }
+        self.val_vars: dict[str, Term] = {}
+        #: active loop-variable bindings: (schema, field vars)
+        self.bindings: list = []
+        self._loop_counter = 0
+
+    # -- linear expression translation ------------------------------------
+
+    def term(self, expr: A.Expr) -> Term:
+        if isinstance(expr, A.Literal):
+            if isinstance(expr.value, bool) or not isinstance(expr.value, (int, float)):
+                raise _Opaque()
+            return Term({}, expr.value)
+        if isinstance(expr, A.Name):
+            t = self.val_vars.get(expr.name)
+            if t is None:
+                raise _Opaque()
+            return t
+        if isinstance(expr, A.FieldAccess):
+            if isinstance(expr.obj, A.Name):
+                fields = self.tuple_vars.get(expr.obj.name)
+                if fields is not None and expr.field in fields:
+                    return fields[expr.field]
+            raise _Opaque()
+        if isinstance(expr, A.Unary) and expr.op == "-":
+            return -self.term(expr.operand)
+        if isinstance(expr, A.Binary):
+            if expr.op == "+":
+                return self.term(expr.left) + self.term(expr.right)
+            if expr.op == "-":
+                return self.term(expr.left) - self.term(expr.right)
+            if expr.op == "*":
+                left, right = expr.left, expr.right
+                if isinstance(left, A.Literal) and isinstance(left.value, (int, float)):
+                    return self.term(right) * left.value
+                if isinstance(right, A.Literal) and isinstance(right.value, (int, float)):
+                    return self.term(left) * right.value
+        raise _Opaque()
+
+    def condition(self, expr: A.Expr) -> list[Constraint]:
+        """Linear constraints implied by a condition (opaque parts are
+        dropped — sound weakening).  Also registers any queries that
+        appear inside the condition."""
+        self.register_queries(expr, [])
+        return self._condition_atoms(expr)
+
+    def _condition_atoms(self, expr: A.Expr) -> list[Constraint]:
+        if isinstance(expr, A.Binary):
+            if expr.op == "&&":
+                return self._condition_atoms(expr.left) + self._condition_atoms(expr.right)
+            if expr.op in ("<", "<=", ">", ">=", "=="):
+                try:
+                    left = self.term(expr.left)
+                    right = self.term(expr.right)
+                except _Opaque:
+                    return []
+                if expr.op == "<":
+                    return [left < right]
+                if expr.op == "<=":
+                    return [left <= right]
+                if expr.op == ">":
+                    return [left > right]
+                if expr.op == ">=":
+                    return [left >= right]
+                return [left.eq(right)]
+        return []
+
+    def negated_condition(self, expr: A.Expr) -> list[Constraint]:
+        """Constraints of ``!expr`` where expressible (single linear
+        comparison); otherwise nothing (sound weakening)."""
+        if isinstance(expr, A.Binary) and expr.op in ("<", "<=", ">", ">="):
+            try:
+                left = self.term(expr.left)
+                right = self.term(expr.right)
+            except _Opaque:
+                return []
+            return {
+                "<": [left >= right],
+                "<=": [left > right],
+                ">": [left <= right],
+                ">=": [left < right],
+            }[expr.op]
+        return []
+
+    # -- query registration --------------------------------------------------
+
+    def register_queries(self, expr: A.Expr, when: list[Constraint]) -> None:
+        """Find every GetQuery inside an expression tree."""
+        if isinstance(expr, A.GetQuery):
+            self._register_query(expr, when)
+            for a in expr.args:
+                self.register_queries(a, when)
+            for _f, _op, e in expr.preds:
+                self.register_queries(e, when)
+            return
+        if isinstance(expr, A.Unary):
+            self.register_queries(expr.operand, when)
+        elif isinstance(expr, A.Binary):
+            self.register_queries(expr.left, when)
+            self.register_queries(expr.right, when)
+        elif isinstance(expr, A.FieldAccess):
+            self.register_queries(expr.obj, when)
+        elif isinstance(expr, A.NewTuple):
+            for a in expr.args:
+                self.register_queries(a, when)
+            for _f, e in expr.named:
+                self.register_queries(e, when)
+
+    def _register_query(self, q: A.GetQuery, when: list[Constraint]) -> None:
+        handle = self.tables[q.table]
+        schema = handle.schema
+        kind = {
+            "all": QueryKind.POSITIVE,
+            "uniq": QueryKind.NEGATIVE,
+            "min": QueryKind.AGGREGATE,
+        }[q.mode]
+        bound: dict[str, Term] = {}
+        for i, arg in enumerate(q.args):
+            try:
+                bound[schema.field_names[i]] = self.term(arg)
+            except _Opaque:
+                pass  # unconstrained field: fresh var at obligation time
+        # bracket predicates become a constraints callback over the
+        # query's own field variables
+        translated: list[tuple[str, str, Term]] = []
+        for field, op, value_expr in q.preds:
+            if op == "==":
+                try:
+                    bound[field] = self.term(value_expr)
+                except _Opaque:
+                    pass
+                continue
+            try:
+                translated.append((field, op, self.term(value_expr)))
+            except _Opaque:
+                pass
+
+        def constraints(qf: Mapping[str, Term], items=tuple(translated)):
+            out = []
+            for field, op, term in items:
+                left = qf.get(field)
+                if left is None:
+                    continue
+                out.append(
+                    {
+                        "<": left < term,
+                        "<=": left <= term,
+                        ">": left > term,
+                        ">=": left >= term,
+                    }[op]
+                )
+            return out
+
+        branch = self.meta.branch(when=list(when))
+        branch._branch.bindings.extend(self.bindings)
+        branch._branch.queries.append(
+            SymQuery(schema, kind, bound, constraints if translated else None)
+        )
+
+    # -- statement walk -----------------------------------------------------------
+
+    def walk(self, stmts: tuple[A.Stmt, ...], when: list[Constraint]) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt, when)
+
+    def walk_stmt(self, stmt: A.Stmt, when: list[Constraint]) -> None:
+        if isinstance(stmt, A.ValDecl):
+            self.register_queries(stmt.value, when)
+            if isinstance(stmt.value, A.NewTuple):
+                # reducer boxes etc. — opaque value
+                self.val_vars.pop(stmt.name, None)
+                return
+            try:
+                self.val_vars[stmt.name] = self.term(stmt.value)
+            except _Opaque:
+                self.val_vars.pop(stmt.name, None)
+            return
+        if isinstance(stmt, A.PutStmt):
+            self.register_queries(stmt.value, when)
+            if isinstance(stmt.value, A.NewTuple):
+                self._register_put(stmt.value, when)
+            else:
+                # put of a non-constructor expression: unanalysable
+                raise _Opaque()
+            return
+        if isinstance(stmt, A.AddAssign):
+            self.register_queries(stmt.value, when)
+            return
+        if isinstance(stmt, A.IfStmt):
+            conds = self.condition(stmt.cond)
+            self.walk(stmt.then, when + conds)
+            if stmt.orelse:
+                self.walk(stmt.orelse, when + self.negated_condition(stmt.cond))
+            return
+        if isinstance(stmt, A.ForStmt):
+            self._register_query(stmt.query, when)
+            for a in stmt.query.args:
+                self.register_queries(a, when)
+            # the loop variable's fields become fresh symbolic vars,
+            # constrained only by the table invariant (if supplied)
+            self._loop_counter += 1
+            schema = self.tables[stmt.query.table].schema
+            prefix = f"{stmt.var}{self._loop_counter}"
+            loop_fields = {
+                f.name: var(f"{prefix}.{f.name}")
+                for f in schema.fields
+                if f.type in _NUMERIC
+            }
+            self.tuple_vars[stmt.var] = loop_fields
+            self.bindings.append((schema, loop_fields))
+            # the loop query's own constraints hold of every iterate:
+            # positional args bind leading fields, bracket predicates
+            # constrain named fields
+            loop_conds: list[Constraint] = []
+            for i, arg in enumerate(stmt.query.args):
+                fname = schema.field_names[i]
+                if fname in loop_fields:
+                    try:
+                        loop_conds.append(loop_fields[fname].eq(self.term(arg)))
+                    except _Opaque:
+                        pass
+            for field, op, value_expr in stmt.query.preds:
+                if field not in loop_fields:
+                    continue
+                try:
+                    rhs = self.term(value_expr)
+                except _Opaque:
+                    continue
+                left = loop_fields[field]
+                loop_conds.append(
+                    {
+                        "==": left.eq(rhs),
+                        "<": left < rhs,
+                        "<=": left <= rhs,
+                        ">": left > rhs,
+                        ">=": left >= rhs,
+                    }[op]
+                )
+            self.walk(stmt.body, when + loop_conds)
+            self.bindings.pop()
+            self.tuple_vars.pop(stmt.var, None)
+            return
+        if isinstance(stmt, A.PrintlnStmt):
+            self.register_queries(stmt.value, when)
+            return
+        if isinstance(stmt, A.ExprStmt):
+            self.register_queries(stmt.value, when)
+            return
+
+    def _register_put(self, new: A.NewTuple, when: list[Constraint]) -> None:
+        from repro.lang.compile import BUILTIN_REDUCERS
+
+        if new.table in BUILTIN_REDUCERS:
+            raise _Opaque()  # 'put new Statistics()' is nonsense anyway
+        handle = self.tables[new.table]
+        schema = handle.schema
+        fields: dict[str, Term] = {}
+        given: set[str] = set()
+        for i, arg in enumerate(new.args):
+            name = schema.field_names[i]
+            given.add(name)
+            try:
+                fields[name] = self.term(arg)
+            except _Opaque:
+                pass
+        for name, value_expr in new.named:
+            given.add(name)
+            try:
+                fields[name] = self.term(value_expr)
+            except _Opaque:
+                fields.pop(name, None)
+        # omitted fields take their type defaults at runtime — reflect
+        # that so the prover sees e.g. frame = 0 for defaulted ints
+        for f in schema.fields:
+            if f.name not in given and f.type in _NUMERIC:
+                fields[f.name] = Term({}, f.default if not isinstance(f.default, bool) else int(f.default))
+        from repro.solver.obligations import SymPut
+
+        branch = self.meta.branch(when=list(when))
+        branch._branch.bindings.extend(self.bindings)
+        branch._branch.puts.append(SymPut(schema, fields))
+
+
+def extract_meta(
+    rule: A.RuleDecl, tables: Mapping[str, TableHandle]
+) -> RuleMeta | None:
+    """Best-effort metadata for a textual rule; ``None`` when the rule
+    cannot be soundly summarised (the compiled rule is then marked
+    ``assume_stratified``, matching the DSL's escape hatch)."""
+    try:
+        ex = _Extractor(rule, tables)
+        ex.walk(rule.body, [])
+        return ex.meta
+    except _Opaque:
+        return None
+    except Exception:
+        return None

@@ -1,0 +1,386 @@
+"""Recursive-descent parser for the JStar concrete syntax.
+
+Grammar (paper-faithful subset; semicolons optional where unambiguous)::
+
+    program   := decl*
+    decl      := table | order | put | rule
+    table     := "table" NAME "(" <field text> ")" ["orderby" "(" obentry ("," obentry)* ")"] ";"?
+    obentry   := NAME | "seq" NAME | "par" NAME
+    order     := "order" NAME ("<" NAME)+ ";"?
+    put       := "put" new ";"?
+    rule      := ["unsafe"] "foreach" "(" NAME NAME ")" block
+    block     := "{" stmt* "}"
+    stmt      := "val" NAME "=" expr ";"?
+               | "put" expr ";"?
+               | NAME "+=" expr ";"?
+               | "if" "(" expr ")" block ["else" block]
+               | "for" "(" NAME ":" get ")" block
+               | "println" "(" expr ")" ";"?
+               | expr ";"?
+    expr      := or ;  or := and ("||" and)* ;  and := eq ("&&" eq)*
+    eq        := rel (("=="|"!=") rel)* ;  rel := add (("<"|"<="|">"|">=") add)?
+    add       := mul (("+"|"-") mul)* ;  mul := unary (("*"|"/"|"%") unary)*
+    unary     := ("-"|"!") unary | postfix
+    postfix   := primary ("." NAME)*
+    primary   := INT | FLOAT | STRING | "true" | "false" | "null" | NAME
+               | "(" expr ")" | new | get
+    new       := "new" NAME "(" [expr ("," expr)*] ")" ["[" NAME "=" expr (";" NAME "=" expr)* "]"]
+    get       := "get" ["uniq" "?" | "min"] NAME "(" [qarg ("," qarg)*] ")"
+    qarg      := "[" NAME relop expr "]"        # bracketed field predicate
+               | expr                           # positional constraint
+
+The field list inside ``table (...)`` is captured verbatim (balancing
+parentheses) and handed to :func:`repro.core.schema.parse_fields`,
+which already speaks the paper's ``int frame -> int x, int y`` notation.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast as A
+from repro.lang.lexer import LangSyntaxError, Token, tokenize
+
+__all__ = ["parse_program", "parse_expression"]
+
+_REL_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.at(kind, text):
+            want = text or kind
+            raise LangSyntaxError(
+                f"expected {want!r}, found {self.cur.text or self.cur.kind!r}",
+                self.cur.line,
+                self.cur.col,
+            )
+        return self.advance()
+
+    def skip_semi(self) -> None:
+        while self.accept("op", ";"):
+            pass
+
+    # -- top level ----------------------------------------------------------
+
+    def program(self) -> A.ProgramAst:
+        tables: list[A.TableDecl] = []
+        orders: list[A.OrderDecl] = []
+        puts: list[A.TopPut] = []
+        rules: list[A.RuleDecl] = []
+        self.skip_semi()
+        while not self.at("eof"):
+            if self.at("keyword", "table"):
+                tables.append(self.table_decl())
+            elif self.at("keyword", "order"):
+                orders.append(self.order_decl())
+            elif self.at("keyword", "put"):
+                puts.append(self.top_put())
+            elif self.at("keyword", "foreach") or self.at("keyword", "unsafe"):
+                rules.append(self.rule_decl())
+            else:
+                raise LangSyntaxError(
+                    f"expected a declaration, found {self.cur.text!r}",
+                    self.cur.line,
+                    self.cur.col,
+                )
+            self.skip_semi()
+        return A.ProgramAst(tuple(tables), tuple(orders), tuple(puts), tuple(rules))
+
+    def table_decl(self) -> A.TableDecl:
+        kw = self.expect("keyword", "table")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        fields_text = self._capture_balanced()
+        orderby: list[str] = []
+        if self.accept("keyword", "orderby"):
+            self.expect("op", "(")
+            while not self.at("op", ")"):
+                if self.accept("keyword", "seq"):
+                    orderby.append(f"seq {self.expect('name').text}")
+                elif self.accept("keyword", "par"):
+                    orderby.append(f"par {self.expect('name').text}")
+                else:
+                    orderby.append(self.expect("name").text)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        return A.TableDecl(name, fields_text, tuple(orderby), kw.line)
+
+    def _capture_balanced(self) -> str:
+        """Capture raw token text until the matching close paren."""
+        depth = 1
+        parts: list[str] = []
+        while True:
+            t = self.cur
+            if t.kind == "eof":
+                raise LangSyntaxError("unterminated '('", t.line, t.col)
+            if t.kind == "op" and t.text == "(":
+                depth += 1
+            elif t.kind == "op" and t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    self.advance()
+                    return " ".join(parts)
+            self.advance()
+            if t.kind == "string":
+                parts.append(f'"{t.text}"')
+            else:
+                parts.append(t.text)
+
+    def order_decl(self) -> A.OrderDecl:
+        kw = self.expect("keyword", "order")
+        names = [self.expect("name").text]
+        while self.accept("op", "<"):
+            names.append(self.expect("name").text)
+        if len(names) < 2:
+            raise LangSyntaxError("order needs at least two names", kw.line, kw.col)
+        return A.OrderDecl(tuple(names), kw.line)
+
+    def top_put(self) -> A.TopPut:
+        kw = self.expect("keyword", "put")
+        expr = self.expression()
+        if not isinstance(expr, A.NewTuple):
+            raise LangSyntaxError("top-level put needs a 'new Table(...)'", kw.line, kw.col)
+        return A.TopPut(expr, kw.line)
+
+    def rule_decl(self) -> A.RuleDecl:
+        unsafe = self.accept("keyword", "unsafe") is not None
+        kw = self.expect("keyword", "foreach")
+        self.expect("op", "(")
+        table = self.expect("name").text
+        var = self.expect("name").text
+        self.expect("op", ")")
+        body = self.block()
+        return A.RuleDecl(table, var, body, unsafe=unsafe, line=kw.line)
+
+    # -- statements ----------------------------------------------------------
+
+    def block(self) -> tuple[A.Stmt, ...]:
+        self.expect("op", "{")
+        stmts: list[A.Stmt] = []
+        self.skip_semi()
+        while not self.at("op", "}"):
+            stmts.append(self.statement())
+            self.skip_semi()
+        self.expect("op", "}")
+        return tuple(stmts)
+
+    def statement(self) -> A.Stmt:
+        t = self.cur
+        if self.accept("keyword", "val"):
+            name = self.expect("name").text
+            self.expect("op", "=")
+            return A.ValDecl(name, self.expression(), t.line)
+        if self.accept("keyword", "put"):
+            return A.PutStmt(self.expression(), t.line)
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            cond = self.expression()
+            self.expect("op", ")")
+            then = self.block()
+            orelse: tuple[A.Stmt, ...] = ()
+            if self.accept("keyword", "else"):
+                orelse = self.block()
+            return A.IfStmt(cond, then, orelse, t.line)
+        if self.accept("keyword", "for"):
+            self.expect("op", "(")
+            var = self.expect("name").text
+            self.expect("op", ":")
+            query = self.expression()
+            if not isinstance(query, A.GetQuery) or query.mode != "all":
+                raise LangSyntaxError("for loops iterate a plain 'get T(...)'", t.line, t.col)
+            self.expect("op", ")")
+            return A.ForStmt(var, query, self.block(), t.line)
+        if self.accept("keyword", "println"):
+            self.expect("op", "(")
+            value = self.expression()
+            self.expect("op", ")")
+            return A.PrintlnStmt(value, t.line)
+        if t.kind == "name" and self.tokens[self.pos + 1].kind == "op" and self.tokens[self.pos + 1].text == "+=":
+            name = self.advance().text
+            self.advance()  # +=
+            return A.AddAssign(name, self.expression(), t.line)
+        return A.ExprStmt(self.expression(), t.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def expression(self) -> A.Expr:
+        return self._or()
+
+    def _binary_chain(self, sub, ops) -> A.Expr:
+        left = sub()
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance().text
+            right = sub()
+            left = A.Binary(op, left, right, getattr(left, "line", 0))
+        return left
+
+    def _or(self) -> A.Expr:
+        return self._binary_chain(self._and, ("||",))
+
+    def _and(self) -> A.Expr:
+        return self._binary_chain(self._eq, ("&&",))
+
+    def _eq(self) -> A.Expr:
+        return self._binary_chain(self._rel, ("==", "!="))
+
+    def _rel(self) -> A.Expr:
+        left = self._add()
+        if self.cur.kind == "op" and self.cur.text in ("<", "<=", ">", ">="):
+            op = self.advance().text
+            right = self._add()
+            return A.Binary(op, left, right, getattr(left, "line", 0))
+        return left
+
+    def _add(self) -> A.Expr:
+        return self._binary_chain(self._mul, ("+", "-"))
+
+    def _mul(self) -> A.Expr:
+        return self._binary_chain(self._unary, ("*", "/", "%"))
+
+    def _unary(self) -> A.Expr:
+        t = self.cur
+        if t.kind == "op" and t.text in ("-", "!"):
+            self.advance()
+            return A.Unary(t.text, self._unary(), t.line)
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while self.at("op", "."):
+            self.advance()
+            field = self.expect("name").text
+            expr = A.FieldAccess(expr, field, getattr(expr, "line", 0))
+        return expr
+
+    def _primary(self) -> A.Expr:
+        t = self.cur
+        if t.kind == "int":
+            self.advance()
+            return A.Literal(int(t.text), t.line)
+        if t.kind == "float":
+            self.advance()
+            return A.Literal(float(t.text), t.line)
+        if t.kind == "string":
+            self.advance()
+            return A.Literal(t.text, t.line)
+        if self.accept("keyword", "true"):
+            return A.Literal(True, t.line)
+        if self.accept("keyword", "false"):
+            return A.Literal(False, t.line)
+        if self.accept("keyword", "null"):
+            return A.Literal(None, t.line)
+        if self.accept("op", "("):
+            e = self.expression()
+            self.expect("op", ")")
+            return e
+        if self.at("keyword", "new"):
+            return self._new()
+        if self.at("keyword", "get"):
+            return self._get()
+        if t.kind == "name":
+            self.advance()
+            # constructor-call sugar: `PvWattsRequest("f.csv")` with no
+            # `new`, as Fig 4's top-level put writes it
+            if t.text[0].isupper() and self.at("op", "("):
+                return self._constructor_tail(t.text, t.line)
+            return A.Name(t.text, t.line)
+        raise LangSyntaxError(f"unexpected {t.text or t.kind!r}", t.line, t.col)
+
+    def _constructor_tail(self, name: str, line: int) -> A.NewTuple:
+        self.expect("op", "(")
+        args: list[A.Expr] = []
+        while not self.at("op", ")"):
+            args.append(self.expression())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        named: list[tuple[str, A.Expr]] = []
+        if self.accept("op", "["):
+            while not self.at("op", "]"):
+                f = self.expect("name").text
+                self.expect("op", "=")
+                named.append((f, self.expression()))
+                if not self.accept("op", ";"):
+                    break
+            self.expect("op", "]")
+        return A.NewTuple(name, tuple(args), tuple(named), line)
+
+    def _new(self) -> A.NewTuple:
+        kw = self.expect("keyword", "new")
+        name = self.expect("name").text
+        return self._constructor_tail(name, kw.line)
+
+    def _get(self) -> A.GetQuery:
+        kw = self.expect("keyword", "get")
+        mode = "all"
+        if self.accept("keyword", "uniq"):
+            self.expect("op", "?")
+            mode = "uniq"
+        elif self.accept("keyword", "min"):
+            mode = "min"
+        name = self.expect("name").text
+        self.expect("op", "(")
+        args: list[A.Expr] = []
+        preds: list[tuple[str, str, A.Expr]] = []
+        while not self.at("op", ")"):
+            if self.accept("op", "["):
+                field = self.expect("name").text
+                op_tok = self.cur
+                if op_tok.kind == "op" and op_tok.text in _REL_OPS:
+                    self.advance()
+                    op = op_tok.text
+                elif op_tok.kind == "op" and op_tok.text == "=":
+                    self.advance()
+                    op = "=="
+                else:
+                    raise LangSyntaxError(
+                        "expected a comparison in [field op expr]",
+                        op_tok.line,
+                        op_tok.col,
+                    )
+                preds.append((field, op, self.expression()))
+                self.expect("op", "]")
+            else:
+                args.append(self.expression())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return A.GetQuery(name, mode, tuple(args), tuple(preds), kw.line)
+
+
+def parse_program(source: str) -> A.ProgramAst:
+    """Parse a textual JStar program into its AST."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_expression(source: str) -> A.Expr:
+    """Parse a single expression (used by tests and the REPL-ish demos)."""
+    p = _Parser(tokenize(source))
+    e = p.expression()
+    p.expect("eof")
+    return e

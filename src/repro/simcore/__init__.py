@@ -1,0 +1,25 @@
+"""Virtual-time multicore machine — the hardware substitute (DESIGN.md §2).
+
+Public surface: :class:`Machine` (N cores, calibrated contention + GC
+models), :class:`SimTask` records, :class:`CalibratedCosts` /
+:class:`GcModel` tunables, and the raw :func:`step_makespan` model.
+"""
+
+from repro.simcore.contention import CalibratedCosts, StepTiming, step_makespan
+from repro.simcore.gc import NO_GC, GcModel
+from repro.simcore.machine import Machine, MachineReport
+from repro.simcore.scheduler import greedy_makespan, lpt_makespan
+from repro.simcore.task import SimTask
+
+__all__ = [
+    "CalibratedCosts",
+    "StepTiming",
+    "step_makespan",
+    "GcModel",
+    "NO_GC",
+    "Machine",
+    "MachineReport",
+    "greedy_makespan",
+    "lpt_makespan",
+    "SimTask",
+]

@@ -1,0 +1,32 @@
+"""Simulator task records.
+
+A :class:`SimTask` is the virtual-time shadow of one fork/join task:
+the engine runs the task's rule firings for real (sequentially,
+deterministically) while metering them, then hands the resulting cost
+record to the scheduler.  ``cost`` is total abstract work in work
+units; ``shared`` maps shared-resource names (``"delta"``,
+``"gamma:PvWatts"``, ``"membw"``) to the work units that must serialise
+on that resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimTask"]
+
+
+@dataclass(slots=True)
+class SimTask:
+    """One schedulable unit of virtual work."""
+
+    cost: float
+    shared: dict[str, float] = field(default_factory=dict)
+    label: str = ""
+
+    def scaled(self, factor: float) -> "SimTask":
+        return SimTask(
+            self.cost * factor,
+            {k: v * factor for k, v in self.shared.items()},
+            self.label,
+        )

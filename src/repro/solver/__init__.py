@@ -1,0 +1,56 @@
+"""SMT-style causality prover (§4's proof obligations).
+
+Linear rational arithmetic via Fourier–Motzkin elimination
+(:mod:`repro.solver.fourier`) plus the declared literal order, applied
+to lexicographic timestamp comparisons
+(:func:`~repro.solver.obligations.prove_lex_le`).  See DESIGN.md §2 for
+why this replaces the paper's external SMT solvers soundly.
+"""
+
+from repro.solver.check import CheckReport, RuleFinding, check_program
+from repro.solver.fourier import entails, entails_all, feasible
+from repro.solver.lifetime import clock_field, suggest_retention
+from repro.solver.provers import DEFAULT_PROVER, PROVERS, get_prover
+from repro.solver.simplex import simplex_entails, simplex_feasible
+from repro.solver.obligations import (
+    Branch,
+    Invariant,
+    Obligation,
+    RuleMeta,
+    SymPut,
+    SymQuery,
+    generate_obligations,
+    prove_lex_le,
+    symbolic_timestamp,
+)
+from repro.solver.terms import Constraint, Rel, Term, const, var
+
+__all__ = [
+    "Term",
+    "Constraint",
+    "Rel",
+    "var",
+    "const",
+    "feasible",
+    "entails",
+    "entails_all",
+    "RuleMeta",
+    "Branch",
+    "SymPut",
+    "SymQuery",
+    "Invariant",
+    "Obligation",
+    "generate_obligations",
+    "prove_lex_le",
+    "symbolic_timestamp",
+    "check_program",
+    "suggest_retention",
+    "clock_field",
+    "PROVERS",
+    "DEFAULT_PROVER",
+    "get_prover",
+    "simplex_feasible",
+    "simplex_entails",
+    "CheckReport",
+    "RuleFinding",
+]

@@ -1,0 +1,137 @@
+"""Fourier–Motzkin decision procedure for linear rational arithmetic.
+
+This is the reproduction's stand-in for the paper's SMT solvers (§1.5,
+§4): the causality obligations are conjunctions/implications of linear
+comparisons over orderby fields, a fragment for which Fourier–Motzkin
+elimination is a complete decision procedure over the rationals.
+
+Soundness note for the integer-typed fields: if a constraint system is
+infeasible over ℚ it is infeasible over ℤ, so every theorem we *prove*
+is genuinely valid; we may fail to prove some integer-only facts (e.g.
+``2x == 1`` infeasibility is caught, but tighter parity arguments are
+not) — mirroring how the paper treats an unproved obligation as a
+warning rather than an error.
+
+Entry points:
+
+* :func:`feasible` — is a conjunction of atoms satisfiable (ℚ)?
+* :func:`entails` — does a conjunction imply an atom?  (refutes
+  ``H ∧ ¬C`` disjunct by disjunct)
+* :func:`entails_all` — implication of a conjunction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.errors import SolverError
+from repro.solver.terms import Constraint, Rel, Term
+
+__all__ = ["feasible", "entails", "entails_all", "MAX_ATOMS"]
+
+#: safety valve: FM is worst-case exponential; obligations are tiny, so
+#: hitting this means a malformed meta, not a hard theorem.
+MAX_ATOMS = 4000
+
+
+def _substitute_equalities(atoms: list[Constraint]) -> list[Constraint] | None:
+    """Gaussian elimination of EQ atoms.  Returns inequality atoms only,
+    or None if an equality is already contradictory."""
+    ineqs = [a for a in atoms if a.rel != Rel.EQ]
+    eqs = [a for a in atoms if a.rel == Rel.EQ]
+    while eqs:
+        eq = eqs.pop()
+        t = eq.term
+        if t.is_constant():
+            if t.constant != 0:
+                return None
+            continue
+        # solve for the variable with the largest |coeff| (stability moot
+        # with Fractions; any pivot works)
+        pivot = next(iter(sorted(t.coeffs)))
+        c = t.coeffs[pivot]
+        # pivot = (-t + c*pivot) / c  ==  pivot - t/c
+        replacement = Term({pivot: Fraction(1)}) - t * (Fraction(1) / c)
+
+        def subst(a: Constraint) -> Constraint:
+            ct = a.term
+            if pivot not in ct.coeffs:
+                return a
+            k = ct.coeffs[pivot]
+            new = ct + (replacement - Term({pivot: Fraction(1)})) * k
+            return Constraint(new, a.rel)
+
+        ineqs = [subst(a) for a in ineqs]
+        eqs = [subst(a) for a in eqs]
+    return ineqs
+
+
+def feasible(atoms: Iterable[Constraint]) -> bool:
+    """Satisfiability over ℚ of a conjunction of atoms."""
+    work = _substitute_equalities(list(atoms))
+    if work is None:
+        return False
+    # Fourier–Motzkin: repeatedly eliminate a variable.
+    while True:
+        # check ground atoms, drop them
+        rest: list[Constraint] = []
+        for a in work:
+            if a.term.is_constant():
+                v = a.term.constant
+                if a.rel == Rel.LE and v > 0:
+                    return False
+                if a.rel == Rel.LT and v >= 0:
+                    return False
+            else:
+                rest.append(a)
+        work = rest
+        if not work:
+            return True
+        if len(work) > MAX_ATOMS:
+            raise SolverError(
+                f"Fourier-Motzkin blow-up ({len(work)} atoms); "
+                "obligation too large — check the rule metadata"
+            )
+        # pick the variable appearing in the fewest atoms (greedy heuristic)
+        occurrence: dict[str, int] = {}
+        for a in work:
+            for v in a.term.coeffs:
+                occurrence[v] = occurrence.get(v, 0) + 1
+        pivot = min(sorted(occurrence), key=occurrence.__getitem__)
+        lowers: list[tuple[Term, bool]] = []  # bound <= / < pivot  (term, strict)
+        uppers: list[tuple[Term, bool]] = []  # pivot <= / < bound
+        others: list[Constraint] = []
+        for a in work:
+            c = a.term.coeffs.get(pivot)
+            if c is None:
+                others.append(a)
+                continue
+            # a: c*pivot + r REL 0   =>  pivot REL' -r/c  (flip if c < 0)
+            r = a.term - Term({pivot: c})
+            bound = r * (Fraction(-1) / c)
+            strict = a.rel == Rel.LT
+            if c > 0:
+                uppers.append((bound, strict))
+            else:
+                lowers.append((bound, strict))
+        work = others
+        for lo, lo_strict in lowers:
+            for up, up_strict in uppers:
+                # lo (<|<=) pivot (<|<=) up  =>  lo - up (<|<=) 0
+                rel = Rel.LT if (lo_strict or up_strict) else Rel.LE
+                work.append(Constraint(lo - up, rel))
+
+
+def entails(hypotheses: Sequence[Constraint], conclusion: Constraint) -> bool:
+    """``⋀hypotheses ⟹ conclusion`` (valid over ℚ)."""
+    return all(
+        not feasible(list(hypotheses) + [neg]) for neg in conclusion.negate()
+    )
+
+
+def entails_all(
+    hypotheses: Sequence[Constraint], conclusions: Iterable[Constraint]
+) -> bool:
+    """``⋀hypotheses ⟹ ⋀conclusions``."""
+    return all(entails(hypotheses, c) for c in conclusions)

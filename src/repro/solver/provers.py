@@ -1,0 +1,73 @@
+"""The prover registry — "several alternative SMT theorem provers" (§1.5).
+
+Two independent decision procedures for the causality fragment are
+registered:
+
+* ``"fourier-motzkin"`` — quantifier elimination
+  (:mod:`repro.solver.fourier`), the default;
+* ``"simplex"`` — exact-rational two-phase simplex
+  (:mod:`repro.solver.simplex`);
+* ``"cross-check"`` — runs both and raises on disagreement (the
+  belt-and-braces mode you want when the prover gates a language
+  guarantee).
+
+Both decide full linear rational arithmetic, so they must agree on
+every input — a hypothesis test enforces it.  ``check_program`` and
+``generate_obligations`` accept ``prover=`` to select one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.errors import SolverError
+from repro.solver.fourier import entails as fm_entails
+from repro.solver.fourier import feasible as fm_feasible
+from repro.solver.simplex import simplex_entails, simplex_feasible
+from repro.solver.terms import Constraint
+
+__all__ = ["EntailsFn", "FeasibleFn", "get_prover", "PROVERS", "DEFAULT_PROVER"]
+
+EntailsFn = Callable[[Sequence[Constraint], Constraint], bool]
+FeasibleFn = Callable[[Sequence[Constraint]], bool]
+
+DEFAULT_PROVER = "fourier-motzkin"
+
+
+def _cross_entails(hyps: Sequence[Constraint], concl: Constraint) -> bool:
+    a = fm_entails(hyps, concl)
+    b = simplex_entails(hyps, concl)
+    if a != b:  # pragma: no cover - would be a prover bug
+        raise SolverError(
+            f"prover disagreement: fourier-motzkin={a} simplex={b} "
+            f"on {list(hyps)} ⟹ {concl}"
+        )
+    return a
+
+
+def _cross_feasible(atoms: Sequence[Constraint]) -> bool:
+    a = fm_feasible(atoms)
+    b = simplex_feasible(atoms)
+    if a != b:  # pragma: no cover - would be a prover bug
+        raise SolverError(
+            f"prover disagreement: fourier-motzkin={a} simplex={b} on {list(atoms)}"
+        )
+    return a
+
+
+PROVERS: dict[str, tuple[FeasibleFn, EntailsFn]] = {
+    "fourier-motzkin": (fm_feasible, fm_entails),
+    "simplex": (simplex_feasible, simplex_entails),
+    "cross-check": (_cross_feasible, _cross_entails),
+}
+
+
+def get_prover(name: str | None = None) -> tuple[FeasibleFn, EntailsFn]:
+    """(feasible, entails) for a registered prover name."""
+    key = name or DEFAULT_PROVER
+    try:
+        return PROVERS[key]
+    except KeyError:
+        raise SolverError(
+            f"unknown prover {key!r}; available: {sorted(PROVERS)}"
+        ) from None

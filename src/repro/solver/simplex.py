@@ -1,0 +1,232 @@
+"""An alternative decision procedure: exact-rational two-phase simplex.
+
+§1.5: JStar has "a connection to several alternative Satisfiability
+Modulo Theories (SMT) theorem provers".  The reproduction mirrors that
+plurality: besides the Fourier–Motzkin core (:mod:`repro.solver.
+fourier`), this module decides the same linear-arithmetic fragment with
+a textbook two-phase simplex over exact :class:`~fractions.Fraction`
+arithmetic, using Bland's rule throughout (no cycling, guaranteed
+termination).  The prover registry (:mod:`repro.solver.provers`) can
+run both and cross-check; a hypothesis test asserts they always agree.
+
+Encoding.  Free variables split as ``x = x⁺ − x⁻`` (both ≥ 0);
+equalities split into two inequalities; strict inequalities use the
+ε-trick: ``{tᵢ < 0} ∪ {tⱼ ≤ 0}`` is satisfiable over ℚ iff
+
+    max ε  s.t.  tᵢ + ε ≤ 0,  tⱼ ≤ 0,  0 ≤ ε ≤ 1
+
+has optimum ε > 0 (a strict solution admits a uniform margin; capping
+ε keeps the LP bounded).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.solver.terms import Constraint, Rel
+
+__all__ = ["simplex_feasible", "simplex_entails", "maximize_leq"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class _Tableau:
+    """Equality-form tableau ``[B⁻¹A | B⁻¹b]`` with an explicit basis."""
+
+    def __init__(self, rows: list[list[Fraction]], rhs: list[Fraction], basis: list[int]):
+        self.rows = rows          # m x n
+        self.rhs = rhs            # m
+        self.basis = basis        # m basic column indices
+        self.m = len(rows)
+        self.n = len(rows[0]) if rows else 0
+
+    def pivot(self, r: int, c: int) -> None:
+        pv = self.rows[r][c]
+        inv = _ONE / pv
+        self.rows[r] = [v * inv for v in self.rows[r]]
+        self.rhs[r] *= inv
+        for i in range(self.m):
+            if i != r:
+                f = self.rows[i][c]
+                if f != 0:
+                    self.rows[i] = [
+                        a - f * b for a, b in zip(self.rows[i], self.rows[r])
+                    ]
+                    self.rhs[i] -= f * self.rhs[r]
+        self.basis[r] = c
+
+    def reduced_costs(self, c_vec: list[Fraction]) -> tuple[list[Fraction], Fraction]:
+        """Reduced costs ``c_j − c_B·(B⁻¹A)_j`` and objective value for
+        maximisation of ``c·x`` at the current basic solution."""
+        cb = [c_vec[b] for b in self.basis]
+        red = list(c_vec)
+        for i in range(self.m):
+            if cb[i] != 0:
+                for j in range(self.n):
+                    red[j] -= cb[i] * self.rows[i][j]
+        value = sum(cb[i] * self.rhs[i] for i in range(self.m))
+        return red, value
+
+    def maximize(self, c_vec: list[Fraction], banned: frozenset[int] = frozenset()):
+        """Run simplex (Bland's rule) maximising ``c·x``; returns the
+        optimum or None if unbounded."""
+        while True:
+            red, value = self.reduced_costs(c_vec)
+            enter = None
+            for j in range(self.n):
+                if j not in banned and red[j] > 0:
+                    enter = j  # Bland: smallest index
+                    break
+            if enter is None:
+                return value
+            leave, best = None, None
+            for i in range(self.m):
+                a = self.rows[i][enter]
+                if a > 0:
+                    ratio = self.rhs[i] / a
+                    key = (ratio, self.basis[i])  # Bland tie-break
+                    if best is None or key < best:
+                        best, leave = key, i
+            if leave is None:
+                return None  # unbounded
+            self.pivot(leave, enter)
+
+
+def maximize_leq(
+    objective: list[Fraction],
+    a_rows: list[list[Fraction]],
+    b: list[Fraction],
+) -> Fraction | None:
+    """``max objective·x`` s.t. ``a_rows·x ≤ b``, ``x ≥ 0``.
+
+    Returns the optimum, None if unbounded, or raises ``ValueError`` if
+    infeasible.
+    """
+    n = len(objective)
+    m = len(a_rows)
+    # equality form: A x + s = b, s >= 0; negate rows with b_i < 0 and
+    # give them artificials (their slack enters with -1)
+    n_art = sum(1 for v in b if v < 0)
+    width = n + m + n_art
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    basis: list[int] = []
+    art_cols: list[int] = []
+    next_art = n + m
+    for i in range(m):
+        row = [_ZERO] * width
+        neg = b[i] < 0
+        sign = -_ONE if neg else _ONE
+        for j in range(n):
+            if a_rows[i][j] != 0:
+                row[j] = sign * a_rows[i][j]
+        row[n + i] = sign  # slack
+        rows.append(row)
+        rhs.append(sign * b[i])
+        if neg:
+            row[next_art] = _ONE
+            basis.append(next_art)
+            art_cols.append(next_art)
+            next_art += 1
+        else:
+            basis.append(n + i)
+    t = _Tableau(rows, rhs, basis)
+
+    if art_cols:
+        # phase 1: maximise -(sum of artificials)
+        phase1 = [_ZERO] * width
+        for c in art_cols:
+            phase1[c] = -_ONE
+        opt = t.maximize(phase1)
+        if opt is None or opt < 0:
+            raise ValueError("infeasible")
+        # pivot any artificial still (degenerately) in the basis out
+        banned = frozenset(art_cols)
+        for i in range(t.m):
+            if t.basis[i] in banned:
+                enter = next(
+                    (
+                        j
+                        for j in range(width)
+                        if j not in banned and t.rows[i][j] != 0
+                    ),
+                    None,
+                )
+                if enter is not None:
+                    t.pivot(i, enter)
+        banned_final = banned
+    else:
+        banned_final = frozenset()
+
+    obj = list(objective) + [_ZERO] * (width - n)
+    return t.maximize(obj, banned=banned_final)
+
+
+def simplex_feasible(atoms: Iterable[Constraint]) -> bool:
+    """Satisfiability over ℚ of a conjunction of atoms (simplex)."""
+    atoms = list(atoms)
+    names = sorted({v for a in atoms for v in a.term.coeffs})
+    idx = {v: i for i, v in enumerate(names)}
+    n = 2 * len(names) + 1  # x+, x- pairs, then epsilon last
+    eps = n - 1
+
+    a_rows: list[list[Fraction]] = []
+    b: list[Fraction] = []
+    has_strict = False
+
+    def add(coeffs, constant, strict: bool) -> None:
+        row = [_ZERO] * n
+        for v, c in coeffs.items():
+            i = idx[v]
+            row[2 * i] += Fraction(c)
+            row[2 * i + 1] -= Fraction(c)
+        if strict:
+            row[eps] = _ONE
+        a_rows.append(row)
+        b.append(-Fraction(constant))
+
+    for a in atoms:
+        term = a.term
+        if term.is_constant():
+            v = term.constant
+            if a.rel == Rel.LE and v > 0:
+                return False
+            if a.rel == Rel.LT and v >= 0:
+                return False
+            if a.rel == Rel.EQ and v != 0:
+                return False
+            continue
+        if a.rel == Rel.EQ:
+            add(term.coeffs, term.constant, strict=False)
+            add({v: -c for v, c in term.coeffs.items()}, -term.constant, strict=False)
+        else:
+            strict = a.rel == Rel.LT
+            has_strict = has_strict or strict
+            add(term.coeffs, term.constant, strict=strict)
+    if not a_rows:
+        return True
+    # 0 <= eps <= 1
+    bound = [_ZERO] * n
+    bound[eps] = _ONE
+    a_rows.append(bound)
+    b.append(_ONE)
+
+    objective = [_ZERO] * n
+    objective[eps] = _ONE
+    try:
+        opt = maximize_leq(objective, a_rows, b)
+    except ValueError:
+        return False
+    if opt is None:  # bounded by construction; defensive
+        return True
+    return opt > 0 if has_strict else True
+
+
+def simplex_entails(hypotheses: Sequence[Constraint], conclusion: Constraint) -> bool:
+    """``⋀hypotheses ⟹ conclusion`` via refutation with simplex."""
+    return all(
+        not simplex_feasible(list(hypotheses) + [neg])
+        for neg in conclusion.negate()
+    )

@@ -1,0 +1,197 @@
+"""Symbolic linear terms over tuple fields.
+
+The causality proof obligations of §4 compare *orderby lists* whose
+``seq`` entries are arithmetic over tuple fields (``s.frame + 1``,
+``dist.distance + edge.value``).  Those expressions are linear, so the
+prover works in linear rational arithmetic: a :class:`Term` is
+``Σ coeff·var + const`` with exact :class:`~fractions.Fraction`
+coefficients.
+
+Variables are created with :func:`var` and are conventionally named
+``"<role>.<field>"`` (``trig.frame``, ``q.distance``) by the obligation
+generator.  Terms support ``+ - *`` (by constants) and the comparison
+operators, which build :class:`Constraint` atoms for the
+Fourier–Motzkin core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+from repro.core.errors import SolverError
+
+__all__ = ["Term", "Constraint", "var", "const", "Rel"]
+
+Number = Union[int, float, Fraction]
+
+
+def _frac(x: Number) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, float):
+        return Fraction(x).limit_denominator(10**12)
+    raise SolverError(f"not a number: {x!r}")
+
+
+class Term:
+    """A linear expression ``Σ coeff·var + const`` (immutable)."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[str, Fraction] | None = None, constant: Number = 0):
+        clean = {v: c for v, c in (coeffs or {}).items() if c != 0}
+        object.__setattr__(self, "coeffs", clean)
+        object.__setattr__(self, "constant", _frac(constant))
+
+    def __setattr__(self, *a):  # immutability
+        raise AttributeError("Terms are immutable")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: "Term | Number") -> "Term":
+        if isinstance(other, Term):
+            return other
+        return Term({}, _frac(other))
+
+    def __add__(self, other: "Term | Number") -> "Term":
+        o = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for v, c in o.coeffs.items():
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return Term(coeffs, self.constant + o.constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Term":
+        return Term({v: -c for v, c in self.coeffs.items()}, -self.constant)
+
+    def __sub__(self, other: "Term | Number") -> "Term":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "Term | Number") -> "Term":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, k: Number) -> "Term":
+        if isinstance(k, Term):
+            raise SolverError("only linear terms are supported (term * term)")
+        kf = _frac(k)
+        return Term({v: c * kf for v, c in self.coeffs.items()}, self.constant * kf)
+
+    __rmul__ = __mul__
+
+    # -- comparisons build constraints ------------------------------------
+
+    def __le__(self, other: "Term | Number") -> "Constraint":
+        return Constraint(self - self._coerce(other), Rel.LE)
+
+    def __lt__(self, other: "Term | Number") -> "Constraint":
+        return Constraint(self - self._coerce(other), Rel.LT)
+
+    def __ge__(self, other: "Term | Number") -> "Constraint":
+        return Constraint(self._coerce(other) - self, Rel.LE)
+
+    def __gt__(self, other: "Term | Number") -> "Constraint":
+        return Constraint(self._coerce(other) - self, Rel.LT)
+
+    def eq(self, other: "Term | Number") -> "Constraint":
+        """Equality atom (named method; ``==`` keeps Python semantics)."""
+        return Constraint(self - self._coerce(other), Rel.EQ)
+
+    # -- introspection ----------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    def substitute(self, assignment: Mapping[str, Number]) -> "Term":
+        coeffs: dict[str, Fraction] = {}
+        constant = self.constant
+        for v, c in self.coeffs.items():
+            if v in assignment:
+                constant += c * _frac(assignment[v])
+            else:
+                coeffs[v] = c
+        return Term(coeffs, constant)
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> Fraction:
+        t = self.substitute(assignment)
+        if not t.is_constant():
+            missing = sorted(t.coeffs)
+            raise SolverError(f"unbound variables in evaluate: {missing}")
+        return t.constant
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.constant == other.constant
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.coeffs.items()), self.constant))
+
+    def __repr__(self) -> str:
+        parts = []
+        for v in sorted(self.coeffs):
+            c = self.coeffs[v]
+            parts.append(f"{'+' if c >= 0 else '-'} {abs(c)}*{v}")
+        if self.constant != 0 or not parts:
+            parts.append(f"{'+' if self.constant >= 0 else '-'} {abs(self.constant)}")
+        s = " ".join(parts)
+        return s[2:] if s.startswith("+ ") else s
+
+
+class Rel:
+    """Relation tags for constraints normalised as ``term REL 0``."""
+
+    LE = "<="
+    LT = "<"
+    EQ = "=="
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """Atom ``term <= 0``, ``term < 0`` or ``term == 0``."""
+
+    term: Term
+    rel: str
+
+    def negate(self) -> tuple["Constraint", ...]:
+        """The negation, as a disjunction of atoms (EQ splits in two)."""
+        if self.rel == Rel.LE:  # not(t <= 0)  ==  -t < 0
+            return (Constraint(-self.term, Rel.LT),)
+        if self.rel == Rel.LT:  # not(t < 0)  ==  -t <= 0
+            return (Constraint(-self.term, Rel.LE),)
+        # not(t == 0)  ==  t < 0 or -t < 0
+        return (Constraint(self.term, Rel.LT), Constraint(-self.term, Rel.LT))
+
+    def satisfied_by(self, assignment: Mapping[str, Number]) -> bool:
+        v = self.term.evaluate(assignment)
+        if self.rel == Rel.LE:
+            return v <= 0
+        if self.rel == Rel.LT:
+            return v < 0
+        return v == 0
+
+    def variables(self) -> frozenset[str]:
+        return self.term.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.term!r} {self.rel} 0)"
+
+
+def var(name: str) -> Term:
+    """A fresh linear variable."""
+    return Term({name: Fraction(1)}, 0)
+
+
+def const(x: Number) -> Term:
+    """A constant term."""
+    return Term({}, x)

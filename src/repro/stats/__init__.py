@@ -1,0 +1,26 @@
+"""Run statistics and dependency graphs (§1.5 logging subsystem)."""
+
+from repro.stats.advisor import Recommendation, advise, overrides_from
+from repro.stats.collector import RuleStats, StatsCollector, TableStats
+from repro.stats.depgraph import execution_graph, program_graph
+from repro.stats.report import (
+    format_machine,
+    format_rule_stats,
+    format_table_stats,
+    run_report,
+)
+
+__all__ = [
+    "Recommendation",
+    "advise",
+    "overrides_from",
+    "StatsCollector",
+    "TableStats",
+    "RuleStats",
+    "program_graph",
+    "execution_graph",
+    "run_report",
+    "format_table_stats",
+    "format_rule_stats",
+    "format_machine",
+]

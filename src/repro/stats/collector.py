@@ -1,0 +1,136 @@
+"""Run-statistics collector.
+
+§1.5: JStar supports "a logging system for recording usage statistics
+about each table during a program run, and tools to visualise those
+logs as annotated dependency graphs of the program execution.  This is
+a useful basis for choosing parallelisation strategies."
+
+The collector records, per table: tuples put, duplicates discarded,
+Delta traversals, Gamma insertions, queries served and results
+returned; per rule: firings and puts; and the table→rule→table edges
+actually exercised (which tables triggered which rules, which tables
+those rules put into).  :mod:`repro.stats.depgraph` turns this into the
+annotated dependency graphs of Figs 7/9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TableStats", "RuleStats", "StatsCollector"]
+
+
+@dataclass
+class TableStats:
+    """Usage counters for one table."""
+
+    puts: int = 0            # tuples put by rules / initial puts
+    duplicates: int = 0      # discarded by set semantics
+    delta_inserts: int = 0   # entered the Delta tree
+    delta_bypass: int = 0    # -noDelta direct-to-Gamma path
+    gamma_inserts: int = 0   # stored in Gamma
+    gamma_skipped: int = 0   # -noGamma: never stored
+    gamma_discarded: int = 0 # pruned by lifetime hints (§5 step 4)
+    queries: int = 0         # queries answered from this table
+    results: int = 0         # tuples returned by those queries
+    triggers: int = 0        # rule firings triggered by this table
+
+
+@dataclass
+class RuleStats:
+    """Usage counters for one rule."""
+
+    firings: int = 0
+    puts: int = 0
+    output_lines: int = 0
+
+
+@dataclass
+class StatsCollector:
+    """Whole-run statistics; cheap enough to stay on by default."""
+
+    tables: dict[str, TableStats] = field(default_factory=dict)
+    rules: dict[str, RuleStats] = field(default_factory=dict)
+    #: (trigger table, rule name) firing edges
+    trigger_edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: (rule name, output table) put edges
+    put_edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: (rule name, queried table) read edges
+    query_edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: observed query shapes: (table, eq-bound fields, range fields) -> count.
+    #: This is the §1.4 raw material: "static analysis on the queries
+    #: that are performed ... before deciding how to represent the data,
+    #: which fields should be indexed" — here gathered dynamically, the
+    #: way the paper's logging subsystem feeds tuning decisions.
+    query_shapes: dict[tuple[str, tuple[str, ...], tuple[str, ...]], int] = field(
+        default_factory=dict
+    )
+    steps: int = 0
+    max_batch: int = 0
+
+    def table(self, name: str) -> TableStats:
+        s = self.tables.get(name)
+        if s is None:
+            s = self.tables[name] = TableStats()
+        return s
+
+    def rule(self, name: str) -> RuleStats:
+        s = self.rules.get(name)
+        if s is None:
+            s = self.rules[name] = RuleStats()
+        return s
+
+    # -- event hooks used by the engine ------------------------------------
+
+    def on_step(self, batch_size: int) -> None:
+        self.steps += 1
+        self.max_batch = max(self.max_batch, batch_size)
+
+    def on_fire(self, table: str, rule: str) -> None:
+        self.table(table).triggers += 1
+        self.rule(rule).firings += 1
+        key = (table, rule)
+        self.trigger_edges[key] = self.trigger_edges.get(key, 0) + 1
+
+    def on_put(self, rule: str, table: str, n: int = 1) -> None:
+        self.rule(rule).puts += n
+        self.table(table).puts += n
+        key = (rule, table)
+        self.put_edges[key] = self.put_edges.get(key, 0) + n
+
+    def on_query(
+        self,
+        rule: str,
+        table: str,
+        n_results: int,
+        eq_fields: tuple[str, ...] = (),
+        range_fields: tuple[str, ...] = (),
+    ) -> None:
+        t = self.table(table)
+        t.queries += 1
+        t.results += n_results
+        key = (rule, table)
+        self.query_edges[key] = self.query_edges.get(key, 0) + 1
+        shape = (table, eq_fields, range_fields)
+        self.query_shapes[shape] = self.query_shapes.get(shape, 0) + 1
+
+    def shapes_for(self, table: str) -> dict[tuple[tuple[str, ...], tuple[str, ...]], int]:
+        """Observed (eq fields, range fields) -> count for one table."""
+        return {
+            (eq, rng): n
+            for (t, eq, rng), n in self.query_shapes.items()
+            if t == table
+        }
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary_rows(self) -> list[tuple[str, TableStats]]:
+        return sorted(self.tables.items())
+
+    def as_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "max_batch": self.max_batch,
+            "tables": {n: vars(s) for n, s in self.tables.items()},
+            "rules": {n: vars(s) for n, s in self.rules.items()},
+        }

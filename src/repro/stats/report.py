@@ -1,0 +1,85 @@
+"""Text reports over run statistics and machine accounts.
+
+The profiling companion of §2's workflow stages 3–4: after a run,
+print per-table usage, per-rule firings, and the virtual-machine time
+breakdown (busy / contention / GC / overhead) that guides strategy and
+data-structure choices.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simcore.machine import MachineReport
+from repro.stats.collector import StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a circular import with the engine
+    from repro.core.engine import RunResult
+
+__all__ = ["format_table_stats", "format_rule_stats", "format_machine", "run_report"]
+
+
+def _table_text(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def format_table_stats(stats: StatsCollector) -> str:
+    headers = ["table", "puts", "dups", "delta", "bypass", "gamma", "queries", "results"]
+    rows = []
+    for name, t in stats.summary_rows():
+        rows.append(
+            [
+                name,
+                str(t.puts),
+                str(t.duplicates),
+                str(t.delta_inserts),
+                str(t.delta_bypass),
+                str(t.gamma_inserts),
+                str(t.queries),
+                str(t.results),
+            ]
+        )
+    return _table_text(headers, rows)
+
+
+def format_rule_stats(stats: StatsCollector) -> str:
+    headers = ["rule", "firings", "puts", "output"]
+    rows = [
+        [name, str(r.firings), str(r.puts), str(r.output_lines)]
+        for name, r in sorted(stats.rules.items())
+    ]
+    return _table_text(headers, rows)
+
+
+def format_machine(report: MachineReport) -> str:
+    d = report.as_dict()
+    return (
+        f"virtual machine: {d['n_cores']} cores, elapsed {d['elapsed']:.1f} wu\n"
+        f"  busy {d['busy']:.1f}  contention {d['contention']:.1f}  "
+        f"gc {d['gc_time']:.1f}  overhead {d['overhead']:.1f}\n"
+        f"  steps {d['steps']}  tasks {d['tasks']}  max batch {d['max_batch']}  "
+        f"utilisation {d['utilisation']:.1%}"
+    )
+
+
+def run_report(result: "RunResult") -> str:
+    """Full post-run report (the paper's per-run log)."""
+    parts = [
+        f"program {result.program!r} under {result.strategy} "
+        f"(threads={result.threads}): {result.steps} steps, "
+        f"wall {result.wall_time * 1e3:.1f} ms",
+    ]
+    if result.report is not None:
+        parts.append(format_machine(result.report))
+    parts.append(format_table_stats(result.stats))
+    if result.stats.rules:
+        parts.append(format_rule_stats(result.stats))
+    return "\n\n".join(parts)

@@ -1,0 +1,7 @@
+"""Visualisation: DOT and ASCII renderers for dependency graphs and
+Delta-tree snapshots (Figs 7/9 and the §1.5 partial-order viewer)."""
+
+from repro.viz.ascii import delta_ascii, graph_ascii
+from repro.viz.dot import to_dot
+
+__all__ = ["to_dot", "graph_ascii", "delta_ascii"]

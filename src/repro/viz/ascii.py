@@ -1,0 +1,69 @@
+"""ASCII renderers: dependency graphs and Delta-tree snapshots.
+
+§1.5 mentions "a simple graph visualizer for viewing aspects of the
+partial order over tuples that controls the parallelism" — terminals
+and tests get the same views without a DOT renderer:
+
+* :func:`graph_ascii` — a topologically-ordered adjacency listing of a
+  program/execution graph;
+* :func:`delta_ascii` — the current Delta tree as an indented outline,
+  one line per non-empty leaf class (the partial order over pending
+  tuples, in causal order).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.delta import DeltaTree
+
+__all__ = ["graph_ascii", "delta_ascii"]
+
+_EDGE_GLYPH = {"trigger": "==>", "put": "-->", "read": "..>"}
+
+
+def graph_ascii(g: nx.DiGraph) -> str:
+    """One line per edge, grouped by source, sources in (best-effort)
+    topological order so dataflow reads top-to-bottom."""
+    try:
+        order = list(nx.topological_sort(g))
+    except nx.NetworkXUnfeasible:  # cyclic programs are legal (Ship!)
+        order = sorted(g.nodes)
+    lines = []
+    for node in order:
+        outs = list(g.successors(node))
+        if not outs and g.in_degree(node) == 0:
+            lines.append(f"{g.nodes[node].get('label', node)}  (isolated)")
+            continue
+        for v in outs:
+            kind = g.edges[node, v].get("kind", "put")
+            count = g.edges[node, v].get("count")
+            suffix = f"  x{count}" if count is not None else ""
+            lines.append(
+                f"{g.nodes[node].get('label', node)} "
+                f"{_EDGE_GLYPH.get(kind, '-->')} "
+                f"{g.nodes[v].get('label', v)}{suffix}"
+            )
+    return "\n".join(lines)
+
+
+def delta_ascii(delta: DeltaTree, max_tuples_per_class: int = 6) -> str:
+    """The pending partial order: each line is one equivalence class
+    (tuples that would execute in parallel), in causal order."""
+    lines = []
+    for path, tuples in delta.snapshot():
+        key_parts = []
+        for comp in path:
+            if comp == "par":
+                key_parts.append("par *")
+            else:
+                tag, value = comp
+                key_parts.append(f"{tag}={value}")
+        shown = tuples[:max_tuples_per_class]
+        more = len(tuples) - len(shown)
+        suffix = f" ... +{more} more" if more > 0 else ""
+        lines.append(
+            f"[{', '.join(key_parts) or 'root'}]  "
+            f"{{{', '.join(shown)}{suffix}}}  ({len(tuples)} parallel)"
+        )
+    return "\n".join(lines) if lines else "(Delta empty)"

@@ -1,0 +1,59 @@
+"""DOT rendering of dependency graphs (the Figs 7/9 pictures).
+
+Fig 7's legend: "Blue rectangles are tuples, and red circles are tasks
+executing rules — the bold arrows show the trigger tuple that starts
+the rule executing."  We render table nodes as blue boxes, rule nodes
+as red ellipses, trigger edges bold, put edges solid, read edges
+dashed; execution-graph annotations become edge/node labels.
+
+The output is plain Graphviz DOT text (no graphviz binary needed to
+*generate* it; any renderer draws it).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["to_dot"]
+
+_NODE_STYLE = {
+    "table": 'shape=box, style="filled", fillcolor="#cfe2ff"',
+    "rule": 'shape=ellipse, style="filled", fillcolor="#ffd0cf"',
+}
+
+_EDGE_STYLE = {
+    "trigger": "style=bold, color=black",
+    "put": "color=black",
+    "read": "style=dashed, color=gray40",
+}
+
+
+def _esc(s: str) -> str:
+    return s.replace('"', '\\"')
+
+
+def to_dot(g: nx.DiGraph, title: str | None = None) -> str:
+    """Serialise a program/execution graph to DOT."""
+    name = title or g.graph.get("name", "jstar")
+    lines = [f'digraph "{_esc(name)}" {{', "  rankdir=LR;"]
+    for node, data in g.nodes(data=True):
+        kind = data.get("kind", "table")
+        label = data.get("label", node)
+        extras = []
+        if "firings" in data:
+            extras.append(f"{data['firings']} firings")
+        if "gamma_inserts" in data and data["gamma_inserts"]:
+            extras.append(f"{data['gamma_inserts']} tuples")
+        if extras:
+            label = f"{label}\\n({', '.join(extras)})"
+        lines.append(
+            f'  "{_esc(node)}" [label="{_esc(label)}", {_NODE_STYLE.get(kind, "")}];'
+        )
+    for u, v, data in g.edges(data=True):
+        kind = data.get("kind", "put")
+        attrs = [_EDGE_STYLE.get(kind, "")]
+        if "count" in data:
+            attrs.append(f'label="{data["count"]}"')
+        lines.append(f'  "{_esc(u)}" -> "{_esc(v)}" [{", ".join(a for a in attrs if a)}];')
+    lines.append("}")
+    return "\n".join(lines)

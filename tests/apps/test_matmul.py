@@ -1,0 +1,75 @@
+"""MatrixMult case study: correctness of every variant + Fig 11 shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.baselines.matmul_base import matmul_naive, matmul_transposed
+from repro.apps.matmul import build_matmul_program, random_matrix, run_matmul
+from repro.core import ExecOptions
+
+N = 24
+A = random_matrix(N, 1)
+B = random_matrix(N, 2)
+TRUTH = A @ B
+OPT = ExecOptions(no_delta=frozenset({"Matrix"}))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["boxed", "unboxed", "native"])
+    def test_variants_compute_product(self, variant):
+        _, c = run_matmul(A, B, OPT, variant)  # type: ignore[arg-type]
+        assert (c == TRUTH).all()
+
+    def test_baseline_naive(self):
+        assert (matmul_naive(A, B) == TRUTH).all()
+
+    def test_baseline_transposed(self):
+        assert (matmul_transposed(A, B) == TRUTH).all()
+
+    def test_negative_values_handled(self):
+        a = -random_matrix(8, 3)
+        b = random_matrix(8, 4)
+        _, c = run_matmul(a, b, OPT, "native")
+        assert (c == a @ b).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            build_matmul_program(np.zeros((2, 3), dtype=np.int64), np.zeros((2, 3), dtype=np.int64))
+
+    def test_one_task_per_row(self):
+        r, _ = run_matmul(A, B, OPT, "native")
+        assert r.stats.tables["RowRequest"].puts == N
+        assert r.stats.max_batch == N  # all rows in one parallel step
+
+
+class TestParallelShape:
+    # shape tests need enough rows/work for overheads to be second-order
+    A2 = random_matrix(64, 5)
+    B2 = random_matrix(64, 6)
+
+    def _vtime(self, threads: int) -> float:
+        r, _ = run_matmul(
+            self.A2, self.B2, OPT.with_(strategy="forkjoin", threads=threads), "unboxed"
+        )
+        return r.virtual_time
+
+    def test_fig11_near_linear_then_flattens(self):
+        t1 = self._vtime(1)
+        s8 = t1 / self._vtime(8)
+        s16 = t1 / self._vtime(16)
+        s24 = t1 / self._vtime(24)
+        assert 5.0 < s8 <= 8.0        # near-linear early
+        assert s16 > s8               # still climbing
+        assert s24 > s16 * 0.9        # but flattening, not collapsing
+
+    def test_output_independent_of_threads(self):
+        _, c1 = run_matmul(A, B, OPT.with_(strategy="forkjoin", threads=1), "native")
+        _, c32 = run_matmul(A, B, OPT.with_(strategy="forkjoin", threads=32), "native")
+        assert (c1 == c32).all()
+
+    def test_boxed_costs_more_virtual_time(self):
+        rb, _ = run_matmul(A, B, OPT, "boxed")
+        ru, _ = run_matmul(A, B, OPT, "unboxed")
+        assert rb.virtual_time > ru.virtual_time

@@ -1,0 +1,108 @@
+"""Median case study: correctness (incl. hypothesis), the two-iteration
+store behaviour, and the Fig 13 speedup shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.baselines.median_base import median_sort_baseline, quickselect_reference
+from repro.apps.median import (
+    build_median_program,
+    median_from_result,
+    random_doubles,
+    run_median,
+)
+from repro.core import ExecOptions
+
+
+def true_median(values: np.ndarray) -> float:
+    return float(np.sort(values)[(len(values) - 1) // 2])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 101, 4096])
+    def test_random_arrays(self, n):
+        vals = random_doubles(n, seed=n)
+        assert median_from_result(run_median(vals)) == true_median(vals)
+
+    def test_all_equal_values(self):
+        vals = np.full(64, 3.5)
+        assert median_from_result(run_median(vals)) == 3.5
+
+    def test_two_distinct_values(self):
+        vals = np.array([1.0] * 10 + [2.0] * 11)
+        assert median_from_result(run_median(vals)) == true_median(vals)
+
+    def test_sorted_and_reversed_inputs(self):
+        vals = np.arange(100, dtype=np.float64)
+        assert median_from_result(run_median(vals)) == true_median(vals)
+        assert median_from_result(run_median(vals[::-1].copy())) == true_median(vals)
+
+    def test_single_region(self):
+        vals = random_doubles(500)
+        assert median_from_result(run_median(vals, n_regions=1)) == true_median(vals)
+
+    def test_more_regions_than_elements(self):
+        vals = random_doubles(5)
+        assert median_from_result(run_median(vals, n_regions=24)) == true_median(vals)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_median_program(np.array([]))
+
+    def test_baselines_agree(self):
+        vals = random_doubles(2001)
+        assert median_sort_baseline(vals) == quickselect_reference(vals) == true_median(vals)
+
+    def test_output_line(self):
+        r = run_median(random_doubles(32))
+        assert any(line.startswith("median is") for line in r.output)
+
+    def test_data_never_transits_delta(self):
+        r = run_median(random_doubles(256))
+        data_stats = r.stats.tables.get("Data")
+        # bulk native writes only: Data generates no put/delta events at all
+        assert data_stats is None or (
+            data_stats.delta_inserts == 0 and data_stats.puts == 0
+        )
+
+
+class TestFig13Shape:
+    VALS = random_doubles(60_000, seed=9)
+
+    def _vtime(self, threads: int) -> float:
+        return run_median(
+            self.VALS, ExecOptions(strategy="forkjoin", threads=threads)
+        ).virtual_time
+
+    def test_speedup_profile(self):
+        """Fig 13: ≈8.6x at 12 cores, ~14x at 32, saturating."""
+        t1 = self._vtime(1)
+        s12 = t1 / self._vtime(12)
+        s32 = t1 / self._vtime(32)
+        assert 6.0 < s12 < 12.0
+        assert 10.0 < s32 < 20.0
+        assert s32 > s12
+
+    def test_deterministic_across_threads(self):
+        r1 = run_median(self.VALS, ExecOptions(strategy="forkjoin", threads=1))
+        r32 = run_median(self.VALS, ExecOptions(strategy="forkjoin", threads=32))
+        assert median_from_result(r1) == median_from_result(r32)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=400,
+    ),
+    st.integers(1, 9),
+)
+def test_median_matches_numpy(values, n_regions):
+    vals = np.array(values, dtype=np.float64)
+    got = median_from_result(run_median(vals, n_regions=n_regions))
+    assert got == true_median(vals)

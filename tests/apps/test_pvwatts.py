@@ -1,0 +1,153 @@
+"""PvWatts case study: correctness vs baseline and ground truth, the
+§5.1 optimisations, custom Gamma stores, and parallel readers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.baselines.pvwatts_base import baseline_output_lines, pvwatts_baseline
+from repro.apps.pvwatts import (
+    array_of_hashsets_store,
+    build_pvwatts_program,
+    hash_index_store,
+    month_means_from_output,
+    run_pvwatts,
+)
+from repro.core import ExecOptions
+from repro.csvio import expected_month_means
+from repro.gamma import ArrayOfHashSetsStore, HashIndexStore
+
+OPT = ExecOptions(no_delta=frozenset({"PvWatts"}))
+
+
+class TestCorrectness:
+    def test_matches_ground_truth(self, pvwatts_csv):
+        r = run_pvwatts(pvwatts_csv, OPT)
+        means = month_means_from_output(r.output)
+        truth = expected_month_means()
+        assert set(means) == set(truth)
+        for k in truth:
+            assert means[k] == pytest.approx(truth[k], abs=5e-3)
+
+    def test_matches_baseline(self, pvwatts_csv):
+        r = run_pvwatts(pvwatts_csv, OPT)
+        means = month_means_from_output(r.output)
+        base = pvwatts_baseline(pvwatts_csv)
+        assert {k: round(v, 3) for k, v in means.items()} == {
+            k: round(v, 3) for k, v in base.items()
+        }
+
+    def test_baseline_output_formatting(self, pvwatts_csv):
+        lines = baseline_output_lines(pvwatts_baseline(pvwatts_csv))
+        assert len(lines) == 12 and lines[0].startswith("2012/1: ")
+
+    def test_twelve_summonth_tuples(self, pvwatts_csv):
+        """Set semantics: 8 760 SumMonth puts collapse to 12 (§6.2)."""
+        r = run_pvwatts(pvwatts_csv, OPT)
+        assert r.table_sizes["SumMonth"] == 12
+        assert r.stats.tables["SumMonth"].puts == 8760
+        assert r.stats.tables["SumMonth"].duplicates == 8760 - 12
+
+    def test_all_records_stored(self, pvwatts_csv):
+        r = run_pvwatts(pvwatts_csv, OPT)
+        assert r.table_sizes["PvWatts"] == 8760
+
+    def test_round_robin_input_same_answer(self, pvwatts_csv, pvwatts_csv_rr):
+        a = month_means_from_output(run_pvwatts(pvwatts_csv, OPT).output)
+        b = month_means_from_output(run_pvwatts(pvwatts_csv_rr, OPT).output)
+        assert {k: round(v, 3) for k, v in a.items()} == {k: round(v, 3) for k, v in b.items()}
+
+
+class TestOptimisations:
+    def test_nodelta_bypasses_delta(self, pvwatts_csv):
+        r = run_pvwatts(pvwatts_csv, OPT)
+        assert r.stats.tables["PvWatts"].delta_bypass == 8760
+        assert r.stats.tables["PvWatts"].delta_inserts == 0
+
+    def test_nodelta_faster_than_plain(self, pvwatts_csv):
+        """§6.2's 23.0 s -> 8.44 s effect, in virtual time."""
+        plain = run_pvwatts(pvwatts_csv, ExecOptions())
+        opt = run_pvwatts(pvwatts_csv, OPT)
+        assert opt.virtual_time < plain.virtual_time
+        ratio = plain.virtual_time / opt.virtual_time
+        assert ratio > 1.3
+
+    def test_nogamma_summonth_keeps_answer(self, pvwatts_csv):
+        r = run_pvwatts(
+            pvwatts_csv,
+            OPT.with_(no_gamma=frozenset({"SumMonth"})),
+        )
+        assert len(month_means_from_output(r.output)) == 12
+        assert r.table_sizes["SumMonth"] == 0
+
+    @pytest.mark.parametrize(
+        "store_factory",
+        [array_of_hashsets_store, hash_index_store],
+        ids=["array-of-hashsets", "hash-index"],
+    )
+    def test_custom_gamma_stores_same_answer(self, pvwatts_csv, store_factory):
+        r = run_pvwatts(
+            pvwatts_csv, OPT.with_(store_overrides={"PvWatts": store_factory()})
+        )
+        truth = expected_month_means()
+        means = month_means_from_output(r.output)
+        for k in truth:
+            assert means[k] == pytest.approx(truth[k], abs=5e-3)
+
+    def test_store_factories_build_expected_types(self):
+        from repro.core.schema import TableSchema
+
+        schema = TableSchema(
+            "PvWatts", "int year, int month, int day, str hour, int power"
+        )
+        assert isinstance(array_of_hashsets_store()(schema), ArrayOfHashSetsStore)
+        assert isinstance(hash_index_store()(schema), HashIndexStore)
+
+
+class TestParallelReaders:
+    @pytest.mark.parametrize("n_readers", [2, 4, 8])
+    def test_region_readers_same_answer(self, pvwatts_csv, n_readers):
+        r = run_pvwatts(pvwatts_csv, OPT, n_readers=n_readers)
+        assert r.table_sizes["PvWatts"] == 8760
+        assert len(month_means_from_output(r.output)) == 12
+
+    def test_readers_run_in_one_step(self, pvwatts_csv):
+        r = run_pvwatts(pvwatts_csv, OPT, n_readers=8)
+        assert r.stats.max_batch >= 8  # the Fig 7 phase-1 batch
+
+    def test_parallel_speedup_shape(self, pvwatts_csv):
+        """Fig 8's headline: ~4x relative speedup at 8 threads."""
+        opts = OPT.with_(
+            strategy="forkjoin",
+            store_overrides={"PvWatts": array_of_hashsets_store()},
+        )
+        t1 = run_pvwatts(pvwatts_csv, opts.with_(threads=1), n_readers=8).virtual_time
+        t8 = run_pvwatts(pvwatts_csv, opts.with_(threads=8), n_readers=8).virtual_time
+        assert 3.0 < t1 / t8 < 6.0
+
+    def test_absolute_below_relative(self, pvwatts_csv):
+        """§6.2: absolute speedup ≈35 % below relative (concurrent
+        structures are slower than sequential ones)."""
+        opts = OPT.with_(
+            strategy="forkjoin",
+            store_overrides={"PvWatts": array_of_hashsets_store()},
+        )
+        seq = run_pvwatts(
+            pvwatts_csv,
+            OPT.with_(store_overrides={"PvWatts": array_of_hashsets_store(concurrent=False)}),
+            n_readers=8,
+        ).virtual_time
+        t1 = run_pvwatts(pvwatts_csv, opts.with_(threads=1), n_readers=8).virtual_time
+        assert seq < t1  # sequential beats 1-thread parallel
+
+
+class TestProgramStructure:
+    def test_handles_exposed(self, pvwatts_csv):
+        h = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv")
+        assert h.PvWatts.name == "PvWatts"
+        assert h.program.rules_for("PvWatts")
+
+    def test_missing_file_raises(self):
+        h = build_pvwatts_program({}, "missing.csv")
+        with pytest.raises(KeyError):
+            h.program.run()

@@ -1,0 +1,90 @@
+"""Disruptor PvWatts: threaded correctness + the Fig 10 / Table 1 model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pvwatts_disruptor import (
+    DisruptorConfig,
+    MonthConsumer,
+    run_disruptor_simulated,
+    run_disruptor_threaded,
+)
+from repro.csvio import expected_month_means, generate_csv_bytes
+from repro.disruptor import BusySpinWaitStrategy, YieldingWaitStrategy
+
+
+class TestThreaded:
+    def test_matches_ground_truth(self, pvwatts_csv):
+        means = run_disruptor_threaded(pvwatts_csv)
+        truth = expected_month_means()
+        assert set(means) == set(truth)
+        for k in truth:
+            assert means[k] == pytest.approx(truth[k], abs=1e-6)
+
+    def test_small_ring_still_correct(self, pvwatts_csv):
+        means = run_disruptor_threaded(
+            pvwatts_csv, DisruptorConfig(ring_size=64, batch=16)
+        )
+        assert len(means) == 12
+
+    def test_alternative_wait_strategy(self, pvwatts_csv):
+        means = run_disruptor_threaded(
+            pvwatts_csv,
+            DisruptorConfig(wait_strategy_factory=YieldingWaitStrategy),
+        )
+        assert len(means) == 12
+
+    def test_round_robin_input_same_answer(self, pvwatts_csv, pvwatts_csv_rr):
+        a = run_disruptor_threaded(pvwatts_csv)
+        b = run_disruptor_threaded(pvwatts_csv_rr)
+        for k in a:
+            assert a[k] == pytest.approx(b[k], abs=1e-6)
+
+    def test_month_consumer_filters(self):
+        c = MonthConsumer(3)
+        c.on_event((2012, 3, 1, b"00:00", 10), 0, False)
+        c.on_event((2012, 4, 1, b"00:00", 99), 1, False)
+        c.on_event(None, 2, True)  # sentinel triggers the reducer
+        assert c.result[(2012, 3)].mean == 10
+        assert (2012, 4) not in c.result
+
+
+class TestFig10Model:
+    def test_by_month_speedup_band(self, pvwatts_csv):
+        """Paper: 3.31x at 8 threads over the sequential JStar program.
+        Here: vs the model's own total work on one core."""
+        seq = run_disruptor_simulated(pvwatts_csv, threads=1)
+        par = run_disruptor_simulated(pvwatts_csv, threads=8)
+        speedup = seq.elapsed / par.elapsed
+        assert 2.3 < speedup < 4.5
+
+    def test_sorted_input_faster_absolute(self, pvwatts_csv, pvwatts_csv_rr):
+        """Fig 10: round-robin ('sorted') input beats by-month in
+        absolute time at every thread count > 1."""
+        for threads in (2, 4, 8):
+            bm = run_disruptor_simulated(pvwatts_csv, threads=threads)
+            rr = run_disruptor_simulated(pvwatts_csv_rr, threads=threads)
+            assert rr.elapsed <= bm.elapsed
+
+    def test_by_month_stalls_producer(self, pvwatts_csv, pvwatts_csv_rr):
+        """Month-long runs overload one consumer -> ring fills (§6.3)."""
+        bm = run_disruptor_simulated(pvwatts_csv, threads=8)
+        rr = run_disruptor_simulated(pvwatts_csv_rr, threads=8)
+        assert bm.producer_stalls > rr.producer_stalls
+
+    def test_monotone_in_threads(self, pvwatts_csv):
+        elapsed = [
+            run_disruptor_simulated(pvwatts_csv, threads=t).elapsed
+            for t in (1, 2, 4, 8)
+        ]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+    def test_table1_blocking_beats_busyspin_oversubscribed(self, pvwatts_csv):
+        blocking = run_disruptor_simulated(pvwatts_csv, threads=8)
+        spinning = run_disruptor_simulated(
+            pvwatts_csv,
+            threads=8,
+            config=DisruptorConfig(wait_strategy_factory=BusySpinWaitStrategy),
+        )
+        assert blocking.elapsed < spinning.elapsed

@@ -1,0 +1,47 @@
+"""Ship case study: Fig 2 reproduction and prover integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ship import FIG2_TRACE, build_ship_program, run_ship, ship_trace
+from repro.core import ExecOptions
+
+
+class TestFig2:
+    def test_trace_matches_paper_exactly(self):
+        assert ship_trace(run_ship()) == FIG2_TRACE
+
+    @pytest.mark.parametrize("strategy,threads", [("forkjoin", 8), ("threads", 2)])
+    def test_trace_strategy_independent(self, strategy, threads):
+        r = run_ship(ExecOptions(strategy=strategy, threads=threads))
+        assert ship_trace(r) == FIG2_TRACE
+
+    def test_one_step_per_frame(self):
+        r = run_ship()
+        assert r.steps == len(FIG2_TRACE)
+
+    def test_each_frame_single_ship(self):
+        """The -> invariant: one Ship per frame value."""
+        frames = [t[0] for t in ship_trace(run_ship())]
+        assert len(frames) == len(set(frames))
+
+    def test_movement_phases(self):
+        trace = ship_trace(run_ship())
+        assert [t[1] for t in trace[:4]] == [10, 160, 310, 460]   # right
+        assert [t[2] for t in trace[3:6]] == [10, 20, 30]          # down
+        assert [t[1] for t in trace[5:]] == [460, 310, 160]        # left
+
+
+class TestStaticChecking:
+    def test_all_obligations_prove(self):
+        p, _ = build_ship_program()
+        rep = p.check_causality()
+        assert rep.all_proved
+        assert rep.findings[0].status == "proved"
+        # one obligation per branch of the metadata
+        assert len(rep.findings[0].obligations) == 5
+
+    def test_strict_mode_passes(self):
+        p, _ = build_ship_program()
+        p.check_causality(strict=True)  # must not raise

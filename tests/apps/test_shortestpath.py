@@ -1,0 +1,109 @@
+"""ShortestPath case study: Dijkstra-through-the-Delta-tree correctness
+(incl. hypothesis random graphs) and the Fig 12 plateau."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.baselines.shortestpath_base import dijkstra_baseline
+from repro.apps.shortestpath import (
+    GraphSpec,
+    build_shortestpath_program,
+    distances_from_result,
+    make_graph,
+    recommended_options,
+    run_shortestpath,
+)
+from repro.core import ExecOptions
+
+SPEC = GraphSpec(n_vertices=300, extra_edges=600, seed=3)
+
+
+class TestGraphGeneration:
+    def test_connected_tree_plus_extras(self):
+        edges = make_graph(SPEC)
+        # spanning tree both directions + extras both directions
+        assert len(edges) >= 2 * (SPEC.n_vertices - 1)
+        assert all(1 <= w <= SPEC.max_weight for _, _, w in edges)
+
+    def test_deterministic(self):
+        assert make_graph(SPEC) == make_graph(SPEC)
+
+    def test_no_self_loops_from_extras(self):
+        assert all(s != d for s, d, _ in make_graph(SPEC))
+
+
+class TestCorrectness:
+    def test_matches_heapq_baseline(self):
+        r = run_shortestpath(SPEC)
+        assert distances_from_result(r) == dijkstra_baseline(
+            make_graph(SPEC), SPEC.n_vertices
+        )
+
+    def test_every_vertex_reached(self):
+        r = run_shortestpath(SPEC)
+        assert len(distances_from_result(r)) == SPEC.n_vertices
+
+    def test_origin_distance_zero(self):
+        r = run_shortestpath(SPEC)
+        assert distances_from_result(r)[0] == 0
+
+    def test_without_optimisations_same_answer(self):
+        plain = run_shortestpath(SPEC, options=ExecOptions())
+        opt = run_shortestpath(SPEC)
+        assert distances_from_result(plain) == distances_from_result(opt)
+
+    def test_trace_output(self):
+        spec = GraphSpec(n_vertices=10, extra_edges=5)
+        r = run_shortestpath(spec, trace=True)
+        assert any("shortest path to 0 is 0" in line for line in r.output)
+        assert len(r.output) == 10
+
+    def test_estimate_nogamma_not_stored(self):
+        r = run_shortestpath(SPEC)
+        assert r.table_sizes["Estimate"] == 0
+        assert r.table_sizes["Done"] == SPEC.n_vertices
+
+    def test_gen_task_split(self):
+        h = build_shortestpath_program(SPEC, n_gen_tasks=7)
+        gens = [t for t in h.program.initial_puts if t.schema.name == "GenTask"]
+        assert len(gens) == 7
+        edges = make_graph(SPEC)
+        covered = sorted((t.lo, t.hi) for t in gens)
+        assert covered[0][0] == 0 and covered[-1][1] == len(edges)
+
+
+class TestFig12Shape:
+    def _vtime(self, threads: int) -> float:
+        return run_shortestpath(
+            SPEC, recommended_options(ExecOptions(strategy="forkjoin", threads=threads))
+        ).virtual_time
+
+    def test_mediocre_plateau(self):
+        """Fig 12: max ≈4x by 8 cores — the Delta tree bound."""
+        t1 = self._vtime(1)
+        s4 = t1 / self._vtime(4)
+        s8 = t1 / self._vtime(8)
+        assert 1.5 < s4 < 5.0
+        assert s8 < 5.0              # the plateau: far from linear
+        assert s8 >= s4 * 0.85       # but not collapsing
+
+    def test_delta_contention_attributed(self):
+        r = run_shortestpath(
+            SPEC, recommended_options(ExecOptions(strategy="forkjoin", threads=8))
+        )
+        assert r.meter.shared.get("delta", 0) > 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    extra=st.integers(0, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_random_graphs_match_baseline(n, extra, seed):
+    spec = GraphSpec(n_vertices=n, extra_edges=extra, seed=seed)
+    r = run_shortestpath(spec, n_gen_tasks=4)
+    assert distances_from_result(r) == dijkstra_baseline(make_graph(spec), n)

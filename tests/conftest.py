@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecOptions
+from repro.csvio import generate_csv_bytes
+
+
+@pytest.fixture(scope="session")
+def pvwatts_csv() -> bytes:
+    """One synthetic year of hourly records (8 760 rows)."""
+    return generate_csv_bytes(n_years=1, seed=42)
+
+
+@pytest.fixture(scope="session")
+def pvwatts_csv_rr() -> bytes:
+    """Same records in round-robin (paper's 'sorted') order."""
+    return generate_csv_bytes(n_years=1, seed=42, order="round-robin")
+
+
+@pytest.fixture
+def seq_opts() -> ExecOptions:
+    return ExecOptions(strategy="sequential")
+
+
+@pytest.fixture
+def fj_opts() -> ExecOptions:
+    return ExecOptions(strategy="forkjoin", threads=4)

@@ -1,0 +1,242 @@
+"""Tests for the Delta tree: causal order, dedup, equivalence classes."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import DeltaTree
+from repro.core.errors import OrderingError
+from repro.core.ordering import OrderDecls, compare_timestamps, evaluate_orderby, parse_orderby
+from repro.core.schema import TableSchema
+from repro.core.tuples import TableHandle
+
+
+def make_env():
+    """Two tables sharing the Delta tree, Estimate < Done (Fig 5 style)."""
+    decls = OrderDecls()
+    decls.declare("Estimate", "Done")
+    Est = TableHandle(
+        TableSchema("Estimate", "int vertex, int distance",
+                    orderby=("seq distance", "Estimate"))
+    )
+    Done = TableHandle(
+        TableSchema("Done", "int vertex -> int distance",
+                    orderby=("seq distance", "Done"))
+    )
+    decls.freeze()
+
+    def ts(tup):
+        return evaluate_orderby(tup.schema.orderby, tup.asdict(), decls)
+
+    return Est, Done, ts
+
+
+class TestInsertPop:
+    def test_pop_in_distance_order(self):
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        for dist in (5, 1, 3):
+            t = Est.new(dist, dist)
+            d.insert(t, ts(t))
+        dists = [batch[0].distance for batch in d.drain()]
+        assert dists == [1, 3, 5]
+
+    def test_equivalence_class_pops_together(self):
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        for v in range(4):
+            t = Est.new(v, 7)
+            d.insert(t, ts(t))
+        batch = d.pop_min_class()
+        assert len(batch) == 4
+        assert not d
+
+    def test_literal_level_orders_tables(self):
+        Est, Done, ts = make_env()
+        d = DeltaTree()
+        dn = Done.new(0, 5)
+        es = Est.new(1, 5)
+        d.insert(dn, ts(dn))
+        d.insert(es, ts(es))
+        first = d.pop_min_class()
+        second = d.pop_min_class()
+        assert first == [es]  # Estimate < Done at equal distance
+        assert second == [dn]
+
+    def test_dedup_on_insert(self):
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        t = Est.new(1, 5)
+        assert d.insert(t, ts(t))
+        assert not d.insert(t, ts(t))
+        assert not d.insert(Est.new(1, 5), ts(t))  # equal value, new object
+        assert len(d) == 1
+
+    def test_membership(self):
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        t = Est.new(1, 5)
+        d.insert(t, ts(t))
+        assert t in d
+        d.pop_min_class()
+        assert t not in d
+
+    def test_reinsert_after_pop_allowed(self):
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        t = Est.new(1, 5)
+        d.insert(t, ts(t))
+        d.pop_min_class()
+        assert d.insert(t, ts(t))
+
+    def test_pop_empty(self):
+        assert DeltaTree().pop_min_class() == []
+
+    def test_interleaved_insert_pop(self):
+        """Dijkstra style: popping a class inserts later classes."""
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        t0 = Est.new(0, 0)
+        d.insert(t0, ts(t0))
+        seen = []
+        while d:
+            batch = d.pop_min_class()
+            for t in batch:
+                seen.append(t.distance)
+                if t.distance < 3:
+                    nxt = Est.new(t.vertex + 1, t.distance + 1)
+                    d.insert(nxt, ts(nxt))
+        assert seen == [0, 1, 2, 3]
+
+    def test_kind_mismatch_raises(self):
+        decls = OrderDecls()
+        decls.mention("A")
+        decls.freeze()
+        T1 = TableHandle(TableSchema("T1", "int x", orderby=("A",)))
+        T2 = TableHandle(TableSchema("T2", "int x", orderby=("seq x",)))
+        d = DeltaTree()
+        t1 = T1.new(1)
+        t2 = T2.new(1)
+        d.insert(t1, evaluate_orderby(T1.schema.orderby, t1.asdict(), decls))
+        with pytest.raises(OrderingError):
+            d.insert(t2, evaluate_orderby(T2.schema.orderby, t2.asdict(), decls))
+
+    def test_prefix_pops_before_extension(self):
+        decls = OrderDecls()
+        decls.mention("Req")
+        decls.freeze()
+        Short = TableHandle(TableSchema("Short", "int x", orderby=("Req",)))
+        Long = TableHandle(TableSchema("Long", "int x", orderby=("Req", "par x")))
+        d = DeltaTree()
+        lg = Long.new(1)
+        sh = Short.new(1)
+        d.insert(lg, evaluate_orderby(Long.schema.orderby, lg.asdict(), decls))
+        d.insert(sh, evaluate_orderby(Short.schema.orderby, sh.asdict(), decls))
+        assert d.pop_min_class() == [sh]
+        assert d.pop_min_class() == [lg]
+
+    def test_par_level_collapses(self):
+        decls = OrderDecls()
+        decls.mention("R")
+        decls.freeze()
+        T = TableHandle(TableSchema("T", "int region", orderby=("R", "par region")))
+        d = DeltaTree()
+        for r in range(5):
+            t = T.new(r)
+            d.insert(t, evaluate_orderby(T.schema.orderby, t.asdict(), decls))
+        assert len(d.pop_min_class()) == 5
+
+    def test_clear(self):
+        Est, _, ts = make_env()
+        d = DeltaTree()
+        t = Est.new(1, 1)
+        d.insert(t, ts(t))
+        d.clear()
+        assert len(d) == 0 and t not in d
+
+    def test_snapshot_in_causal_order(self):
+        Est, Done, ts = make_env()
+        d = DeltaTree()
+        for dist in (3, 1):
+            t = Est.new(0, dist)
+            d.insert(t, ts(t))
+        dn = Done.new(0, 1)
+        d.insert(dn, ts(dn))
+        snap = d.snapshot()
+        assert len(snap) == 3
+        # first leaf is distance 1 / Estimate
+        assert snap[0][0][0] == ("seq", 1)
+
+
+# -- property-based ------------------------------------------------------------
+
+
+@st.composite
+def tuple_batches(draw):
+    Est, Done, ts = make_env()
+    n = draw(st.integers(1, 40))
+    tuples = []
+    for _ in range(n):
+        table = draw(st.sampled_from([Est, Done]))
+        v = draw(st.integers(0, 5))
+        dist = draw(st.integers(0, 5))
+        if table is Done:
+            # keyed table: keep (vertex -> distance) functional
+            dist = v
+        tuples.append(table.new(v, dist))
+    return tuples, ts
+
+
+@settings(max_examples=60, deadline=None)
+@given(tuple_batches())
+def test_pops_nondecreasing_and_complete(batch_ts):
+    tuples, ts = batch_ts
+    d = DeltaTree()
+    inserted = set()
+    for t in tuples:
+        d.insert(t, ts(t))
+        inserted.add(t)
+    popped = []
+    last_ts = None
+    total = 0
+    while d:
+        batch = d.pop_min_class()
+        assert batch
+        total += len(batch)
+        t0 = ts(batch[0])
+        for t in batch:
+            assert compare_timestamps(ts(t), t0) == 0  # one equivalence class
+        if last_ts is not None:
+            assert compare_timestamps(last_ts, t0) < 0  # strictly increasing classes
+        last_ts = t0
+        popped.extend(batch)
+    assert set(popped) == inserted
+    assert total == len(inserted)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tuple_batches())
+def test_len_tracks_unique_inserts(batch_ts):
+    tuples, ts = batch_ts
+    d = DeltaTree()
+    uniq = set()
+    for t in tuples:
+        d.insert(t, ts(t))
+        uniq.add(t)
+    assert len(d) == len(uniq)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=50))
+def test_matches_sorted_order_single_table(dists):
+    Est, _, ts = make_env()
+    d = DeltaTree()
+    for i, dist in enumerate(dists):
+        t = Est.new(i, dist)
+        d.insert(t, ts(t))
+    order = [t.distance for batch in d.drain() for t in sorted(batch, key=lambda x: x.vertex)]
+    assert order == sorted(dists, key=functools.cmp_to_key(lambda a, b: a - b))

@@ -1,0 +1,169 @@
+"""Coverage for small public APIs: the causality re-export module,
+RunResult helpers, Delta-tree introspection, and error paths not hit by
+the main suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecOptions, Program
+from repro.core.causality import (
+    compare_timestamps,
+    put_respects_causality,
+    query_upper_bound,
+)
+from repro.core.delta import DeltaTree
+from repro.core.ordering import KIND_SEQ, Timestamp
+
+
+def ts(*vals):
+    return Timestamp(tuple((KIND_SEQ, v) for v in vals), tuple(vals))
+
+
+class TestCausalityModule:
+    def test_put_respects_causality(self):
+        assert put_respects_causality(ts(1), ts(2))
+        assert put_respects_causality(ts(1), ts(1))
+        assert not put_respects_causality(ts(2), ts(1))
+
+    def test_reexports_are_callable(self):
+        assert compare_timestamps(ts(1), ts(1)) == 0
+        assert callable(query_upper_bound)
+
+
+class TestDeltaIntrospection:
+    def test_peek_min_node(self):
+        d = DeltaTree()
+        assert d.peek_min_node() is None
+        p = Program()
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+        p.freeze()
+        for v in (5, 2):
+            tup = T.new(v)
+            from repro.core.ordering import evaluate_orderby
+
+            d.insert(tup, evaluate_orderby(T.schema.orderby, tup.asdict(), p.decls))
+        node = d.peek_min_node()
+        assert node is not None and list(node.here)[0].t == 2
+        assert len(d) == 2  # peek does not consume
+
+    def test_drain_consumes_in_order(self):
+        d = DeltaTree()
+        p = Program()
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+        p.freeze()
+        from repro.core.ordering import evaluate_orderby
+
+        for v in (3, 1, 2):
+            tup = T.new(v)
+            d.insert(tup, evaluate_orderby(T.schema.orderby, tup.asdict(), p.decls))
+        order = [batch[0].t for batch in d.drain()]
+        assert order == [1, 2, 3] and len(d) == 0
+
+
+class TestRunResultHelpers:
+    def _run(self, **kw):
+        p = Program()
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+
+        @p.foreach(T)
+        def r(ctx, t):
+            ctx.println(f"t={t.t}")
+
+        p.put(T.new(1))
+        return p.run(ExecOptions(**kw))
+
+    def test_output_text(self):
+        r = self._run()
+        assert r.output_text() == "t=1"
+
+    def test_virtual_time_fallback_for_threads(self):
+        r = self._run(strategy="threads", threads=2)
+        assert r.report is None
+        assert r.virtual_time == pytest.approx(r.meter.total_cost)
+
+    def test_repr_contains_strategy(self):
+        assert "sequential" in repr(self._run())
+
+
+class TestStoreErrorPaths:
+    def test_default_discard_unsupported(self):
+        from repro.core.errors import SchemaError
+        from repro.core.schema import TableSchema
+        from repro.core.tuples import TableHandle
+        from repro.gamma import NativeArrayStore
+
+        schema = TableSchema("M", "int k -> int v")
+        store = NativeArrayStore(schema, (4,))
+        T = TableHandle(schema)
+        t = T.new(1, 5)
+        store.insert(t)
+        with pytest.raises(SchemaError, match="cannot discard"):
+            store.discard(t)
+
+    def test_unkeyed_lookup_key_raises(self):
+        from repro.core.errors import SchemaError
+        from repro.core.schema import TableSchema
+        from repro.gamma import TreeSetStore
+
+        store = TreeSetStore(TableSchema("U", "int a, int b"))
+        with pytest.raises(SchemaError, match="no primary key"):
+            store.lookup_key((1,))
+
+
+class TestLangEdges:
+    def test_top_level_put_works_and_rejects_queries(self):
+        from repro.lang import compile_source
+        from repro.lang.compile import CompileError
+
+        # plain top-level puts are fine
+        p = compile_source(
+            "table T(int k -> int x) orderby (A, seq k)\nput new T(0, 5)\n"
+        )
+        assert p.run().table_sizes["T"] == 1
+        # but query expressions inside a top-level put are rejected —
+        # there is no database yet (§3: initial puts seed the Delta set)
+        src = (
+            "table T(int k -> int x) orderby (A, seq k)\n"
+            "put new T(0, 5)\n"
+            "put new T(1, get min T(0))\n"
+        )
+        with pytest.raises(CompileError, match="not allowed in top-level"):
+            compile_source(src)
+
+    def test_reducer_box_api(self):
+        from repro.core.reducers import Statistics
+        from repro.lang import ReducerBox
+        from repro.lang.compile import CompileError
+
+        box = ReducerBox(Statistics())
+        box.step(4.0)
+        box.step(6.0)
+        assert box.read("mean") == 5.0
+        assert "ReducerBox" in repr(box)
+        with pytest.raises(CompileError, match="no field"):
+            box.read("nonsense")
+
+    def test_get_min_requires_seq_orderby(self):
+        from repro.lang import compile_source
+        from repro.lang.compile import CompileError
+
+        src = """
+        table T(int x) orderby (A)
+        put new T(1)
+        foreach (T t) { val m = get min T(1)  println(m == null) }
+        """
+        with pytest.raises(CompileError, match="no seq orderby"):
+            compile_source(src).run()
+
+    def test_builtin_reducer_takes_no_args(self):
+        from repro.lang import compile_source
+        from repro.lang.compile import CompileError
+
+        src = """
+        table T(int x) orderby (A, seq x)
+        put new T(1)
+        foreach (T t) { val s = new Statistics(5) }
+        """
+        with pytest.raises(CompileError, match="no arguments"):
+            compile_source(src).run()

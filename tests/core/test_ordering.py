@@ -1,0 +1,264 @@
+"""Tests for orderby specs, order declarations, and timestamps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import OrderingError
+from repro.core.ordering import (
+    KIND_LIT,
+    KIND_PAR,
+    KIND_SEQ,
+    Lit,
+    OrderDecls,
+    Par,
+    Seq,
+    Timestamp,
+    compare_timestamps,
+    evaluate_orderby,
+    parse_orderby,
+)
+
+
+class TestParseOrderby:
+    def test_strings_become_entries(self):
+        spec = parse_orderby(("Int", "seq frame", "par region"))
+        assert spec == (Lit("Int"), Seq("frame"), Par("region"))
+
+    def test_objects_pass_through(self):
+        spec = parse_orderby((Lit("A"), Seq("x")))
+        assert spec == (Lit("A"), Seq("x"))
+
+    def test_lowercase_literal_rejected(self):
+        with pytest.raises(OrderingError):
+            parse_orderby(("int",))
+
+    def test_bad_entry_type_rejected(self):
+        with pytest.raises(OrderingError):
+            parse_orderby((42,))
+
+    def test_whitespace_tolerated(self):
+        spec = parse_orderby(("  seq  x  ",))
+        assert spec == (Seq("x"),)
+
+    def test_empty_spec_is_legal(self):
+        assert parse_orderby(()) == ()
+
+
+class TestOrderDecls:
+    def test_declared_chain_gives_ranks(self):
+        d = OrderDecls()
+        d.declare("Req", "PvWatts", "SumMonth")
+        d.freeze()
+        assert d.rank("Req") < d.rank("PvWatts") < d.rank("SumMonth")
+
+    def test_transitive_closure(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.declare("B", "C")
+        d.freeze()
+        assert d.declared_less("A", "C")
+        assert not d.declared_less("C", "A")
+
+    def test_unordered_literals_not_declared_less(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.mention("X")
+        d.freeze()
+        assert not d.declared_less("A", "X")
+        assert not d.declared_less("X", "A")
+        assert not d.comparable("A", "X")
+        assert d.comparable("A", "B")
+
+    def test_cycle_detected(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.declare("B", "A")
+        with pytest.raises(OrderingError, match="cyclic"):
+            d.freeze()
+
+    def test_self_order_rejected(self):
+        d = OrderDecls()
+        with pytest.raises(OrderingError):
+            d.declare("A", "A")
+
+    def test_single_name_rejected(self):
+        d = OrderDecls()
+        with pytest.raises(OrderingError):
+            d.declare("A")
+
+    def test_mention_after_freeze_of_unknown_rejected(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.freeze()
+        with pytest.raises(OrderingError):
+            d.mention("Z")
+
+    def test_mention_after_freeze_of_known_ok(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.freeze()
+        d.mention("A")  # no error
+
+    def test_declare_after_freeze_rejected(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.freeze()
+        with pytest.raises(OrderingError):
+            d.declare("B", "C")
+
+    def test_freeze_idempotent(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.freeze()
+        d.freeze()
+        assert d.literals() == ("A", "B")
+
+    def test_rank_deterministic_by_first_seen(self):
+        d = OrderDecls()
+        d.mention("Z")
+        d.mention("A")
+        d.freeze()
+        # no order constraints: first-seen order decides
+        assert d.rank("Z") < d.rank("A")
+
+    def test_unknown_rank_raises(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        d.freeze()
+        with pytest.raises(OrderingError):
+            d.rank("Nope")
+
+    def test_use_before_freeze_raises(self):
+        d = OrderDecls()
+        d.declare("A", "B")
+        with pytest.raises(OrderingError):
+            d.rank("A")
+
+
+def _decls(*chains):
+    d = OrderDecls()
+    for chain in chains:
+        d.declare(*chain)
+    d.freeze()
+    return d
+
+
+def ts(*comps) -> Timestamp:
+    """Shorthand: ints are seq values, strings are literal ranks via a
+    default decls, ('par',) is a par component."""
+    key, display = [], []
+    for c in comps:
+        if isinstance(c, tuple) and c[0] == "par":
+            key.append((KIND_PAR,))
+            display.append("*")
+        elif isinstance(c, tuple) and c[0] == "lit":
+            key.append((KIND_LIT, c[1]))
+            display.append(f"L{c[1]}")
+        else:
+            key.append((KIND_SEQ, c))
+            display.append(c)
+    return Timestamp(tuple(key), tuple(display))
+
+
+class TestTimestampComparison:
+    def test_seq_ordering(self):
+        assert ts(1) < ts(2)
+        assert ts(2) > ts(1)
+        assert ts(1) == ts(1)
+
+    def test_lexicographic(self):
+        assert ts(1, 9) < ts(2, 0)
+        assert ts(1, 0) < ts(1, 5)
+
+    def test_prefix_sorts_first(self):
+        assert compare_timestamps(ts(1), ts(1, 0)) < 0
+        assert compare_timestamps(ts(1, 0), ts(1)) > 0
+
+    def test_par_levels_equivalent(self):
+        a = Timestamp(((KIND_SEQ, 1), (KIND_PAR,)), (1, "a"))
+        b = Timestamp(((KIND_SEQ, 1), (KIND_PAR,)), (1, "b"))
+        assert a.equivalent(b)
+        assert compare_timestamps(a, b) == 0
+        # but the tuples are distinguishable objects
+        assert a.display != b.display
+
+    def test_lit_ranks_compare(self):
+        assert ts(("lit", 0)) < ts(("lit", 1))
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(OrderingError, match="incomparable"):
+            compare_timestamps(ts(("lit", 0)), ts(5))
+
+    def test_incomparable_value_types_raise(self):
+        with pytest.raises(OrderingError):
+            compare_timestamps(ts("abc"), ts(5))
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(ts(1, 2)) == hash(ts(1, 2))
+
+    def test_equivalent_differs_from_python_eq_for_par(self):
+        a = Timestamp(((KIND_PAR,),), ("x",))
+        b = Timestamp(((KIND_PAR,),), ("y",))
+        assert a == b  # same key
+        assert a.equivalent(b)
+
+    def test_repr_mentions_components(self):
+        r = repr(ts(("lit", 3), 7))
+        assert "seq=7" in r
+
+
+class TestEvaluateOrderby:
+    def test_ship_style(self):
+        d = _decls()
+        d2 = OrderDecls()
+        d2.mention("Int")
+        d2.freeze()
+        spec = parse_orderby(("Int", "seq frame"))
+        t = evaluate_orderby(spec, {"frame": 3, "x": 1}, d2)
+        assert t.key == ((KIND_LIT, 0), (KIND_SEQ, 3))
+        assert t.display == ("Int", 3)
+        del d
+
+    def test_par_field_erased_from_key(self):
+        d = OrderDecls()
+        d.mention("A")
+        d.freeze()
+        spec = parse_orderby(("A", "par region"))
+        t1 = evaluate_orderby(spec, {"region": 1}, d)
+        t2 = evaluate_orderby(spec, {"region": 2}, d)
+        assert t1 == t2
+        assert t1.display != t2.display
+
+
+# -- property-based -----------------------------------------------------------
+
+seq_ts = st.lists(st.integers(-50, 50), min_size=0, max_size=4).map(lambda xs: ts(*xs))
+
+
+@given(seq_ts, seq_ts)
+def test_comparison_antisymmetric(a, b):
+    ca, cb = compare_timestamps(a, b), compare_timestamps(b, a)
+    assert ca == -cb
+
+
+@given(seq_ts, seq_ts, seq_ts)
+def test_comparison_transitive(a, b, c):
+    if compare_timestamps(a, b) <= 0 and compare_timestamps(b, c) <= 0:
+        assert compare_timestamps(a, c) <= 0
+
+
+@given(seq_ts)
+def test_comparison_reflexive(a):
+    assert compare_timestamps(a, a) == 0
+
+
+@given(st.lists(seq_ts, min_size=1, max_size=8))
+def test_sorting_by_comparison_is_stable_total_order(tss):
+    import functools
+
+    ordered = sorted(tss, key=functools.cmp_to_key(compare_timestamps))
+    for x, y in zip(ordered, ordered[1:]):
+        assert compare_timestamps(x, y) <= 0

@@ -1,0 +1,101 @@
+"""Tests for Program declarations and option plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecOptions, Program, SchemaError, UnknownTableError
+from repro.gamma import HashKeyStore
+
+
+class TestDeclarations:
+    def test_duplicate_table_rejected(self):
+        p = Program()
+        p.table("T", "int x")
+        with pytest.raises(SchemaError, match="twice"):
+            p.table("T", "int x")
+
+    def test_rule_on_foreign_table_rejected(self):
+        p = Program()
+        q = Program()
+        T = q.table("T", "int x")
+        with pytest.raises(UnknownTableError):
+            p.foreach(T)(lambda ctx, t: None)
+
+    def test_initial_put_on_foreign_table_rejected(self):
+        p = Program()
+        q = Program()
+        T = q.table("T", "int x")
+        with pytest.raises(UnknownTableError):
+            p.put(T.new(1))
+
+    def test_table_after_run_rejected(self):
+        p = Program()
+        p.table("T", "int x", orderby=("A",))
+        p.run()
+        with pytest.raises(SchemaError, match="after"):
+            p.table("U", "int x")
+
+    def test_rules_for_index(self):
+        p = Program()
+        T = p.table("T", "int x")
+        U = p.table("U", "int x")
+
+        @p.foreach(T, name="r1")
+        def r1(ctx, t): ...
+
+        @p.foreach(T, name="r2")
+        def r2(ctx, t): ...
+
+        p.freeze()
+        assert [r.name for r in p.rules_for("T")] == ["r1", "r2"]
+        assert p.rules_for("U") == []
+        del U
+
+    def test_rule_default_name_is_function_name(self):
+        p = Program()
+        T = p.table("T", "int x")
+
+        @p.foreach(T)
+        def my_rule(ctx, t): ...
+
+        assert p.rules[0].name == "my_rule"
+        assert "my_rule" in repr(p.rules[0])
+
+    def test_repr(self):
+        p = Program("demo")
+        p.table("T", "int x")
+        assert "demo" in repr(p) and "1 tables" in repr(p)
+
+
+class TestRunPlumbing:
+    def test_run_kwargs_shorthand(self):
+        p = Program()
+        T = p.table("T", "int x", orderby=("A", "par x"))
+        p.put(T.new(1))
+        r = p.run(strategy="forkjoin", threads=3)
+        assert r.strategy == "forkjoin" and r.threads == 3
+
+    def test_rerun_same_program(self):
+        p = Program()
+        T = p.table("T", "int x", orderby=("A", "par x"))
+        p.put(T.new(1))
+        r1, r2 = p.run(), p.run()
+        assert r1.table_sizes == r2.table_sizes
+
+    def test_store_override_applied(self):
+        p = Program()
+        T = p.table("T", "int k -> int v", orderby=("A", "par k"))
+        p.put(T.new(1, 2))
+        r = p.run(ExecOptions(store_overrides={"T": lambda s: HashKeyStore(s)}))
+        assert isinstance(r.database.store("T"), HashKeyStore)
+
+    def test_with_functional_update(self):
+        o = ExecOptions()
+        o2 = o.with_(threads=9)
+        assert o.threads == 4 and o2.threads == 9
+
+    def test_options_immutable(self):
+        o = ExecOptions()
+        with pytest.raises(Exception):
+            o.threads = 2  # type: ignore[misc]

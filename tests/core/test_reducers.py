@@ -1,0 +1,124 @@
+"""Tests for reduce/scan operators, incl. parallel-merge properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.reducers import (
+    CountReducer,
+    FnReducer,
+    MaxReducer,
+    MinReducer,
+    Statistics,
+    SumReducer,
+    reduce_all,
+    scan,
+    tree_reduce,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestBasics:
+    def test_sum(self):
+        assert reduce_all(SumReducer(), [1, 2, 3]) == 6
+
+    def test_count(self):
+        assert reduce_all(CountReducer(), "abcd") == 4
+
+    def test_min_max(self):
+        assert reduce_all(MinReducer(), [3, 1, 2]) == 1
+        assert reduce_all(MaxReducer(), [3, 1, 2]) == 3
+
+    def test_min_empty_is_none(self):
+        assert reduce_all(MinReducer(), []) is None
+        assert reduce_all(MaxReducer(), []) is None
+
+    def test_statistics_fields(self):
+        acc = reduce_all(Statistics(), [2.0, 4.0, 6.0])
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(4.0)
+        assert acc.min == 2.0 and acc.max == 6.0
+        assert acc.variance == pytest.approx(8 / 3)
+        assert acc.total == pytest.approx(12.0)
+
+    def test_statistics_stddev(self):
+        acc = reduce_all(Statistics(), [1.0, 1.0, 1.0])
+        assert acc.stddev == 0.0
+
+    def test_statistics_single_value_variance_zero(self):
+        assert reduce_all(Statistics(), [5.0]).variance == 0.0
+
+    def test_scan_prefixes(self):
+        assert list(scan(SumReducer(), [1, 2, 3])) == [1, 3, 6]
+
+    def test_scan_empty(self):
+        assert list(scan(SumReducer(), [])) == []
+
+    def test_fn_reducer(self):
+        concat = FnReducer(list, lambda a, v: a + [v], lambda a, b: a + b)
+        assert reduce_all(concat, "abc") == ["a", "b", "c"]
+
+    def test_tree_reduce_depth(self):
+        result, depth = tree_reduce(SumReducer(), [[1], [2], [3], [4]])
+        assert result == 10
+        assert depth == 2  # 4 leaves -> log2 = 2 combine levels
+
+    def test_tree_reduce_empty(self):
+        result, depth = tree_reduce(SumReducer(), [])
+        assert result == 0 and depth == 0
+
+    def test_tree_reduce_odd_chunks(self):
+        result, _ = tree_reduce(SumReducer(), [[1, 2], [3], [4, 5]])
+        assert result == 15
+
+    def test_reducer_base_raises(self):
+        from repro.core.reducers import Reducer
+
+        r = Reducer()
+        with pytest.raises(NotImplementedError):
+            r.zero()
+
+
+# -- §5.2's tree-combination property: parallel == sequential ------------------
+
+
+@given(st.lists(floats, max_size=60), st.integers(1, 7))
+def test_statistics_combine_matches_sequential(xs, k):
+    stats = Statistics()
+    seq = reduce_all(stats, xs)
+    chunks = [xs[i::k] for i in range(k)]
+    par, _ = tree_reduce(stats, chunks)
+    assert par.count == seq.count
+    if xs:
+        assert par.mean == pytest.approx(seq.mean, rel=1e-9, abs=1e-9)
+        assert par.m2 == pytest.approx(seq.m2, rel=1e-6, abs=1e-6)
+        assert par.min == seq.min and par.max == seq.max
+
+
+@given(st.lists(st.integers(-100, 100), max_size=50), st.integers(1, 5))
+def test_sum_combine_matches_sequential(xs, k):
+    chunks = [xs[i::k] for i in range(k)]
+    par, _ = tree_reduce(SumReducer(), chunks)
+    assert par == sum(xs)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=50), st.integers(1, 5))
+def test_min_combine_matches_sequential(xs, k):
+    chunks = [xs[i::k] for i in range(k)]
+    par, _ = tree_reduce(MinReducer(), chunks)
+    assert par == min(xs)
+
+
+@given(st.lists(floats, min_size=2, max_size=80))
+def test_statistics_welford_matches_naive(xs):
+    acc = reduce_all(Statistics(), xs)
+    mean = sum(xs) / len(xs)
+    var = sum((x - mean) ** 2 for x in xs) / len(xs)
+    assert acc.mean == pytest.approx(mean, rel=1e-7, abs=1e-6)
+    assert acc.variance == pytest.approx(var, rel=1e-5, abs=1e-4)
+    assert not math.isnan(acc.stddev)

@@ -1,0 +1,313 @@
+"""Tests for rule contexts: queries, causality checks, unsafe guard."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import (
+    CausalityError,
+    ExecOptions,
+    Program,
+    RuleError,
+    Statistics,
+    StratificationWarning,
+    SumReducer,
+    UnsafeOperationError,
+)
+
+
+def two_phase_program():
+    """Data at literal A, aggregation trigger at literal B (SumMonth
+    pattern): negative/aggregate queries from B over A are legal."""
+    p = Program("twophase")
+    Data = p.table("Data", "int g, int v", orderby=("A",))
+    Go = p.table("Go", "int g", orderby=("B",))
+    p.order("A", "B")
+    return p, Data, Go
+
+
+class TestQueries:
+    def test_get_returns_matches(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def collect(ctx, go):
+            got["rows"] = ctx.get(Data, go.g)
+            got["all"] = ctx.get(Data)
+
+        for v in range(4):
+            p.put(Data.new(v % 2, v))
+        p.put(Go.new(0))
+        p.run()
+        assert sorted(t.v for t in got["rows"]) == [0, 2]
+        assert len(got["all"]) == 4
+
+    def test_get_uniq_none_and_single(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            got["missing"] = ctx.get_uniq(Data, 99)
+            got["hit"] = ctx.get_uniq(Data, 1, 1)
+
+        p.put(Data.new(1, 1))
+        p.put(Go.new(0))
+        p.run()
+        assert got["missing"] is None
+        assert got["hit"].v == 1
+
+    def test_get_uniq_multiple_raises(self):
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            ctx.get_uniq(Data, 1)
+
+        p.put(Data.new(1, 1))
+        p.put(Data.new(1, 2))
+        p.put(Go.new(0))
+        with pytest.raises(RuleError, match="matched 2"):
+            p.run()
+
+    def test_get_min(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            got["min"] = ctx.get_min(Data, by="v")
+            got["none"] = ctx.get_min(Data, 42, by="v")
+
+        for v in (5, 2, 9):
+            p.put(Data.new(1, v))
+        p.put(Go.new(0))
+        p.run()
+        assert got["min"].v == 2
+        assert got["none"] is None
+
+    def test_count_and_exists_and_absent(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            got["count"] = ctx.count(Data, 1)
+            got["exists"] = ctx.exists(Data, 1)
+            got["absent"] = ctx.absent(Data, 3)
+
+        p.put(Data.new(1, 1))
+        p.put(Data.new(1, 2))
+        p.put(Go.new(0))
+        p.run()
+        assert got == {"count": 2, "exists": True, "absent": True}
+
+    def test_reduce_with_statistics(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            got["acc"] = ctx.reduce(Data, 1, reducer=Statistics(), value=lambda t: t.v)
+            got["sum"] = ctx.reduce(Data, 1, reducer=SumReducer(), value=lambda t: t.v)
+
+        for v in (2, 4):
+            p.put(Data.new(1, v))
+        p.put(Go.new(0))
+        p.run()
+        assert got["acc"].mean == 3.0 and got["sum"] == 6
+
+    def test_where_lambda(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            got["odd"] = ctx.get(Data, where=lambda t: t.v % 2 == 1)
+
+        for v in range(5):
+            p.put(Data.new(0, v))
+        p.put(Go.new(0))
+        p.run()
+        assert sorted(t.v for t in got["odd"]) == [1, 3]
+
+    def test_par_loop_passthrough(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go)
+        def probe(ctx, go):
+            got["looped"] = [x * 2 for x in ctx.par_loop([1, 2, 3])]
+
+        p.put(Go.new(0))
+        p.run()
+        assert got["looped"] == [2, 4, 6]
+
+
+class TestCausalityChecks:
+    def test_negative_query_of_future_raises_in_strict(self):
+        p = Program("negfuture")
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+
+        @p.foreach(T)
+        def peek(ctx, t):
+            ctx.absent(T, t.t + 1)  # negative query about the future
+
+        p.put(T.new(0))
+        with pytest.raises(CausalityError, match="stratification"):
+            p.run(ExecOptions(causality_check="strict"))
+
+    def test_negative_query_of_future_warns_by_default(self):
+        p = Program("negwarn")
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+
+        @p.foreach(T)
+        def peek(ctx, t):
+            ctx.absent(T, t.t + 1)
+
+        p.put(T.new(0))
+        with pytest.warns(StratificationWarning):
+            p.run()
+
+    def test_negative_query_of_past_is_clean(self):
+        p = Program("negpast")
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+        got = {}
+
+        @p.foreach(T)
+        def peek(ctx, t):
+            got[t.t] = ctx.absent(T, ranges={"t": {"lt": t.t}})
+
+        p.put(T.new(0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            p.run()
+        assert got[0] is True
+
+    def test_unbounded_negative_query_warns_once(self):
+        p = Program("unbounded")
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+
+        @p.foreach(T)
+        def peek(ctx, t):
+            ctx.absent(T, where=lambda x: x.t > 100)  # bound invisible
+            ctx.absent(T, where=lambda x: x.t > 200)
+
+        p.put(T.new(0))
+        with pytest.warns(StratificationWarning) as rec:
+            p.run()
+        assert len([w for w in rec if issubclass(w.category, StratificationWarning)]) == 1
+
+    def test_assume_stratified_silences(self):
+        p = Program("assumed")
+        T = p.table("T", "int t", orderby=("Int", "seq t"))
+
+        @p.foreach(T, assume_stratified=True)
+        def peek(ctx, t):
+            ctx.absent(T, where=lambda x: x.t > 100)
+
+        p.put(T.new(0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            p.run()
+
+    def test_literal_level_bounds_are_understood(self):
+        """SumMonth pattern: aggregate over a table whose literal is
+        declared earlier never warns."""
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def agg(ctx, go):
+            ctx.count(Data)
+
+        p.put(Data.new(0, 0))
+        p.put(Go.new(0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            p.run()
+
+
+class TestContextDiscipline:
+    def test_put_requires_tuple(self):
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def bad(ctx, go):
+            ctx.put("not a tuple")  # type: ignore[arg-type]
+
+        p.put(Go.new(0))
+        with pytest.raises(RuleError, match="expects a tuple"):
+            p.run()
+
+    def test_context_unusable_after_rule(self):
+        p, Data, Go = two_phase_program()
+        leaked = {}
+
+        @p.foreach(Go)
+        def leak(ctx, go):
+            leaked["ctx"] = ctx
+
+        p.put(Go.new(0))
+        p.run()
+        with pytest.raises(RuleError, match="after completion"):
+            leaked["ctx"].put(Data.new(0, 0))
+
+    def test_io_guard(self):
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def sneaky(ctx, go):
+            ctx.io_allowed()
+
+        p.put(Go.new(0))
+        with pytest.raises(UnsafeOperationError):
+            p.run()
+
+    def test_native_requires_unsafe(self):
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def sneaky(ctx, go):
+            ctx.native(Data)
+
+        p.put(Go.new(0))
+        with pytest.raises(UnsafeOperationError):
+            p.run()
+
+    def test_native_allowed_when_unsafe(self):
+        p, Data, Go = two_phase_program()
+        got = {}
+
+        @p.foreach(Go, unsafe=True)
+        def system_rule(ctx, go):
+            got["store"] = ctx.native(Data)
+
+        p.put(Go.new(0))
+        r = p.run()
+        assert got["store"] is r.database.store("Data")
+
+    def test_println_captured_not_printed(self, capsys):
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def talk(ctx, go):
+            ctx.println("hello", go.g)
+
+        p.put(Go.new(3))
+        r = p.run()
+        assert r.output == ["hello 3"]
+        assert capsys.readouterr().out == ""
+
+    def test_charge_accumulates(self):
+        p, Data, Go = two_phase_program()
+
+        @p.foreach(Go)
+        def work(ctx, go):
+            ctx.charge(123.0)
+
+        p.put(Go.new(0))
+        r = p.run()
+        assert r.meter.costs["user_work"] == pytest.approx(123.0)

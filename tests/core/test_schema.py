@@ -1,0 +1,116 @@
+"""Tests for table declarations and field parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SchemaError, UnknownFieldError
+from repro.core.schema import Field, TableSchema, parse_fields
+
+
+class TestParseFields:
+    def test_paper_ship_declaration(self):
+        fields = parse_fields("int frame -> int x, int y, int dx, int dy")
+        assert [f.name for f in fields] == ["frame", "x", "y", "dx", "dy"]
+        assert [f.is_key for f in fields] == [True, False, False, False, False]
+        assert all(f.type == "int" for f in fields)
+
+    def test_no_key(self):
+        fields = parse_fields("int year, int month")
+        assert all(not f.is_key for f in fields)
+
+    def test_type_inheritance_within_group(self):
+        fields = parse_fields("int a, b, c")
+        assert [f.type for f in fields] == ["int"] * 3
+
+    def test_java_type_aliases(self):
+        fields = parse_fields("double v, String s, boolean b, long n")
+        assert [f.type for f in fields] == ["float", "str", "bool", "int"]
+
+    def test_multi_field_key(self):
+        fields = parse_fields("int mat, int row, int col -> int value")
+        assert [f.is_key for f in fields] == [True, True, True, False]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError, match="unknown field type"):
+            parse_fields("quux x")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_fields("int 3x")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            parse_fields("int x, int x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_fields("   ")
+
+    def test_arrow_needs_both_sides(self):
+        with pytest.raises(SchemaError):
+            parse_fields("int x ->")
+        with pytest.raises(SchemaError):
+            parse_fields("-> int x")
+
+
+class TestTableSchema:
+    def test_basic(self):
+        s = TableSchema("Ship", "int frame -> int x", orderby=("Int", "seq frame"))
+        assert s.name == "Ship"
+        assert s.has_key
+        assert s.key_indexes == (0,)
+        assert s.dep_indexes == (1,)
+        assert s.field_position("x") == 1
+
+    def test_lowercase_table_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("ship", "int x")
+
+    def test_orderby_unknown_field_rejected(self):
+        with pytest.raises(UnknownFieldError):
+            TableSchema("T", "int x", orderby=("seq nope",))
+
+    def test_orderby_literals_listed(self):
+        s = TableSchema("T", "int x", orderby=("A", "seq x", "B"))
+        assert s.literal_names() == ("A", "B")
+
+    def test_defaults_by_type(self):
+        s = TableSchema("T", "int x, double y, String s, boolean b")
+        assert s.defaults() == (0, 0.0, "", False)
+
+    def test_check_types_accepts_int_for_float(self):
+        s = TableSchema("T", "double y")
+        s.check_types((3,))  # int where float expected is fine
+
+    def test_check_types_rejects_bool_as_int(self):
+        s = TableSchema("T", "int x")
+        with pytest.raises(SchemaError):
+            s.check_types((True,))
+
+    def test_check_types_rejects_str_as_int(self):
+        s = TableSchema("T", "int x")
+        with pytest.raises(SchemaError):
+            s.check_types(("5",))
+
+    def test_key_of(self):
+        s = TableSchema("T", "int a, int b -> int c")
+        assert s.key_of((1, 2, 3)) == (1, 2)
+
+    def test_identity_semantics(self):
+        a = TableSchema("T", "int x")
+        b = TableSchema("T", "int x")
+        assert a != b and a == a
+        assert hash(a) != hash(b) or a is b
+
+    def test_fields_from_objects(self):
+        s = TableSchema("T", [Field("x", "int", True), Field("y", "float", False)])
+        assert s.has_key and s.field_names == ("x", "y")
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [])
+
+    def test_repr_mentions_key(self):
+        s = TableSchema("T", "int a -> int b", orderby=("X",))
+        assert "a*" in repr(s)

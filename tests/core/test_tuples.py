@@ -1,0 +1,134 @@
+"""Tests for immutable tuples and the builder/copy API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import TableSchema
+from repro.core.tuples import JTuple, TableHandle
+
+
+@pytest.fixture
+def Ship() -> TableHandle:
+    return TableHandle(
+        TableSchema("Ship", "int frame -> int x, int y, int dx, int dy",
+                    orderby=("Int", "seq frame"))
+    )
+
+
+class TestConstruction:
+    def test_by_position(self, Ship):
+        s = Ship.new(0, 10, 10, 150, 0)
+        assert (s.frame, s.x, s.y, s.dx, s.dy) == (0, 10, 10, 150, 0)
+
+    def test_by_name(self, Ship):
+        s = Ship.new(frame=0, x=10, dx=150, y=10, dy=0)
+        assert s.values == (0, 10, 10, 150, 0)
+
+    def test_defaults(self, Ship):
+        # "use default values for frame and dy" (§3)
+        s = Ship.new(x=10, dx=150, y=10)
+        assert s.frame == 0 and s.dy == 0
+
+    def test_mixed_positional_and_named(self, Ship):
+        s = Ship.new(1, 2, y=3)
+        assert s.values == (1, 2, 3, 0, 0)
+
+    def test_call_sugar(self, Ship):
+        assert Ship(1, 2, 3, 4, 5) == Ship.new(1, 2, 3, 4, 5)
+
+    def test_too_many_positional(self, Ship):
+        with pytest.raises(SchemaError):
+            Ship.new(1, 2, 3, 4, 5, 6)
+
+    def test_field_given_twice(self, Ship):
+        with pytest.raises(SchemaError, match="both positionally"):
+            Ship.new(1, frame=2)
+
+    def test_type_checked(self, Ship):
+        with pytest.raises(SchemaError):
+            Ship.new("zero", 1, 2, 3, 4)
+
+    def test_unknown_kwarg(self, Ship):
+        with pytest.raises(Exception):
+            Ship.new(warp=9)
+
+
+class TestImmutability:
+    def test_setattr_blocked(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        with pytest.raises(AttributeError, match="immutable"):
+            s.x = 99
+
+    def test_delattr_blocked(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        with pytest.raises(AttributeError):
+            del s.x
+
+    def test_copy_builder(self, Ship):
+        s = Ship.new(0, 10, 10, 150, 0)
+        s2 = s.copy(frame=1, x=160)
+        assert s2.values == (1, 160, 10, 150, 0)
+        assert s.values == (0, 10, 10, 150, 0)  # original untouched
+
+    def test_copy_no_updates_returns_self(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        assert s.copy() is s
+
+    def test_copy_type_checked(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        with pytest.raises(SchemaError):
+            s.copy(x="wide")
+
+
+class TestAccess:
+    def test_getitem_and_iter(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        assert s[2] == 2
+        assert list(s) == [0, 1, 2, 3, 4]
+        assert len(s) == 5
+
+    def test_unknown_attribute(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        with pytest.raises(AttributeError, match="no field"):
+            _ = s.warp
+
+    def test_asdict(self, Ship):
+        s = Ship.new(0, 1, 2, 3, 4)
+        assert s.asdict() == {"frame": 0, "x": 1, "y": 2, "dx": 3, "dy": 4}
+
+    def test_key_projection(self, Ship):
+        assert Ship.new(7, 1, 2, 3, 4).key() == (7,)
+
+    def test_repr(self, Ship):
+        assert repr(Ship.new(0, 1, 2, 3, 4)).startswith("Ship(frame=0")
+
+
+class TestIdentity:
+    def test_equality_by_schema_and_values(self, Ship):
+        assert Ship.new(0, 1, 2, 3, 4) == Ship.new(0, 1, 2, 3, 4)
+        assert Ship.new(0, 1, 2, 3, 4) != Ship.new(0, 1, 2, 3, 5)
+
+    def test_different_schema_never_equal(self, Ship):
+        Other = TableHandle(TableSchema("Other", "int frame, int x, int y, int dx, int dy"))
+        assert Ship.new(0, 1, 2, 3, 4) != Other.new(0, 1, 2, 3, 4)
+
+    def test_hashable_in_sets(self, Ship):
+        s = {Ship.new(0, 1, 2, 3, 4), Ship.new(0, 1, 2, 3, 4), Ship.new(1, 1, 2, 3, 4)}
+        assert len(s) == 2
+
+    def test_not_equal_to_plain_tuple(self, Ship):
+        assert Ship.new(0, 1, 2, 3, 4) != (0, 1, 2, 3, 4)
+
+    def test_handle_equality(self, Ship):
+        assert Ship == TableHandle(Ship.schema)
+        assert Ship != "Ship"
+
+
+def test_direct_jtuple_field_lookup():
+    schema = TableSchema("T", "int a, str b")
+    t = JTuple(schema, (1, "x"))
+    assert t.field("b") == "x"
+    with pytest.raises(Exception):
+        t.field("nope")

@@ -1,0 +1,180 @@
+"""Tests for the CSV substrate: readers, region splitting, synth data."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csvio import (
+    PVWATTS_INT_POSITIONS,
+    expected_month_means,
+    generate_csv_bytes,
+    hourly_records,
+    iter_lines,
+    parse_int_fields,
+    read_records_bytes,
+    read_records_text,
+    read_region,
+    region_bounds,
+    split_regions,
+)
+
+
+class TestLineIteration:
+    def test_basic(self):
+        assert list(iter_lines(b"a\nb\nc\n")) == [b"a", b"b", b"c"]
+
+    def test_no_trailing_newline(self):
+        assert list(iter_lines(b"a\nb")) == [b"a", b"b"]
+
+    def test_empty(self):
+        assert list(iter_lines(b"")) == []
+
+    def test_windowed(self):
+        data = b"aa\nbb\ncc\n"
+        assert list(iter_lines(data, 3, 6)) == [b"bb"]
+
+
+class TestParsing:
+    def test_int_fields(self):
+        rec = parse_int_fields(b"2012,3,14,06:00,250", (0, 1, 2, 4), 5)
+        assert rec == (2012, 3, 14, b"06:00", 250)
+
+    def test_crlf_tolerated(self):
+        rec = parse_int_fields(b"1,2\r", (0, 1), 2)
+        assert rec == (1, 2)
+
+    def test_blank_line_skipped(self):
+        assert parse_int_fields(b"", (0,), 1) is None
+        assert parse_int_fields(b"\r", (0,), 1) is None
+
+    def test_wrong_field_count_skipped(self):
+        assert parse_int_fields(b"1,2,3", (0,), 2) is None
+
+    def test_non_numeric_skipped(self):
+        assert parse_int_fields(b"xx,2", (0,), 2) is None
+
+    def test_negative_ints(self):
+        assert parse_int_fields(b"-5,ok", (0,), 2) == (-5, b"ok")
+
+
+class TestReaders:
+    DATA = b"1,a,10\n2,b,20\n3,c,30\n"
+
+    def test_bytes_reader(self):
+        recs = read_records_bytes(self.DATA, (0, 2), 3)
+        assert recs == [(1, b"a", 10), (2, b"b", 20), (3, b"c", 30)]
+
+    def test_bytes_reader_streaming(self):
+        out = []
+        n = read_records_bytes(self.DATA, (0, 2), 3, on_record=out.append)
+        assert n == 3 and len(out) == 3
+
+    def test_text_reader_agrees_modulo_str(self):
+        b = read_records_bytes(self.DATA, (0, 2), 3)
+        t = read_records_text(self.DATA, (0, 2), 3)
+        assert [(x[0], x[2]) for x in b] == [(x[0], x[2]) for x in t]
+        assert isinstance(t[0][1], str) and isinstance(b[0][1], bytes)
+
+    def test_text_reader_streaming(self):
+        out = []
+        n = read_records_text(self.DATA, (0, 2), 3, on_record=out.append)
+        assert n == 3
+
+
+class TestRegions:
+    def test_split_regions_tile(self):
+        regions = split_regions(100, 7)
+        assert regions[0][0] == 0 and regions[-1][1] == 100
+        for (a, b), (c, d) in zip(regions, regions[1:]):
+            assert b == c
+
+    def test_split_more_regions_than_bytes(self):
+        assert split_regions(2, 10) == [(0, 1), (1, 2)]
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            split_regions(10, 0)
+
+    def test_bounds_at_record_start(self):
+        data = b"aaa\nbbb\nccc\n"
+        assert region_bounds(data, 0, 4) == (0, 4)
+        assert region_bounds(data, 4, 8) == (4, 8)
+
+    def test_bounds_mid_record(self):
+        data = b"aaa\nbbb\nccc\n"
+        first, last = region_bounds(data, 1, 6)
+        assert (first, last) == (4, 8)  # owns only "bbb"
+
+    def test_bounds_region_inside_one_record(self):
+        data = b"aaaaaaaaaa\nbb\n"
+        first, last = region_bounds(data, 2, 5)
+        assert first == last  # owns nothing
+
+    def test_read_region(self):
+        data = b"1,x\n2,y\n3,z\n"
+        out = []
+        n = read_region(data, 4, 8, (0,), 2, out.append)
+        assert n == 1 and out == [(2, b"y")]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 999), min_size=0, max_size=40),
+    st.integers(1, 9),
+    st.integers(0, 5),
+)
+def test_region_tiling_exact_for_any_cuts(values, n_regions, pad):
+    """Hadoop-protocol property: however the byte cuts fall, the regions
+    partition the record stream exactly once."""
+    data = "".join(f"{v},{'x' * (v % (pad + 1))}\n" for v in values).encode()
+    whole = read_records_bytes(data, (0,), 2)
+    out = []
+    for s, e in split_regions(len(data), n_regions):
+        read_region(data, s, e, (0,), 2, out.append)
+    assert out == whole
+
+
+class TestSynth:
+    def test_record_count(self):
+        assert len(hourly_records(1)) == 8760  # non-leap hourly year
+
+    def test_deterministic(self):
+        assert hourly_records(1, seed=5) == hourly_records(1, seed=5)
+        assert hourly_records(1, seed=5) != hourly_records(1, seed=6)
+
+    def test_orders_same_multiset(self):
+        a = hourly_records(1, order="by-month")
+        b = hourly_records(1, order="round-robin")
+        assert a != b and sorted(a) == sorted(b)
+
+    def test_round_robin_interleaves_months(self):
+        recs = hourly_records(1, order="round-robin")
+        first_months = [r[1] for r in recs[:12]]
+        assert len(set(first_months)) == 12
+
+    def test_by_month_is_chronological(self):
+        recs = hourly_records(1, order="by-month")
+        months = [r[1] for r in recs]
+        assert months == sorted(months)
+
+    def test_night_power_zero(self):
+        for r in hourly_records(1)[:6]:  # first hours of Jan 1
+            assert r[4] == 0
+
+    def test_csv_bytes_parse_back(self):
+        data = generate_csv_bytes(n_years=1)
+        recs = read_records_bytes(data, PVWATTS_INT_POSITIONS, 5)
+        assert len(recs) == 8760
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            hourly_records(order="sideways")
+
+    def test_expected_means_cover_all_months(self):
+        means = expected_month_means()
+        assert len(means) == 12
+        assert all(v > 0 for v in means.values())
+        # summer produces more than winter (the seasonal model)
+        assert means[(2012, 6)] > means[(2012, 12)]

@@ -1,0 +1,163 @@
+"""Threaded Disruptor pipeline tests (functional, GIL-friendly sizes)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import DisruptorError
+from repro.disruptor import (
+    BlockingWaitStrategy,
+    BusySpinWaitStrategy,
+    Disruptor,
+    EventHandler,
+    SleepingWaitStrategy,
+    YieldingWaitStrategy,
+)
+
+
+class Collector(EventHandler):
+    def __init__(self):
+        self.seen: list = []
+        self.started = False
+        self.stopped = False
+
+    def on_start(self):
+        self.started = True
+
+    def on_event(self, value, sequence, end_of_batch):
+        self.seen.append(value)
+
+    def on_shutdown(self):
+        self.stopped = True
+
+
+class TestSingleConsumer:
+    @pytest.mark.parametrize(
+        "wait",
+        [BlockingWaitStrategy, BusySpinWaitStrategy, YieldingWaitStrategy, SleepingWaitStrategy],
+    )
+    def test_fifo_delivery(self, wait):
+        d = Disruptor(32, wait())
+        c = Collector()
+        d.handle_events_with(c)
+        d.start()
+        d.publish_all(list(range(200)), batch=8)
+        d.halt_when_drained()
+        assert c.seen == list(range(200))
+        assert c.started and c.stopped
+
+    def test_backpressure_small_ring(self):
+        """Ring far smaller than the stream: producer must stall, not
+        overrun; every event still arrives exactly once."""
+        d = Disruptor(4)
+        c = Collector()
+        d.handle_events_with(c)
+        d.start()
+        d.publish_all(list(range(500)), batch=2)
+        d.halt_when_drained()
+        assert c.seen == list(range(500))
+
+    def test_function_handler(self):
+        d = Disruptor(16)
+        seen = []
+        d.handle_events_with(lambda v, s, eob: seen.append((v, eob)))
+        d.start()
+        d.publish("x")
+        d.halt_when_drained()
+        assert seen[0][0] == "x"
+
+
+class TestTopologies:
+    def test_multiple_independent_consumers_see_everything(self):
+        d = Disruptor(32)
+        cs = [Collector() for _ in range(3)]
+        d.handle_events_with(*cs)
+        d.start()
+        d.publish_all(list(range(100)), batch=10)
+        d.halt_when_drained()
+        for c in cs:
+            assert c.seen == list(range(100))
+
+    def test_then_chain_ordering(self):
+        """Stage 2 must never see an event before stage 1 processed it."""
+        d = Disruptor(16)
+        stage1_done: set[int] = set()
+        violations = []
+        lock = threading.Lock()
+
+        def stage1(v, s, eob):
+            with lock:
+                stage1_done.add(v)
+
+        def stage2(v, s, eob):
+            with lock:
+                if v not in stage1_done:
+                    violations.append(v)
+
+        d.handle_events_with(stage1).then(stage2)
+        d.start()
+        d.publish_all(list(range(300)), batch=4)
+        d.halt_when_drained()
+        assert violations == []
+
+    def test_gating_is_final_stage_only(self):
+        d = Disruptor(16)
+        g1 = d.handle_events_with(Collector())
+        g1.then(Collector())
+        d.start()
+        # only the final consumer's sequence gates the producer
+        assert len(d.ring.gating) == 1
+
+
+class TestLifecycle:
+    def test_start_twice_rejected(self):
+        d = Disruptor(8)
+        d.handle_events_with(Collector())
+        d.start()
+        try:
+            with pytest.raises(DisruptorError):
+                d.start()
+        finally:
+            d.halt()
+
+    def test_start_without_handlers_rejected(self):
+        with pytest.raises(DisruptorError):
+            Disruptor(8).start()
+
+    def test_add_handler_after_start_rejected(self):
+        d = Disruptor(8)
+        d.handle_events_with(Collector())
+        d.start()
+        try:
+            with pytest.raises(DisruptorError):
+                d.handle_events_with(Collector())
+        finally:
+            d.halt()
+
+    def test_drained_empty_pipeline(self):
+        d = Disruptor(8)
+        d.handle_events_with(Collector())
+        d.start()
+        d.halt_when_drained()  # nothing published: immediately drained
+
+    def test_sentinel_pattern(self):
+        """The §6.3 idiom: in-band end marker instead of halt."""
+        d = Disruptor(16)
+        done = threading.Event()
+        seen = []
+
+        def consumer(v, s, eob):
+            if v is None:
+                done.set()
+            else:
+                seen.append(v)
+
+        d.handle_events_with(consumer)
+        d.start()
+        d.publish_all([1, 2, 3])
+        d.publish(None)
+        assert done.wait(timeout=5.0)
+        d.halt()
+        assert seen == [1, 2, 3]

@@ -1,0 +1,122 @@
+"""Tests for ring-buffer mechanics: sequences, claims, publication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DisruptorError
+from repro.disruptor import (
+    INITIAL,
+    MultiThreadedClaimStrategy,
+    RingBuffer,
+    Sequence,
+    SingleThreadedClaimStrategy,
+    minimum_sequence,
+)
+
+
+class TestSequence:
+    def test_initial(self):
+        assert Sequence().get() == INITIAL
+
+    def test_set_get(self):
+        s = Sequence()
+        s.set(5)
+        assert s.get() == 5
+
+    def test_minimum(self):
+        a, b = Sequence(3), Sequence(7)
+        assert minimum_sequence([a, b], INITIAL) == 3
+        assert minimum_sequence([], 42) == 42
+
+    def test_repr(self):
+        assert "Sequence(-1)" in repr(Sequence())
+
+
+class TestRingBuffer:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(DisruptorError):
+            RingBuffer(3)
+        with pytest.raises(DisruptorError):
+            RingBuffer(0)
+        RingBuffer(8)  # ok
+
+    def test_publish_and_get(self):
+        ring = RingBuffer(8)
+        ring.add_gating_sequences(Sequence(100))  # no backpressure
+        hi = ring.publish_batch(["a", "b", "c"])
+        assert hi == 2
+        assert [ring.get(i) for i in range(3)] == ["a", "b", "c"]
+        assert ring.cursor.get() == 2
+
+    def test_wraparound_overwrites(self):
+        ring = RingBuffer(4)
+        ring.add_gating_sequences(Sequence(100))
+        ring.publish_batch([0, 1, 2, 3])
+        ring.publish_batch([4])
+        assert ring.get(4) == 4
+        assert ring.get(0) == 4  # same slot, recycled
+
+    def test_producer_without_gating_rejected(self):
+        ring = RingBuffer(4)
+        with pytest.raises(DisruptorError, match="gating"):
+            ring.next()
+
+    def test_batch_larger_than_ring_rejected(self):
+        ring = RingBuffer(4)
+        ring.add_gating_sequences(Sequence(100))
+        with pytest.raises(DisruptorError):
+            ring.publish_batch(list(range(5)))
+
+    def test_empty_batch_noop(self):
+        ring = RingBuffer(4)
+        ring.add_gating_sequences(Sequence(100))
+        assert ring.publish_batch([]) == INITIAL
+
+    def test_manual_claim_set_publish(self):
+        ring = RingBuffer(8)
+        ring.add_gating_sequences(Sequence(100))
+        hi = ring.next(2)
+        ring.set(hi - 1, "x")
+        ring.set(hi, "y")
+        ring.publish(hi - 1, hi)
+        assert ring.get(0) == "x" and ring.get(1) == "y"
+
+    def test_barrier_tracks_cursor(self):
+        ring = RingBuffer(8)
+        ring.add_gating_sequences(Sequence(100))
+        barrier = ring.new_barrier()
+        assert barrier.available() == INITIAL
+        ring.publish_batch([1, 2])
+        assert barrier.available() == 1
+
+    def test_barrier_with_dependents(self):
+        ring = RingBuffer(8)
+        ring.add_gating_sequences(Sequence(100))
+        upstream = Sequence(0)
+        barrier = ring.new_barrier([upstream])
+        ring.publish_batch([1, 2, 3])
+        assert barrier.available() == 0  # limited by upstream consumer
+        upstream.set(2)
+        assert barrier.available() == 2
+
+
+class TestClaimStrategies:
+    def test_single_threaded_sequential_claims(self):
+        c = SingleThreadedClaimStrategy(8)
+        gate = [Sequence(100)]
+        assert c.next(1, gate) == 0
+        assert c.next(3, gate) == 3
+        c.publish(0, 3)
+        assert c.cursor.get() == 3
+
+    def test_multi_producer_out_of_order_publish(self):
+        c = MultiThreadedClaimStrategy(16)
+        gate = [Sequence(100)]
+        a = c.next(2, gate)  # 0..1
+        b = c.next(2, gate)  # 2..3
+        c.publish(2, 3)  # second batch lands first
+        assert c.cursor.get() == INITIAL  # gap: nothing visible yet
+        c.publish(0, 1)
+        assert c.cursor.get() == 3  # contiguous now
+        del a, b

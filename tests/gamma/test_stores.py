@@ -1,0 +1,196 @@
+"""Conformance suite run against every Gamma store backend, plus
+backend-specific behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.query import build_query
+from repro.core.schema import TableSchema
+from repro.core.tuples import TableHandle
+from repro.gamma import (
+    ArrayOfHashSetsStore,
+    ConcurrentSkipListStore,
+    HashIndexStore,
+    HashKeyStore,
+    StoreRegistry,
+    TreeSetStore,
+)
+
+
+def keyed_schema() -> TableSchema:
+    return TableSchema("Rec", "int year, int month -> int power", orderby=("A",))
+
+
+KEYED_FACTORIES = [
+    pytest.param(lambda s: TreeSetStore(s), id="treeset"),
+    pytest.param(lambda s: ConcurrentSkipListStore(s), id="concurrent-skiplist"),
+    pytest.param(lambda s: HashKeyStore(s), id="hashkey"),
+    pytest.param(lambda s: HashKeyStore(s, concurrent=True), id="concurrent-hashkey"),
+    pytest.param(lambda s: HashIndexStore(s, ("year", "month")), id="hashindex"),
+    pytest.param(lambda s: ArrayOfHashSetsStore(s, "month", 1, 12), id="array-of-hashsets"),
+    pytest.param(
+        lambda s: ArrayOfHashSetsStore(s, "month", 1, 12, concurrent=True),
+        id="array-of-hashsets-concurrent",
+    ),
+]
+
+
+@pytest.fixture(params=KEYED_FACTORIES)
+def store(request):
+    schema = keyed_schema()
+    return TableHandle(schema), request.param(schema)
+
+
+class TestConformance:
+    def test_insert_dedup(self, store):
+        T, s = store
+        t = T.new(2012, 3, 100)
+        assert s.insert(t)
+        assert not s.insert(t)
+        assert not s.insert(T.new(2012, 3, 100))
+        assert len(s) == 1
+
+    def test_contains(self, store):
+        T, s = store
+        t = T.new(2012, 3, 100)
+        assert t not in s
+        s.insert(t)
+        assert t in s
+        assert T.new(2012, 4, 100) not in s
+
+    def test_scan_complete(self, store):
+        T, s = store
+        tuples = {T.new(2012, m, m * 10) for m in range(1, 7)}
+        for t in tuples:
+            s.insert(t)
+        assert set(s.scan()) == tuples
+
+    def test_lookup_key(self, store):
+        T, s = store
+        t = T.new(2012, 5, 55)
+        s.insert(t)
+        assert s.lookup_key((2012, 5)) == t
+        assert s.lookup_key((2012, 6)) is None
+
+    def test_select_by_full_key(self, store):
+        T, s = store
+        for m in range(1, 5):
+            s.insert(T.new(2012, m, m))
+        got = list(s.select(build_query(T, 2012, 3)))
+        assert [t.power for t in got] == [3]
+
+    def test_select_with_predicate(self, store):
+        T, s = store
+        for m in range(1, 7):
+            s.insert(T.new(2012, m, m))
+        q = build_query(T, where=lambda t: t.power % 2 == 0)
+        assert sorted(t.power for t in s.select(q)) == [2, 4, 6]
+
+    def test_select_range(self, store):
+        T, s = store
+        for m in range(1, 7):
+            s.insert(T.new(2012, m, m))
+        q = build_query(T, ranges={"month": {"ge": 3, "lt": 5}})
+        assert sorted(t.month for t in s.select(q)) == [3, 4]
+
+    def test_clear(self, store):
+        T, s = store
+        s.insert(T.new(2012, 1, 1))
+        s.clear()
+        assert len(s) == 0 and list(s.scan()) == []
+
+    def test_discard(self, store):
+        T, s = store
+        t = T.new(2012, 1, 1)
+        s.insert(t)
+        assert s.discard(t)
+        assert t not in s and len(s) == 0
+        assert not s.discard(t)
+
+    def test_heap_tuples_counts_objects(self, store):
+        T, s = store
+        for m in range(1, 4):
+            s.insert(T.new(2012, m, m))
+        assert s.heap_tuples() == 3
+
+
+class TestTreeSetSpecifics:
+    def test_prefix_range_scan(self):
+        schema = keyed_schema()
+        T = TableHandle(schema)
+        s = TreeSetStore(schema)
+        for y in (2011, 2012):
+            for m in range(1, 13):
+                s.insert(T.new(y, m, m))
+        got = list(s.select(build_query(T, 2012)))
+        assert len(got) == 12 and all(t.year == 2012 for t in got)
+
+    def test_concurrent_variant_has_resource(self):
+        s = ConcurrentSkipListStore(keyed_schema())
+        assert s.cost.resource == "gamma:Rec"
+        assert s.cost.serial_fraction > 0
+        assert TreeSetStore(keyed_schema()).cost.resource is None
+
+
+class TestHashSpecifics:
+    def test_hashkey_requires_key(self):
+        schema = TableSchema("NoKey", "int a, int b")
+        with pytest.raises(SchemaError):
+            HashKeyStore(schema)
+
+    def test_hashindex_defaults_to_key_fields(self):
+        s = HashIndexStore(keyed_schema())
+        assert s.index_fields == ("year", "month")
+
+    def test_hashindex_on_unkeyed_table(self):
+        schema = TableSchema("Log", "int a, int b")
+        s = HashIndexStore(schema)
+        assert s.index_fields == ("a",)
+
+    def test_hashindex_bucketed_select(self):
+        schema = TableSchema("Edge", "int src, int dst")
+        T = TableHandle(schema)
+        s = HashIndexStore(schema, ("src",))
+        for d in range(5):
+            s.insert(T.new(d % 2, d))
+        got = list(s.select(build_query(T, src=0)))
+        assert sorted(t.dst for t in got) == [0, 2, 4]
+
+    def test_array_store_range_enforced(self):
+        schema = keyed_schema()
+        T = TableHandle(schema)
+        s = ArrayOfHashSetsStore(schema, "month", 1, 12)
+        with pytest.raises(SchemaError, match="outside"):
+            s.insert(T.new(2012, 13, 0))
+
+    def test_array_store_bad_range(self):
+        with pytest.raises(SchemaError):
+            ArrayOfHashSetsStore(keyed_schema(), "month", 5, 2)
+
+    def test_array_store_slot_select(self):
+        schema = keyed_schema()
+        T = TableHandle(schema)
+        s = ArrayOfHashSetsStore(schema, "month", 1, 12)
+        for m in range(1, 13):
+            s.insert(T.new(2012, m, m))
+        got = list(s.select(build_query(T, month=7)))
+        assert [t.power for t in got] == [7]
+
+    def test_array_of_hashsets_low_serial_fraction(self):
+        """Per-slot independence is the Fig 8 story: the custom store
+        contends far less than one shared concurrent map."""
+        custom = ArrayOfHashSetsStore(keyed_schema(), "month", 1, 12, concurrent=True)
+        shared = ConcurrentSkipListStore(keyed_schema())
+        assert custom.cost.serial_fraction < shared.cost.serial_fraction
+
+
+class TestRegistry:
+    def test_default_and_override(self):
+        schema = keyed_schema()
+        reg = StoreRegistry(lambda s: TreeSetStore(s))
+        assert isinstance(reg.create(schema), TreeSetStore)
+        reg.override("Rec", lambda s: HashKeyStore(s))
+        assert isinstance(reg.create(schema), HashKeyStore)
+        assert reg.has_override("Rec") and not reg.has_override("Other")

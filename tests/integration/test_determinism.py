@@ -1,0 +1,82 @@
+"""The language's headline guarantee (§1.3): program output is
+independent of the parallelism strategy.  Every case study under every
+strategy must produce the same answer — "this stage can change the
+efficiency of the program but cannot change its correctness" (§2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.matmul import random_matrix, run_matmul
+from repro.apps.median import median_from_result, random_doubles, run_median
+from repro.apps.pvwatts import month_means_from_output, run_pvwatts
+from repro.apps.ship import FIG2_TRACE, run_ship, ship_trace
+from repro.apps.shortestpath import (
+    GraphSpec,
+    distances_from_result,
+    recommended_options,
+    run_shortestpath,
+)
+from repro.core import ExecOptions
+
+STRATEGIES = [
+    pytest.param(("sequential", 1), id="sequential"),
+    pytest.param(("forkjoin", 1), id="forkjoin-1"),
+    pytest.param(("forkjoin", 8), id="forkjoin-8"),
+    pytest.param(("threads", 3), id="threads-3"),
+]
+
+
+def opts(strategy_threads) -> ExecOptions:
+    s, t = strategy_threads
+    return ExecOptions(strategy=s, threads=t)
+
+
+@pytest.mark.parametrize("st", STRATEGIES)
+class TestAllAppsAllStrategies:
+    def test_ship(self, st):
+        assert ship_trace(run_ship(opts(st))) == FIG2_TRACE
+
+    def test_pvwatts(self, st, pvwatts_csv):
+        r = run_pvwatts(
+            pvwatts_csv, opts(st).with_(no_delta=frozenset({"PvWatts"})), n_readers=4
+        )
+        means = month_means_from_output(r.output)
+        ref = month_means_from_output(
+            run_pvwatts(pvwatts_csv, ExecOptions(no_delta=frozenset({"PvWatts"}))).output
+        )
+        assert {k: round(v, 3) for k, v in means.items()} == {
+            k: round(v, 3) for k, v in ref.items()
+        }
+
+    def test_matmul(self, st):
+        a, b = random_matrix(16, 1), random_matrix(16, 2)
+        _, c = run_matmul(a, b, opts(st).with_(no_delta=frozenset({"Matrix"})), "native")
+        assert (c == a @ b).all()
+
+    def test_shortestpath(self, st):
+        spec = GraphSpec(n_vertices=120, extra_edges=240, seed=1)
+        ref = distances_from_result(run_shortestpath(spec))
+        got = distances_from_result(
+            run_shortestpath(spec, recommended_options(opts(st)))
+        )
+        assert got == ref
+
+    def test_median(self, st):
+        vals = random_doubles(3000, seed=4)
+        ref = median_from_result(run_median(vals))
+        assert median_from_result(run_median(vals, opts(st))) == ref
+
+
+class TestOutputOrderCaveat:
+    """§2: "input-output behaviour is preserved, except that output
+    tuples may be produced in a different order" — with different
+    reader counts the *set* of output lines is identical even when the
+    order differs."""
+
+    def test_pvwatts_reader_counts(self, pvwatts_csv):
+        base = ExecOptions(no_delta=frozenset({"PvWatts"}))
+        r1 = run_pvwatts(pvwatts_csv, base, n_readers=1)
+        r8 = run_pvwatts(pvwatts_csv, base, n_readers=8)
+        assert sorted(r1.output) == sorted(r8.output)

@@ -1,0 +1,98 @@
+"""Scalability smoke tests: larger-than-unit workloads must stay inside
+sane wall-time envelopes (catches accidental quadratic regressions in
+the Delta tree, stores, or the engine loop)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ExecOptions
+
+
+def wall(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("years,budget", [(3, 6.0)])
+def test_pvwatts_three_years(years, budget):
+    from repro.apps.pvwatts import month_means_from_output, run_pvwatts
+    from repro.csvio import generate_csv_bytes
+
+    data = generate_csv_bytes(n_years=years)
+
+    result = {}
+
+    def go():
+        result["r"] = run_pvwatts(
+            data, ExecOptions(no_delta=frozenset({"PvWatts"})), n_readers=4
+        )
+
+    t = wall(go)
+    assert t < budget, f"{t:.1f}s for {years} years"
+    assert len(month_means_from_output(result["r"].output)) == 12 * years
+
+
+def test_dijkstra_5k_vertices():
+    from repro.apps.baselines.shortestpath_base import dijkstra_baseline
+    from repro.apps.shortestpath import (
+        GraphSpec,
+        distances_from_result,
+        make_graph,
+        run_shortestpath,
+    )
+
+    spec = GraphSpec(n_vertices=5000, extra_edges=10000)
+    result = {}
+
+    def go():
+        result["r"] = run_shortestpath(spec)
+
+    t = wall(go)
+    assert t < 8.0, f"{t:.1f}s"
+    assert distances_from_result(result["r"]) == dijkstra_baseline(
+        make_graph(spec), spec.n_vertices
+    )
+
+
+def test_median_four_million():
+    import numpy as np
+
+    from repro.apps.median import median_from_result, random_doubles, run_median
+
+    vals = random_doubles(4_000_000)
+    result = {}
+
+    def go():
+        result["r"] = run_median(vals)
+
+    t = wall(go)
+    assert t < 5.0, f"{t:.1f}s"
+    k = (len(vals) - 1) // 2
+    assert median_from_result(result["r"]) == float(np.partition(vals, k)[k])
+
+
+def test_delta_tree_hundred_thousand_inserts():
+    from repro.core import Program
+    from repro.core.delta import DeltaTree
+    from repro.core.ordering import evaluate_orderby
+
+    p = Program()
+    T = p.table("T", "int t, int i", orderby=("Int", "seq t", "par i"))
+    p.freeze()
+    d = DeltaTree()
+
+    def go():
+        for n in range(100_000):
+            tup = T.new(n % 500, n)
+            d.insert(tup, evaluate_orderby(T.schema.orderby, tup.asdict(), p.decls))
+        total = 0
+        while d:
+            total += len(d.pop_min_class())
+        assert total == 100_000
+
+    t = wall(go)
+    assert t < 8.0, f"{t:.1f}s"

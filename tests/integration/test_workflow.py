@@ -1,0 +1,125 @@
+"""End-to-end tests of the paper's §2 workflow claims: parallelism and
+data-structure decisions change *only* ExecOptions, never the program;
+plus cross-cutting behaviour (stats + solver + engine together)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.apps.pvwatts import (
+    array_of_hashsets_store,
+    build_pvwatts_program,
+    hash_index_store,
+    month_means_from_output,
+)
+from repro.core import ExecOptions, Program, StratificationWarning
+from repro.solver import check_program
+from repro.stats import execution_graph
+from repro.viz import graph_ascii, to_dot
+
+
+class TestStageSeparation:
+    """One program object, many architecture configurations."""
+
+    CONFIGS = [
+        ExecOptions(),
+        ExecOptions(no_delta=frozenset({"PvWatts"})),
+        ExecOptions(strategy="forkjoin", threads=8, no_delta=frozenset({"PvWatts"})),
+        ExecOptions(
+            strategy="forkjoin",
+            threads=4,
+            no_delta=frozenset({"PvWatts"}),
+            store_overrides={"PvWatts": array_of_hashsets_store()},
+        ),
+        ExecOptions(
+            no_delta=frozenset({"PvWatts"}),
+            no_gamma=frozenset({"SumMonth"}),
+            store_overrides={"PvWatts": hash_index_store(concurrent=False)},
+        ),
+    ]
+
+    def test_same_source_every_configuration(self, pvwatts_csv):
+        results = []
+        for cfg in self.CONFIGS:
+            handles = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv", n_readers=2)
+            r = handles.program.run(cfg)
+            results.append(
+                {k: round(v, 3) for k, v in month_means_from_output(r.output).items()}
+            )
+        assert all(res == results[0] for res in results)
+
+    def test_configurations_differ_in_time_not_answer(self, pvwatts_csv):
+        handles = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv")
+        plain = handles.program.run(self.CONFIGS[0])
+        opt = handles.program.run(self.CONFIGS[1])
+        assert plain.virtual_time != opt.virtual_time
+
+
+class TestProfileThenDecide:
+    """§2 stages 2-4: run, inspect stats, choose a strategy."""
+
+    def test_stats_identify_hot_table(self, pvwatts_csv):
+        handles = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv")
+        r = handles.program.run()
+        hot = max(r.stats.tables.items(), key=lambda kv: kv[1].puts)[0]
+        assert hot == "PvWatts"  # exactly the table the paper optimises
+
+    def test_execution_graph_renders(self, pvwatts_csv):
+        handles = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv")
+        r = handles.program.run(ExecOptions(no_delta=frozenset({"PvWatts"})))
+        g = execution_graph(r.stats)
+        dot = to_dot(g)
+        txt = graph_ascii(g)
+        assert "PvWatts" in dot and "SumMonth" in dot
+        assert "==>" in txt
+
+    def test_machine_report_phases(self, pvwatts_csv):
+        handles = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv")
+        r = handles.program.run(
+            ExecOptions(strategy="forkjoin", threads=8, no_delta=frozenset({"PvWatts"}))
+        )
+        rep = r.report
+        assert rep.busy > 0 and rep.elapsed >= rep.busy / rep.n_cores
+
+
+class TestStaticAndDynamicChecksAgree:
+    def test_statically_failing_program_also_warns_dynamically(self, pvwatts_csv):
+        """§6.1: dropping the order declaration fails the prover AND
+        triggers the runtime stratification warning."""
+        handles = build_pvwatts_program(
+            {"f.csv": pvwatts_csv}, "f.csv", declare_order=False
+        )
+        with pytest.warns(StratificationWarning):
+            check_program(handles.program)
+        with pytest.warns(StratificationWarning):
+            handles.program.run()
+
+    def test_proved_program_runs_clean(self, pvwatts_csv):
+        handles = build_pvwatts_program({"f.csv": pvwatts_csv}, "f.csv")
+        check_program(handles.program, strict=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StratificationWarning)
+            handles.program.run()
+
+
+class TestEventDrivenStyle:
+    """§3: external input tuples enter through the Delta set and trigger
+    rules — the event-driven idiom."""
+
+    def test_inputs_trigger_rules_in_causal_order(self):
+        p = Program("events")
+        Event = p.table("Event", "int at, str what", orderby=("Int", "seq at"))
+        log: list[str] = []
+
+        @p.foreach(Event)
+        def handle(ctx, e):
+            log.append(f"{e.at}:{e.what}")
+
+        # deliberately out of order: the Delta tree sequences them
+        p.put(Event.new(3, "c"))
+        p.put(Event.new(1, "a"))
+        p.put(Event.new(2, "b"))
+        p.run()
+        assert log == ["1:a", "2:b", "3:c"]

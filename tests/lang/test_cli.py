@@ -1,0 +1,82 @@
+"""Tests for the `python -m repro.lang` command-line runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.__main__ import main
+
+SHIP = """
+table Ship(int frame -> int x, int y, int dx, int dy) orderby (Int, seq frame)
+put new Ship(0, 10, 10, 150, 0);
+foreach (Ship s) {
+  if (s.x < 400) { put new Ship(s.frame+1, s.x+150, s.y, s.dx, s.dy) }
+  println("x=" + s.x)
+}
+"""
+
+BAD_SYNTAX = "table ???"
+
+PAST_PUT = """
+table T(int t) orderby (Int, seq t)
+put new T(5)
+foreach (T x) { put new T(x.t - 1) }
+"""
+
+
+@pytest.fixture
+def ship_file(tmp_path):
+    f = tmp_path / "ship.jstar"
+    f.write_text(SHIP)
+    return str(f)
+
+
+class TestCli:
+    def test_run_prints_output(self, ship_file, capsys):
+        assert main([ship_file]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["x=10", "x=160", "x=310", "x=460"]
+
+    def test_parallel_flags(self, ship_file, capsys):
+        assert main([ship_file, "--threads", "4", "--no-delta", "Ship"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4
+
+    def test_check_mode_proved(self, ship_file, capsys):
+        assert main([ship_file, "--check"]) == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_check_mode_prover_selection(self, ship_file, capsys):
+        assert main([ship_file, "--check", "--prover", "simplex"]) == 0
+        assert main([ship_file, "--check", "--prover", "cross-check"]) == 0
+        del capsys
+
+    def test_check_mode_failure_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "bad.jstar"
+        f.write_text(PAST_PUT)
+        assert main([str(f), "--check"]) == 2
+        assert "UNPROVED" in capsys.readouterr().out
+
+    def test_syntax_error_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "syntax.jstar"
+        f.write_text(BAD_SYNTAX)
+        assert main([str(f)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/x.jstar"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_runtime_error_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "runtime.jstar"
+        f.write_text(PAST_PUT)
+        assert main([str(f)]) == 1  # CausalityError at runtime
+        assert "past" in capsys.readouterr().err
+
+    def test_report_flag(self, ship_file, capsys):
+        assert main([ship_file, "--threads", "2", "--report"]) == 0
+        err = capsys.readouterr().err
+        assert "virtual machine" in err
+
+    def test_graph_flag(self, ship_file, capsys):
+        assert main([ship_file, "--graph"]) == 0
+        assert "Ship ==>" in capsys.readouterr().out

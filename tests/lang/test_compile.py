@@ -1,0 +1,253 @@
+"""Compilation + execution tests for textual JStar programs, including
+the paper's Fig 4 and Fig 5 listings near-verbatim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.baselines.shortestpath_base import dijkstra_baseline
+from repro.apps.ship import FIG2_TRACE
+from repro.core import ExecOptions
+from repro.lang import CompileError, compile_source
+
+
+class TestBasics:
+    def test_ship_program_matches_fig2(self):
+        p = compile_source(
+            """
+            table Ship(int frame -> int x, int y, int dx, int dy)
+                orderby (Int, seq frame)
+            put new Ship(0, 10, 10, 150, 0);
+            foreach (Ship s) {
+              if (s.dx > 0) {
+                if (s.x + s.dx >= 460) { put new Ship(s.frame+1, 460, s.y, 0, 10) }
+                else { put new Ship(s.frame+1, s.x + s.dx, s.y, s.dx, s.dy) }
+              } else { if (s.dy > 0) {
+                if (s.y + s.dy >= 30) { put new Ship(s.frame+1, s.x, 30, -150, 0) }
+                else { put new Ship(s.frame+1, s.x, s.y + s.dy, s.dx, s.dy) }
+              } else {
+                if (s.x + s.dx > 10) { put new Ship(s.frame+1, s.x + s.dx, s.y, s.dx, s.dy) }
+              } }
+            }
+            """
+        )
+        r = p.run()
+        trace = sorted(tuple(t.values) for t in r.database.store("Ship").scan())
+        assert trace == FIG2_TRACE
+
+    def test_defaults_in_named_constructor(self):
+        # §3: "use default values for frame and dy"
+        p = compile_source(
+            """
+            table Ship(int frame -> int x, int y, int dx, int dy)
+                orderby (Int, seq frame)
+            put new Ship() [x=10; dx=150; y=10]
+            """
+        )
+        r = p.run()
+        (ship,) = r.database.store("Ship").scan()
+        assert ship.values == (0, 10, 10, 150, 0)
+
+    def test_string_concat_like_java(self):
+        p = compile_source(
+            """
+            table T(int x) orderby (A, seq x)
+            put new T(3)
+            foreach (T t) { println("x=" + t.x + "!") }
+            """
+        )
+        assert p.run().output == ["x=3!"]
+
+    def test_java_integer_division(self):
+        p = compile_source(
+            """
+            table T(int x) orderby (A, seq x)
+            put new T(7)
+            foreach (T t) { println(t.x / 2)  println((0 - t.x) / 2) }
+            """
+        )
+        assert p.run().output == ["3", "-3"]  # truncation toward zero
+
+    def test_val_bindings_and_arith(self):
+        p = compile_source(
+            """
+            table T(int x) orderby (A, seq x)
+            put new T(5)
+            foreach (T t) {
+              val y = t.x * 2 + 1
+              val z = y % 4
+              println(y)  println(z)  println(y != z)  println(!(y < z))
+            }
+            """
+        )
+        assert p.run().output == ["11", "3", "True", "True"]
+
+    def test_statistics_reducer_box(self):
+        # Fig 4's idiom: val stats = new Statistics(); stats += v; stats.mean
+        p = compile_source(
+            """
+            table Data(int g, int v) orderby (A)
+            table Go(int g) orderby (B)
+            order A < B;
+            put new Data(0, 2)  put new Data(0, 4)  put new Data(0, 9)
+            put new Go(0)
+            foreach (Go g) {
+              val stats = new Statistics()
+              for (d : get Data(g.g)) { stats += d.v }
+              println(stats.mean)  println(stats.count)
+            }
+            """
+        )
+        assert p.run().output == ["5.0", "3"]
+
+    def test_unknown_table_in_put(self):
+        src = "table T(int x)\nput new T(1)\nforeach (T t) { put new U(1) }"
+        with pytest.raises(CompileError, match="unknown table"):
+            compile_source(src).run()
+
+    def test_unknown_variable(self):
+        p = compile_source("table T(int x) orderby (A, seq x)\nput new T(1)\nforeach (T t) { println(nope) }")
+        with pytest.raises(CompileError, match="unknown variable"):
+            p.run()
+
+    def test_field_access_on_null(self):
+        p = compile_source(
+            """
+            table T(int k -> int v) orderby (A, seq k)
+            put new T(1, 5)
+            foreach (T t) {
+              val missing = get uniq? T(99)
+              println(missing.v)
+            }
+            """
+        )
+        with pytest.raises(CompileError, match="null"):
+            p.run()
+
+    def test_plus_assign_requires_reducer(self):
+        p = compile_source(
+            """
+            table T(int x) orderby (A, seq x)
+            put new T(1)
+            foreach (T t) { val s = 0  s += t.x }
+            """
+        )
+        with pytest.raises(CompileError, match="needs a reducer"):
+            p.run()
+
+
+class TestFig4PvWatts:
+    """Fig 4 near-verbatim (the CSV read-loop is replaced by initial
+    puts — the paper elides its body as '...code to read...' anyway)."""
+
+    SRC = """
+        table PvWatts(int year, int month, int day, String hour, int power)
+            orderby (PvWatts);
+        table SumMonth(int year, int month) orderby (SumMonth);
+        order Req < PvWatts < SumMonth;
+
+        foreach (PvWatts pv) { put new SumMonth(pv.year, pv.month); }
+        foreach (SumMonth s) {
+          val stats = new Statistics()
+          for (record : get PvWatts(s.year, s.month)) {
+            stats += record.power
+          }
+          println(s.year + "/" + s.month + ": " + stats.mean)
+        }
+    """
+
+    def _program(self):
+        p = compile_source(self.SRC, "fig4")
+        PvWatts = p.tables["PvWatts"]
+        data = {(2012, 1): [100, 200], (2012, 2): [50, 150, 100]}
+        for (y, m), powers in data.items():
+            for d, power in enumerate(powers):
+                p.put(PvWatts.new(y, m, d + 1, "12:00", power))
+        return p
+
+    def test_monthly_means(self):
+        r = self._program().run()
+        assert sorted(r.output) == ["2012/1: 150.0", "2012/2: 100.0"]
+
+    def test_set_semantics_dedups_summonth(self):
+        r = self._program().run()
+        assert r.table_sizes["SumMonth"] == 2
+
+    def test_rules_prove_with_order_declared(self):
+        rep = self._program().check_causality()
+        assert rep.all_proved, rep.summary()
+
+    def test_strategy_independent(self):
+        seq = self._program().run().output
+        par = self._program().run(ExecOptions(strategy="forkjoin", threads=8)).output
+        assert sorted(seq) == sorted(par)
+
+
+class TestFig5Dijkstra:
+    """Fig 5 near-verbatim (graph injected as Edge puts; the paper's
+    generation code is elided there too)."""
+
+    SRC = """
+        table Edge(int src, int dst, int value) orderby (Edge);
+        /** Estimated shortest distance to vertex. */
+        table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate);
+        put new Estimate(0, 0); // Set the origin.
+        /** Final shortest-path to each vertex. */
+        table Done(int vertex -> int distance) orderby (Int, seq distance, Done)
+        order Edge < Int;
+        order Estimate < Done;
+
+        /**
+         * This implements Dijkstra's shortest path algorithm.
+         * The Estimate tuples are ordered by increasing distance.
+         */
+        foreach (Estimate dist) {
+          if (get uniq? Done(dist.vertex, [distance < dist.distance]) == null) {
+            put new Done(dist.vertex, dist.distance);
+            for (edge : get Edge(dist.vertex)) {
+              if (get uniq? Done(edge.dst) == null) {
+                put new Estimate(edge.dst, dist.distance + edge.value);
+              }
+            }
+          }
+        }
+    """
+
+    def _run(self, edges, n):
+        p = compile_source(self.SRC, "fig5")
+        Edge = p.tables["Edge"]
+        for s, d, w in edges:
+            p.put(Edge.new(s, d, w))
+        r = p.run(ExecOptions(causality_check="warn"))
+        return {t.vertex: t.distance for t in r.database.store("Done").scan()}
+
+    def test_small_graph(self):
+        edges = [(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 5)]
+        dist = self._run(edges, 4)
+        assert dist == {0: 0, 2: 1, 1: 3, 3: 4}
+
+    def test_random_graph_matches_baseline(self):
+        from repro.apps.shortestpath import GraphSpec, make_graph
+
+        spec = GraphSpec(n_vertices=60, extra_edges=120, seed=4)
+        edges = make_graph(spec)
+        assert self._run(edges, spec.n_vertices) == dijkstra_baseline(
+            edges, spec.n_vertices
+        )
+
+    def test_delta_tree_is_the_priority_queue(self):
+        """No queue appears in the source; ordering falls out of the
+        Estimate orderby — check Done tuples complete in distance order
+        by replaying with trace prints."""
+        edges = [(0, 1, 2), (1, 2, 2), (0, 2, 5)]
+        p = compile_source(self.SRC.replace(
+            "put new Done(dist.vertex, dist.distance);",
+            'println("done " + dist.vertex + " @ " + dist.distance)\n'
+            "put new Done(dist.vertex, dist.distance);",
+        ))
+        Edge = p.tables["Edge"]
+        for s, d, w in edges:
+            p.put(Edge.new(s, d, w))
+        r = p.run()
+        dists = [int(line.rsplit("@", 1)[1]) for line in r.output]
+        assert dists == sorted(dists)

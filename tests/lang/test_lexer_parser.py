@@ -1,0 +1,186 @@
+"""Lexer and parser tests for the JStar concrete syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import LangSyntaxError, parse_expression, parse_program, tokenize
+from repro.lang import ast as A
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("table Ship(int frame -> int x)")
+        kinds = [(t.kind, t.text) for t in toks[:6]]
+        assert kinds[0] == ("keyword", "table")
+        assert kinds[1] == ("name", "Ship")
+        assert ("op", "->") in kinds
+
+    def test_numbers(self):
+        toks = tokenize("42 3.25")
+        assert (toks[0].kind, toks[0].text) == ("int", "42")
+        assert (toks[1].kind, toks[1].text) == ("float", "3.25")
+
+    def test_string_with_escapes(self):
+        (tok, _) = tokenize(r'"a\"b\n"')
+        assert tok.text == 'a"b\n'
+
+    def test_line_comment(self):
+        toks = tokenize("a // comment\n b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comment(self):
+        toks = tokenize("a /* x\ny */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LangSyntaxError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LangSyntaxError, match="unterminated block"):
+            tokenize("/* abc")
+
+    def test_unexpected_char(self):
+        with pytest.raises(LangSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_multichar_ops_greedy(self):
+        toks = tokenize("a <= b -> c == d += e")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<=", "->", "==", "+="]
+
+
+class TestExpressionParser:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        e = parse_expression("a < b && c == d || e")
+        assert isinstance(e, A.Binary) and e.op == "||"
+
+    def test_field_access_chain(self):
+        e = parse_expression("s.frame")
+        assert isinstance(e, A.FieldAccess) and e.field == "frame"
+
+    def test_unary(self):
+        e = parse_expression("-x + !y")
+        assert isinstance(e, A.Binary)
+        assert isinstance(e.left, A.Unary) and e.left.op == "-"
+
+    def test_new_positional(self):
+        e = parse_expression("new Ship(0, 10+1)")
+        assert isinstance(e, A.NewTuple) and e.table == "Ship"
+        assert len(e.args) == 2
+
+    def test_new_named_brackets(self):
+        # §3: new Ship() [frame=0; x=10; dx=150]
+        e = parse_expression("new Ship() [frame=0; x=10; dx=150]")
+        assert isinstance(e, A.NewTuple)
+        assert [f for f, _ in e.named] == ["frame", "x", "dx"]
+
+    def test_get_plain(self):
+        e = parse_expression("get PvWatts(s.year, s.month)")
+        assert isinstance(e, A.GetQuery) and e.mode == "all"
+        assert len(e.args) == 2
+
+    def test_get_uniq_with_predicate(self):
+        # Fig 5: get uniq? Done(dist.vertex, [distance < dist.distance])
+        e = parse_expression("get uniq? Done(dist.vertex, [distance < dist.distance])")
+        assert isinstance(e, A.GetQuery) and e.mode == "uniq"
+        assert e.preds[0][0] == "distance" and e.preds[0][1] == "<"
+
+    def test_get_min(self):
+        e = parse_expression("get min Tuple1(3)")
+        assert isinstance(e, A.GetQuery) and e.mode == "min"
+
+    def test_null_comparison(self):
+        e = parse_expression("get uniq? Done(7) == null")
+        assert isinstance(e, A.Binary) and e.op == "=="
+        assert isinstance(e.right, A.Literal) and e.right.value is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LangSyntaxError):
+            parse_expression("1 + 2 extra")
+
+
+class TestProgramParser:
+    def test_table_with_orderby(self):
+        tree = parse_program(
+            "table Ship(int frame -> int x, int y) orderby (Int, seq frame, par x)"
+        )
+        t = tree.tables[0]
+        assert t.name == "Ship"
+        assert "->" in t.fields_text
+        assert t.orderby == ("Int", "seq frame", "par x")
+
+    def test_order_chain(self):
+        tree = parse_program("order Req < PvWatts < SumMonth;")
+        assert tree.orders[0].names == ("Req", "PvWatts", "SumMonth")
+
+    def test_order_single_name_rejected(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program("order Req;")
+
+    def test_top_level_put(self):
+        tree = parse_program("table T(int x)\nput new T(5)")
+        assert tree.puts[0].value.table == "T"
+
+    def test_top_level_put_requires_new(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program("put 5")
+
+    def test_rule_with_statements(self):
+        tree = parse_program(
+            """
+            table T(int x) orderby (Int, seq x)
+            foreach (T t) {
+              val y = t.x + 1
+              if (y < 10) { put new T(y) } else { println("done") }
+              for (u : get T(0)) { println(u.x) }
+            }
+            """
+        )
+        rule = tree.rules[0]
+        assert rule.trigger_table == "T" and rule.trigger_var == "t"
+        kinds = [type(s).__name__ for s in rule.body]
+        assert kinds == ["ValDecl", "IfStmt", "ForStmt"]
+
+    def test_unsafe_rule(self):
+        tree = parse_program("table T(int x)\nunsafe foreach (T t) { println(1) }")
+        assert tree.rules[0].unsafe
+
+    def test_add_assign_statement(self):
+        tree = parse_program(
+            """
+            table T(int x)
+            foreach (T t) { val s = new Statistics()  s += t.x }
+            """
+        )
+        body = tree.rules[0].body
+        assert isinstance(body[1], A.AddAssign)
+
+    def test_for_requires_plain_get(self):
+        with pytest.raises(LangSyntaxError, match="plain 'get"):
+            parse_program(
+                "table T(int x)\nforeach (T t) { for (u : get uniq? T(1)) { } }"
+            )
+
+    def test_unknown_declaration(self):
+        with pytest.raises(LangSyntaxError, match="expected a declaration"):
+            parse_program("banana")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_program("table T(int x)\n\norder Req;")
+        except LangSyntaxError as e:
+            assert e.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")

@@ -1,0 +1,202 @@
+"""Tests for automatic causality-metadata extraction from textual rules
+(the paper's compiler-to-SMT pipeline, §4)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import StratificationWarning
+from repro.lang import compile_source
+from repro.solver import check_program
+from repro.solver.obligations import RuleMeta
+
+SHIP_HEADER = """
+table Ship(int frame -> int x, int y, int dx, int dy) orderby (Int, seq frame)
+put new Ship(0, 10, 10, 150, 0)
+"""
+
+
+def rule_of(src: str):
+    p = compile_source(src)
+    return p, p.rules[-1]
+
+
+class TestExtraction:
+    def test_simple_put_gets_meta_and_proves(self):
+        p, rule = rule_of(
+            SHIP_HEADER + "foreach (Ship s) { put new Ship(s.frame+1, s.x, s.y, s.dx, s.dy) }"
+        )
+        assert isinstance(rule.meta, RuleMeta)
+        assert check_program(p).all_proved
+
+    def test_put_into_past_fails_statically(self):
+        p, rule = rule_of(
+            SHIP_HEADER + "foreach (Ship s) { put new Ship(s.frame-1, s.x, s.y, s.dx, s.dy) }"
+        )
+        assert isinstance(rule.meta, RuleMeta)
+        with pytest.warns(StratificationWarning):
+            rep = check_program(p)
+        assert rep.findings[-1].status == "failed"
+
+    def test_branch_conditions_used(self):
+        # provable ONLY with the if-condition as hypothesis
+        p, rule = rule_of(
+            SHIP_HEADER
+            + "foreach (Ship s) { if (s.x >= s.frame) { put new Ship(s.x+1, 0, 0, 0, 0) } }"
+        )
+        assert check_program(p).all_proved
+
+    def test_else_branch_negation_used(self):
+        p, _ = rule_of(
+            SHIP_HEADER
+            + """foreach (Ship s) {
+                if (s.frame > s.x) { put new Ship(s.frame+1, 0,0,0,0) }
+                else { put new Ship(s.x+1, 0,0,0,0) }
+              }"""
+        )
+        # else-branch knows frame <= x, so putting at x+1 is in the future
+        assert check_program(p).all_proved
+
+    def test_opaque_condition_dropped_soundly(self):
+        # the condition can't be translated (string compare), but the
+        # put is provable without it
+        p, rule = rule_of(
+            SHIP_HEADER
+            + """foreach (Ship s) {
+                if ("a" == "b") { put new Ship(s.frame+1, 0,0,0,0) }
+              }"""
+        )
+        assert isinstance(rule.meta, RuleMeta)
+        assert check_program(p).all_proved
+
+    def test_val_bindings_inline(self):
+        p, _ = rule_of(
+            SHIP_HEADER
+            + """foreach (Ship s) {
+                val next = s.frame + 2
+                put new Ship(next, 0,0,0,0)
+              }"""
+        )
+        assert check_program(p).all_proved
+
+    def test_defaulted_fields_become_constants(self):
+        # new T() [v=...] leaves t to default 0: put at t=0 from a
+        # trigger at t>=1 violates causality and the prover sees it
+        src = """
+        table T(int t -> int v) orderby (Int, seq t)
+        put new T(1, 0)
+        foreach (T x) { put new T() [v=5] }
+        """
+        p, rule = rule_of(src)
+        assert isinstance(rule.meta, RuleMeta)
+        with pytest.warns(StratificationWarning):
+            rep = check_program(p)
+        assert rep.findings[-1].status == "failed"
+
+    def test_negative_query_bounded_by_predicate_proves(self):
+        # Fig 5's guard: [distance < dist.distance] bounds the region
+        src = """
+        table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate)
+        table Done(int vertex -> int distance) orderby (Int, seq distance, Done)
+        order Estimate < Done
+        put new Estimate(0, 0)
+        foreach (Estimate dist) {
+          if (get uniq? Done(dist.vertex, [distance < dist.distance]) == null) {
+            put new Done(dist.vertex, dist.distance)
+          }
+        }
+        """
+        p, rule = rule_of(src)
+        assert isinstance(rule.meta, RuleMeta)
+        rep = check_program(p)
+        assert rep.all_proved, rep.summary()
+
+    def test_unbounded_negative_query_fails_like_paper(self):
+        # Fig 5's second guard (get uniq? Done(edge.dst)) has no bound:
+        # the prover must NOT claim it proved
+        src = """
+        table Edge(int src, int dst, int value) orderby (Edge)
+        table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate)
+        table Done(int vertex -> int distance) orderby (Int, seq distance, Done)
+        order Edge < Int
+        order Estimate < Done
+        put new Estimate(0, 0)
+        foreach (Estimate dist) {
+          for (edge : get Edge(dist.vertex)) {
+            if (get uniq? Done(edge.dst) == null) {
+              put new Estimate(edge.dst, dist.distance + edge.value)
+            }
+          }
+        }
+        """
+        p, rule = rule_of(src)
+        assert isinstance(rule.meta, RuleMeta)
+        with pytest.warns(StratificationWarning):
+            rep = check_program(p)
+        assert rep.findings[-1].status == "failed"
+
+    def test_loop_var_constrained_by_invariant(self):
+        """The Estimate put above IS provable given the Edge invariant
+        value >= 0 — exactly the §4 invariant workflow."""
+        src = """
+        table Edge(int src, int dst, int value) orderby (Edge)
+        table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate)
+        order Edge < Int
+        put new Estimate(0, 0)
+        foreach (Estimate dist) {
+          for (edge : get Edge(dist.vertex)) {
+            put new Estimate(edge.dst, dist.distance + edge.value)
+          }
+        }
+        """
+        p, rule = rule_of(src)
+        rep_no_inv = check_program(p)
+        put_obs = [
+            o
+            for f in rep_no_inv.findings
+            for o in f.obligations
+            if o.kind == "put-causality"
+        ]
+        assert not put_obs[0].proved  # unprovable without the invariant
+        rep_inv = check_program(
+            p, invariants={"Edge": lambda f: [f["value"] >= 0]}
+        )
+        put_obs = [
+            o
+            for f in rep_inv.findings
+            for o in f.obligations
+            if o.kind == "put-causality"
+        ]
+        assert put_obs[0].proved
+
+    def test_queries_in_for_headers_registered(self):
+        src = """
+        table A(int t) orderby (Int, seq t)
+        put new A(0)
+        foreach (A a) {
+          for (x : get A(a.t + 1)) { println(x.t) }
+        }
+        """
+        p, rule = rule_of(src)
+        assert isinstance(rule.meta, RuleMeta)
+        queries = [q for b in rule.meta.branches for q in b.queries]
+        assert len(queries) == 1  # positive query registered
+
+    def test_min_query_registered_as_aggregate(self):
+        from repro.core.query import QueryKind
+
+        src = """
+        table A(int t) orderby (Int, seq t)
+        put new A(1)
+        foreach (A a) {
+          val m = get min A([t < a.t])
+          println(m == null)
+        }
+        """
+        p, rule = rule_of(src)
+        queries = [q for b in rule.meta.branches for q in b.queries]
+        assert queries[0].kind is QueryKind.AGGREGATE
+        rep = check_program(p)
+        assert rep.all_proved, rep.summary()

@@ -1,0 +1,111 @@
+"""Tests for the auto-generated read-loop rules and the complete,
+verbatim Fig 4 (including its `put PvWattsRequest(...)` line)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecOptions
+from repro.csvio import expected_month_means, generate_csv_bytes
+from repro.lang import compile_source
+from repro.lang.compile import CompileError
+
+FIG4_VERBATIM = """
+table PvWattsRequest(String filename) orderby (Req);
+table PvWatts(int year, int month, int day, String hour, int power) orderby (PvWatts);
+table SumMonth(int year, int month) orderby (SumMonth);
+order Req < PvWatts < SumMonth;
+
+put PvWattsRequest("large1000.csv");
+
+foreach (PvWatts pv) {put new SumMonth(pv.year, pv.month);}
+
+foreach (SumMonth s) {
+  val stats = new Statistics()
+  for (record : get PvWatts(s.year, s.month)) {
+    stats += record.power
+  }
+  println(s.year + "/" + s.month + ": " + stats.mean)
+}
+"""
+
+
+class TestVerbatimFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        data = generate_csv_bytes(n_years=1, seed=42)
+        p = compile_source(FIG4_VERBATIM, files={"large1000.csv": data})
+        return p.run(ExecOptions(no_delta=frozenset({"PvWatts"})))
+
+    def test_all_twelve_months_correct(self, result):
+        truth = expected_month_means()
+        assert len(result.output) == 12
+        for line in result.output:
+            ym, mean = line.split(": ")
+            y, m = ym.split("/")
+            assert float(mean) == pytest.approx(truth[(int(y), int(m))], abs=5e-3)
+
+    def test_read_loop_rule_generated(self, result):
+        assert "read_loop_PvWatts" in result.stats.rules
+        assert result.stats.rules["read_loop_PvWatts"].firings == 1
+        assert result.table_sizes["PvWatts"] == 8760
+
+    def test_string_field_decoded(self, result):
+        sample = next(iter(result.database.store("PvWatts").scan()))
+        assert isinstance(sample.hour, str) and ":" in sample.hour
+
+
+class TestGenerationRules:
+    def test_no_companion_table_no_rule(self):
+        p = compile_source(
+            'table FooRequest(String filename) orderby (Req)\nput FooRequest("x")'
+        )
+        assert p.rules == []  # nothing to read into
+
+    def test_wrong_request_shape_no_rule(self):
+        p = compile_source(
+            "table Foo(int x) orderby (A)\n"
+            "table FooRequest(int id) orderby (Req)\n"
+        )
+        assert p.rules == []
+
+    def test_missing_file_raises(self):
+        src = (
+            "table Foo(int x) orderby (Data)\n"
+            "table FooRequest(String filename) orderby (Req)\n"
+            "order Req < Data\n"
+            'put FooRequest("ghost.csv")'
+        )
+        p = compile_source(src, files={})
+        with pytest.raises(CompileError, match="no file"):
+            p.run()
+
+    def test_constructor_sugar_without_new(self):
+        from repro.lang import parse_expression
+        from repro.lang import ast as A
+
+        e = parse_expression('PvWattsRequest("f.csv")')
+        assert isinstance(e, A.NewTuple) and e.table == "PvWattsRequest"
+
+    def test_sugar_with_named_brackets(self):
+        from repro.lang import parse_expression
+        from repro.lang import ast as A
+
+        e = parse_expression("Ship() [frame=1; x=2]")
+        assert isinstance(e, A.NewTuple)
+        assert e.named == (("frame", A.Literal(1, e.named[0][1].line)),
+                           ("x", A.Literal(2, e.named[1][1].line)))
+
+    def test_float_fields_parse(self):
+        src = (
+            "table Reading(int id, double value) orderby (Data, seq id)\n"
+            "table ReadingRequest(String filename) orderby (Req)\n"
+            "order Req < Data\n"
+            'put ReadingRequest("r.csv")\n'
+            "foreach (Reading r) { println(r.value * 2) }"
+        )
+        p = compile_source(src, files={"r.csv": b"1,2.5\n2,0.25\n"})
+        r = p.run()
+        assert r.output == ["5.0", "0.5"]
+        store = r.database.store("Reading")
+        assert {t.value for t in store.scan()} == {2.5, 0.25}

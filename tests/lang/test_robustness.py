@@ -1,0 +1,75 @@
+"""Robustness fuzz: the front-end must fail *cleanly* on arbitrary
+input — always LangSyntaxError/CompileError with a location, never an
+internal exception."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import CompileError, LangSyntaxError, compile_source, parse_program, tokenize
+
+printable = st.text(alphabet=string.printable, max_size=200)
+
+
+@settings(max_examples=150, deadline=None)
+@given(printable)
+def test_tokenizer_never_crashes(source):
+    try:
+        toks = tokenize(source)
+    except LangSyntaxError:
+        return
+    assert toks[-1].kind == "eof"
+
+
+@settings(max_examples=150, deadline=None)
+@given(printable)
+def test_parser_fails_cleanly(source):
+    try:
+        parse_program(source)
+    except LangSyntaxError as e:
+        assert e.line >= 1
+    # parsing successfully is fine too (e.g. empty/whitespace input)
+
+
+@settings(max_examples=80, deadline=None)
+@given(printable)
+def test_compiler_fails_cleanly(source):
+    try:
+        compile_source(source)
+    except (LangSyntaxError, CompileError):
+        pass
+
+
+# targeted mutations of a valid program: drop/duplicate single tokens
+VALID = (
+    "table T(int t -> int v) orderby (Int, seq t)\n"
+    "put new T(0, 1)\n"
+    "foreach (T x) { if (x.t < 3) { put new T(x.t + 1, x.v) } }\n"
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 200), st.sampled_from(["drop", "dup"]))
+def test_token_level_mutations_fail_cleanly(pos, mode):
+    toks = VALID.split()
+    if pos >= len(toks):
+        return
+    if mode == "drop":
+        mutated = toks[:pos] + toks[pos + 1 :]
+    else:
+        mutated = toks[: pos + 1] + [toks[pos]] + toks[pos + 1 :]
+    source = " ".join(mutated)
+    try:
+        program = compile_source(source)
+        program.run()  # may still be a valid program — must then run
+    except (LangSyntaxError, CompileError):
+        pass
+    except Exception as exc:
+        # runtime errors from a *semantically* changed program are fine
+        # as long as they are the runtime's typed errors
+        from repro.core.errors import JStarError
+
+        assert isinstance(exc, JStarError), exc

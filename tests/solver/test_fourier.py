@@ -1,0 +1,145 @@
+"""Tests for the Fourier–Motzkin core, incl. a brute-force cross-check."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.fourier import entails, entails_all, feasible
+from repro.solver.terms import Constraint, Rel, Term, var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+class TestFeasible:
+    def test_empty_is_feasible(self):
+        assert feasible([])
+
+    def test_simple_box(self):
+        assert feasible([x >= 0, x <= 10, y >= x])
+
+    def test_contradiction(self):
+        assert not feasible([x < y, y < x])
+
+    def test_strictness_matters(self):
+        assert feasible([x <= y, y <= x])
+        assert not feasible([x < y, y <= x])
+
+    def test_ground_contradiction(self):
+        one = Term({}, 1)
+        assert not feasible([Constraint(one, Rel.LE)])  # 1 <= 0
+
+    def test_equality_substitution(self):
+        assert not feasible([x.eq(y), x < y])
+        assert feasible([x.eq(y), x <= y])
+
+    def test_ground_equality(self):
+        assert not feasible([Term({}, 3).eq(0)])
+        assert feasible([Term({}, 0).eq(0)])
+
+    def test_chained(self):
+        assert feasible([x < y, y < z, x < z])
+        assert not feasible([x < y, y < z, z < x])
+
+    def test_coefficients(self):
+        # 2x <= 1 and x >= 1 contradict over Q
+        assert not feasible([2 * x <= 1, x >= 1])
+        assert feasible([2 * x <= 1, x >= 0])
+
+    def test_strict_cycle_through_three_vars(self):
+        assert not feasible([x <= y, y <= z, z < x])
+
+
+class TestEntails:
+    def test_basic(self):
+        assert entails([x < y], x <= y)
+        assert not entails([x <= y], x < y)
+
+    def test_equality_from_bounds(self):
+        assert entails([x <= y, y <= x], x.eq(y))
+
+    def test_transitivity(self):
+        assert entails([x < y, y < z], x < z)
+
+    def test_arith(self):
+        assert entails([x >= 3], x + 1 >= 4)
+        assert entails([], x.eq(x))
+
+    def test_vacuous_from_contradiction(self):
+        assert entails([x < x], y < z)  # ex falso
+
+    def test_entails_all(self):
+        assert entails_all([x.eq(1), y.eq(2)], [x < y, x >= 1])
+        assert not entails_all([x.eq(1)], [x < y])
+
+
+# -- brute-force cross-check over small integer grids --------------------------
+
+VARS = ("x", "y")
+
+
+@st.composite
+def small_atoms(draw):
+    cx = draw(st.integers(-2, 2))
+    cy = draw(st.integers(-2, 2))
+    c = draw(st.integers(-3, 3))
+    rel = draw(st.sampled_from([Rel.LE, Rel.LT, Rel.EQ]))
+    return Constraint(Term({"x": cx, "y": cy}, c), rel)
+
+
+def brute_feasible(atoms, lo=-6, hi=6):
+    """Grid search over a rational sample grid (halves included so
+    strict inequalities with interior solutions are found)."""
+    from fractions import Fraction
+
+    grid = [Fraction(i, 2) for i in range(2 * lo, 2 * hi + 1)]
+    for vx in grid:
+        for vy in grid:
+            if all(a.satisfied_by({"x": vx, "y": vy}) for a in atoms):
+                return True
+    return False
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(small_atoms(), max_size=4))
+def test_fm_never_contradicts_witness(atoms):
+    """If the grid finds a witness, FM must say feasible (soundness of
+    the infeasibility answer)."""
+    if brute_feasible(atoms):
+        assert feasible(atoms)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(small_atoms(), max_size=3), small_atoms())
+def test_entails_is_sound_on_grid(hyps, concl):
+    """Whenever entails() claims validity, every grid point satisfying
+    the hypotheses satisfies the conclusion."""
+    if entails(hyps, concl):
+        from fractions import Fraction
+
+        grid = [Fraction(i, 2) for i in range(-8, 9)]
+        for vx, vy in itertools.product(grid, grid):
+            env = {"x": vx, "y": vy}
+            if all(h.satisfied_by(env) for h in hyps):
+                assert concl.satisfied_by(env)
+
+
+def test_blowup_guard():
+    """MAX_ATOMS should fire rather than hang on absurd inputs."""
+    from repro.core.errors import SolverError
+    from repro.solver import fourier
+
+    n = 30
+    vs = [var(f"v{i}") for i in range(n)]
+    atoms = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            atoms.append(vs[i] + vs[j] <= 1)
+            atoms.append(vs[i] - vs[j] <= 1)
+    try:
+        fourier.feasible(atoms)  # may finish; must not hang
+    except SolverError:
+        pass

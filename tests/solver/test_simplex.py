@@ -1,0 +1,127 @@
+"""Tests for the simplex prover + the cross-prover agreement property
+(§1.5's 'several alternative SMT theorem provers')."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SolverError
+from repro.solver import (
+    DEFAULT_PROVER,
+    PROVERS,
+    check_program,
+    entails,
+    feasible,
+    get_prover,
+    simplex_entails,
+    simplex_feasible,
+    var,
+)
+from repro.solver.simplex import maximize_leq
+from repro.solver.terms import Constraint, Rel, Term
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+class TestMaximizeLeq:
+    def test_simple_lp(self):
+        # max x + y  s.t. x <= 2, y <= 3, x + y <= 4
+        F = Fraction
+        opt = maximize_leq(
+            [F(1), F(1)],
+            [[F(1), F(0)], [F(0), F(1)], [F(1), F(1)]],
+            [F(2), F(3), F(4)],
+        )
+        assert opt == 4
+
+    def test_negative_rhs_phase1(self):
+        # max y  s.t. -x <= -2 (x >= 2), x + y <= 5  -> y* = 3
+        F = Fraction
+        opt = maximize_leq(
+            [F(0), F(1)],
+            [[F(-1), F(0)], [F(1), F(1)]],
+            [F(-2), F(5)],
+        )
+        assert opt == 3
+
+    def test_infeasible_raises(self):
+        F = Fraction
+        with pytest.raises(ValueError, match="infeasible"):
+            maximize_leq([F(1)], [[F(1)], [F(-1)]], [F(1), F(-3)])  # x<=1, x>=3
+
+    def test_unbounded_returns_none(self):
+        F = Fraction
+        assert maximize_leq([F(1)], [[F(-1)]], [F(0)]) is None  # max x, x >= 0
+
+
+class TestSimplexFeasible:
+    def test_matches_known_answers(self):
+        assert simplex_feasible([])
+        assert simplex_feasible([x <= y, y <= x])
+        assert not simplex_feasible([x < y, y < x])
+        assert not simplex_feasible([2 * x <= 1, x >= 1])
+        assert not simplex_feasible([x.eq(y), x < y])
+        assert simplex_feasible([x < y, y < z])
+        assert not simplex_feasible([x < y, y < z, z < x])
+
+    def test_ground_atoms(self):
+        one = Term({}, 1)
+        assert not simplex_feasible([Constraint(one, Rel.LE)])
+        assert simplex_feasible([Constraint(-one, Rel.LT)])
+        assert not simplex_feasible([one.eq(0)])
+
+    def test_entailment(self):
+        assert simplex_entails([x < y], x <= y)
+        assert not simplex_entails([x <= y], x < y)
+        assert simplex_entails([x <= y, y <= x], x.eq(y))
+        assert simplex_entails([x >= 3], x + 1 >= 4)
+
+
+class TestRegistry:
+    def test_default(self):
+        assert get_prover()[1] is PROVERS[DEFAULT_PROVER][1]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SolverError, match="unknown prover"):
+            get_prover("z3")
+
+    def test_cross_check_mode_runs(self):
+        f, e = get_prover("cross-check")
+        assert not f([x < y, y < x])
+        assert e([x < y], x <= y)
+
+    @pytest.mark.parametrize("prover", ["fourier-motzkin", "simplex", "cross-check"])
+    def test_check_program_under_every_prover(self, prover):
+        from repro.apps.ship import build_ship_program
+
+        p, _ = build_ship_program()
+        rep = check_program(p, prover=prover)
+        assert rep.all_proved
+
+
+# -- the agreement property ------------------------------------------------------
+
+
+@st.composite
+def small_atoms(draw):
+    cx = draw(st.integers(-2, 2))
+    cy = draw(st.integers(-2, 2))
+    c = draw(st.integers(-3, 3))
+    rel = draw(st.sampled_from([Rel.LE, Rel.LT, Rel.EQ]))
+    return Constraint(Term({"x": cx, "y": cy}, c), rel)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(small_atoms(), max_size=4))
+def test_provers_agree_on_feasibility(atoms):
+    assert feasible(atoms) == simplex_feasible(atoms)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(small_atoms(), max_size=3), small_atoms())
+def test_provers_agree_on_entailment(hyps, concl):
+    assert entails(hyps, concl) == simplex_entails(hyps, concl)

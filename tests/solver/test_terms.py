@@ -1,0 +1,123 @@
+"""Tests for symbolic linear terms and constraints."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import SolverError
+from repro.solver.terms import Constraint, Rel, Term, const, var
+
+
+class TestArithmetic:
+    def test_addition_merges_coeffs(self):
+        x, y = var("x"), var("y")
+        t = x + y + x
+        assert t.coeffs == {"x": 2, "y": 1}
+
+    def test_constants_fold(self):
+        x = var("x")
+        t = x + 3 - 1
+        assert t.constant == 2
+
+    def test_subtraction_cancels(self):
+        x = var("x")
+        t = x - x
+        assert t.is_constant() and t.constant == 0
+
+    def test_scalar_multiply(self):
+        x = var("x")
+        t = 3 * (x + 1)
+        assert t.coeffs == {"x": 3} and t.constant == 3
+
+    def test_rsub(self):
+        x = var("x")
+        t = 5 - x
+        assert t.coeffs == {"x": -1} and t.constant == 5
+
+    def test_term_times_term_rejected(self):
+        with pytest.raises(SolverError):
+            var("x") * var("y")  # nonlinear
+
+    def test_immutable(self):
+        x = var("x")
+        with pytest.raises(AttributeError):
+            x.constant = Fraction(9)  # type: ignore[misc]
+
+    def test_float_coefficients_exact_enough(self):
+        t = var("x") * 0.5
+        assert t.coeffs["x"] == Fraction(1, 2)
+
+    def test_variables(self):
+        assert (var("x") + var("y")).variables() == {"x", "y"}
+
+    def test_substitute_partial(self):
+        t = var("x") + 2 * var("y")
+        s = t.substitute({"y": 3})
+        assert s.coeffs == {"x": 1} and s.constant == 6
+
+    def test_evaluate(self):
+        t = var("x") + 2 * var("y") + 1
+        assert t.evaluate({"x": 1, "y": 2}) == 6
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(SolverError, match="unbound"):
+            var("x").evaluate({})
+
+    def test_equality_and_hash(self):
+        assert var("x") + 1 == var("x") + 1
+        assert hash(var("x")) == hash(var("x"))
+        assert var("x") != var("y")
+
+    def test_repr(self):
+        assert "x" in repr(var("x") - 2)
+
+
+class TestConstraints:
+    def test_comparisons_build_atoms(self):
+        x, y = var("x"), var("y")
+        assert (x <= y).rel == Rel.LE
+        assert (x < y).rel == Rel.LT
+        assert (x >= y).rel == Rel.LE  # flipped
+        assert (x > y).rel == Rel.LT
+        assert x.eq(y).rel == Rel.EQ
+
+    def test_flip_direction(self):
+        x = var("x")
+        ge = x >= 3  # becomes 3 - x <= 0
+        assert ge.satisfied_by({"x": 3})
+        assert ge.satisfied_by({"x": 4})
+        assert not ge.satisfied_by({"x": 2})
+
+    def test_negate_le(self):
+        x = var("x")
+        (neg,) = (x <= 0).negate()
+        assert neg.rel == Rel.LT
+        assert neg.satisfied_by({"x": 1})
+        assert not neg.satisfied_by({"x": 0})
+
+    def test_negate_eq_splits(self):
+        x = var("x")
+        negs = x.eq(0).negate()
+        assert len(negs) == 2
+        assert any(n.satisfied_by({"x": 1}) for n in negs)
+        assert any(n.satisfied_by({"x": -1}) for n in negs)
+        assert not any(n.satisfied_by({"x": 0}) for n in negs)
+
+    def test_satisfied_by(self):
+        x, y = var("x"), var("y")
+        c = x + 1 < y
+        assert c.satisfied_by({"x": 0, "y": 2})
+        assert not c.satisfied_by({"x": 0, "y": 1})
+
+    def test_constraint_variables(self):
+        c = var("a") < var("b")
+        assert c.variables() == {"a", "b"}
+
+    def test_const_helper(self):
+        assert const(5).is_constant() and const(5).constant == 5
+
+    def test_repr(self):
+        assert "<" in repr(var("x") < 0)
+        assert isinstance(Constraint(var("x"), Rel.EQ), Constraint)

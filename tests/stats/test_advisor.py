@@ -1,0 +1,154 @@
+"""Tests for the data-structure advisor (§1.4 automated)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecOptions, Program
+from repro.gamma import ArrayOfHashSetsStore, HashIndexStore, HashKeyStore
+from repro.stats import advise, overrides_from
+
+
+def run_with_queries(query_fn, n_rows=30, key=False, value_range=12):
+    """Build a two-table program: Data rows + one Probe trigger that
+    issues queries through ``query_fn(ctx, Data)``."""
+    p = Program("advised")
+    decl = "int k -> int v" if key else "int k, int v"
+    Data = p.table("Data", decl, orderby=("A",))
+    Probe = p.table("Probe", "int i", orderby=("B", "par i"))
+    p.order("A", "B")
+
+    @p.foreach(Probe)
+    def probe(ctx, pr):
+        query_fn(ctx, Data)
+
+    for i in range(n_rows):
+        p.put(Data.new(i % value_range, i))
+    for i in range(10):
+        p.put(Probe.new(i))
+    return p.run(ExecOptions())
+
+
+def rec_for(result, table="Data"):
+    return next(r for r in advise(result) if r.table == table)
+
+
+class TestDecisionLadder:
+    def test_unqueried_table_keeps_default(self):
+        r = run_with_queries(lambda ctx, Data: None)
+        rec = rec_for(r)
+        assert rec.kind == "default" and rec.factory is None
+        assert "never queried" in rec.reason
+
+    def test_full_key_queries_get_hash_key(self):
+        r = run_with_queries(lambda ctx, Data: ctx.get(Data, k=3), key=True, value_range=100)
+        rec = rec_for(r)
+        assert rec.kind == "hash-key"
+        assert isinstance(rec.factory(r.database.store("Data").schema), HashKeyStore)
+
+    def test_single_dense_int_field_gets_array_of_hashsets(self):
+        r = run_with_queries(lambda ctx, Data: ctx.get(Data, k=3), value_range=12)
+        rec = rec_for(r)
+        assert rec.kind == "array-of-hashsets"
+        store = rec.factory(r.database.store("Data").schema)
+        assert isinstance(store, ArrayOfHashSetsStore)
+        assert (store.lo, store.hi) == (0, 11)
+        assert "derived automatically" in rec.reason
+
+    def test_sparse_field_falls_back_to_hash_index(self):
+        def sparse(ctx, Data):
+            ctx.get(Data, k=0)
+
+        p = Program("sparse")
+        Data = p.table("Data", "int k, int v", orderby=("A",))
+        Probe = p.table("Probe", "int i", orderby=("B",))
+        p.order("A", "B")
+
+        @p.foreach(Probe)
+        def probe(ctx, pr):
+            sparse(ctx, Data)
+
+        p.put(Data.new(0, 0))
+        p.put(Data.new(10_000, 1))  # span >> MAX_ARRAY_SPAN
+        p.put(Probe.new(0))
+        r = p.run()
+        rec = rec_for(r)
+        assert rec.kind == "hash-index"
+        assert isinstance(rec.factory(Data.schema), HashIndexStore)
+
+    def test_multi_field_signature_gets_hash_index(self):
+        r = run_with_queries(lambda ctx, Data: ctx.get(Data, k=1, v=1))
+        rec = rec_for(r)
+        assert rec.kind == "hash-index"
+        store = rec.factory(r.database.store("Data").schema)
+        assert store.index_fields == ("k", "v")
+
+    def test_range_heavy_tables_keep_ordered_default(self):
+        r = run_with_queries(
+            lambda ctx, Data: ctx.get(Data, ranges={"v": {"lt": 5}})
+        )
+        rec = rec_for(r)
+        assert rec.kind == "ordered-default" and rec.factory is None
+
+    def test_whole_table_scans_keep_default(self):
+        r = run_with_queries(lambda ctx, Data: ctx.get(Data))
+        rec = rec_for(r)
+        assert rec.kind == "default"
+        assert "scan" in rec.reason
+
+    def test_mixed_shapes_below_dominance_keep_default(self):
+        calls = {"n": 0}
+
+        def mixed(ctx, Data):
+            calls["n"] += 1
+            if calls["n"] % 2:
+                ctx.get(Data, k=1)
+            else:
+                ctx.get(Data, v=1)
+
+        r = run_with_queries(mixed)
+        rec = rec_for(r)
+        assert rec.kind == "default"
+        assert "no dominant" in rec.reason
+
+
+class TestEndToEnd:
+    def test_pvwatts_advice_improves_and_preserves_answers(self, pvwatts_csv):
+        from repro.apps.pvwatts import month_means_from_output, run_pvwatts
+
+        base = ExecOptions(no_delta=frozenset({"PvWatts"}))
+        profiled = run_pvwatts(pvwatts_csv, base)
+        recs = advise(profiled)
+        by_table = {r.table: r for r in recs}
+        assert by_table["PvWatts"].kind == "hash-index"
+        advised = run_pvwatts(
+            pvwatts_csv, base.with_(store_overrides=overrides_from(recs))
+        )
+        assert month_means_from_output(advised.output) == month_means_from_output(
+            profiled.output
+        )
+        assert advised.virtual_time < profiled.virtual_time
+
+    def test_shortestpath_advice(self):
+        from repro.apps.shortestpath import GraphSpec, run_shortestpath
+
+        r = run_shortestpath(
+            GraphSpec(n_vertices=150, extra_edges=300), options=ExecOptions()
+        )
+        by_table = {rec.table: rec for rec in advise(r)}
+        # Edge queried by src only (a 0..149 dense int): array-of-hashsets
+        # territory is too wide (150 > 64) -> hash-index on ('src',)
+        assert by_table["Edge"].kind in ("hash-index", "array-of-hashsets")
+        # Done queried by vertex (its key) mostly, but the guard query
+        # adds a range on distance — either outcome must keep answers;
+        # just assert a recommendation exists
+        assert "Done" in by_table
+
+    def test_overrides_skip_defaults(self):
+        r = run_with_queries(lambda ctx, Data: None)
+        assert overrides_from(advise(r)) == {}
+
+    def test_query_shapes_recorded(self):
+        r = run_with_queries(lambda ctx, Data: ctx.get(Data, k=2))
+        shapes = r.stats.shapes_for("Data")
+        assert shapes == {(("k",), ()): 10}
