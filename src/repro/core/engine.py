@@ -88,7 +88,7 @@ class Engine:
         self.program = program
         self.options = options
         self.strategy = self._make_strategy(options)
-        registry = self._make_registry(options, self.strategy)
+        registry = self._make_registry(options, self.strategy, program)
         self.db = Database(program.schemas(), registry, program.decls)
         self.delta = DeltaTree()
         self.stats = StatsCollector()
@@ -127,7 +127,9 @@ class Engine:
         return ThreadStrategy(options.threads)
 
     @staticmethod
-    def _make_registry(options: ExecOptions, strategy: Strategy) -> StoreRegistry:
+    def _make_registry(
+        options: ExecOptions, strategy: Strategy, program: Program | None = None
+    ) -> StoreRegistry:
         if strategy.concurrent_stores:
             default = lambda schema: ConcurrentSkipListStore(schema)  # noqa: E731
         else:
@@ -135,7 +137,40 @@ class Engine:
         registry = StoreRegistry(default)
         for name, factory in options.store_overrides.items():
             registry.override(name, factory)
+        plan = Engine._index_plan(options, program)
+        if plan:
+            from repro.gamma.indexed import IndexingRegistry
+
+            return IndexingRegistry(registry, plan)
         return registry
+
+    @staticmethod
+    def _index_plan(options: ExecOptions, program: Program | None) -> dict:
+        """The effective index plan for this run: empty when indexing is
+        off, the static planner's output merged with explicit specs in
+        ``auto`` mode, the explicit specs alone in ``explicit`` mode.
+        -noGamma tables never get indexes (they are never stored), and
+        auto mode leaves tables with a hand-chosen ``store_overrides``
+        representation alone — an explicit §1.4 commitment beats the
+        planner (explicit ``indexes`` entries still apply)."""
+        if options.index_mode == "off":
+            return {}
+        plan: dict[str, tuple] = {}
+        if options.index_mode == "auto" and program is not None:
+            from repro.gamma.indexplan import plan_indexes
+
+            plan.update(
+                (name, specs)
+                for name, specs in plan_indexes(program).items()
+                if name not in options.store_overrides
+            )
+        for name, specs in options.indexes.items():
+            plan[name] = tuple(specs)
+        return {
+            name: specs
+            for name, specs in plan.items()
+            if specs and name not in options.no_gamma
+        }
 
     def _guarded(self) -> ContextManager:
         return self._lock if self._lock is not None else nullcontext()

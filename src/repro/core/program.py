@@ -91,6 +91,14 @@ class ExecOptions:
     retention: Mapping[str, "RetentionHint"] = field(default_factory=dict)
     #: per-table Gamma store replacements (§1.4 late commitment)
     store_overrides: Mapping[str, StoreFactory] = field(default_factory=dict)
+    #: secondary indexing: "off" (no secondary indexes), "auto" (plan
+    #: from the rules' access patterns, see repro.gamma.indexplan) or
+    #: "explicit" (use only the ``indexes`` mapping below)
+    index_mode: str = "off"
+    #: per-table index specs (table name -> tuple of IndexSpec); merged
+    #: on top of the planner's output in "auto" mode, used alone in
+    #: "explicit" mode, ignored when indexing is off
+    indexes: Mapping[str, tuple] = field(default_factory=dict)
     #: virtual-machine calibration
     calib: CalibratedCosts = field(default_factory=CalibratedCosts)
     gc_model: GcModel = field(default_factory=GcModel)
@@ -111,6 +119,10 @@ class ExecOptions:
             raise EngineError(f"unknown task_granularity {self.task_granularity!r}")
         if self.threads < 1:
             raise EngineError("threads must be >= 1")
+        if self.index_mode not in ("off", "auto", "explicit"):
+            raise EngineError(f"unknown index_mode {self.index_mode!r}")
+        if self.index_mode == "off" and self.indexes:
+            raise EngineError("indexes given but index_mode is 'off'")
 
 
 class Program:

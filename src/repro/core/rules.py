@@ -290,7 +290,7 @@ class RuleContext:
                 results = self._db.select(query)
         else:
             results = self._db.select(query)
-        self._meter.charge_store_op("lookup", store)
+        self._meter.charge_lookup(store, query)
         if results:
             self._meter.charge_store_op("result", store, len(results))
         if self._collector is not None:

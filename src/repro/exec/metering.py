@@ -105,6 +105,21 @@ class CostMeter:
         if profile.resource is not None and profile.serial_fraction > 0.0:
             self.charge_shared(profile.resource, cost * profile.serial_fraction)
 
+    def charge_lookup(self, store: "TableStore", query) -> None:
+        """Charge one select against a store, letting the store price
+        the query (:meth:`~repro.gamma.base.TableStore.lookup_cost_for`).
+        For plain stores this is exactly ``charge_store_op("lookup")``;
+        index-aware stores charge a cheaper ``gamma_ixlookup:`` counter
+        for queries an index serves."""
+        profile = store.cost
+        cost, tag = store.lookup_cost_for(query)
+        counter = f"gamma_{tag}:{store.schema.name}"
+        self.counters[counter] = self.counters.get(counter, 0) + 1
+        self.costs[counter] = self.costs.get(counter, 0.0) + cost
+        self.total_cost += cost
+        if profile.resource is not None and profile.serial_fraction > 0.0:
+            self.charge_shared(profile.resource, cost * profile.serial_fraction)
+
     def charge_query(self, table_name: str, n_results: int) -> None:
         """Base query dispatch + per-result cost (store-agnostic share;
         store-specific result costs are added by the engine where it

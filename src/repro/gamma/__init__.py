@@ -16,10 +16,23 @@ backend                        Java analogue in the paper
 :class:`NativeArrayStore`      Java 2-D primitive arrays (§6.4)
 :class:`TwoIterationArrayStore` ``double[2][N]`` Median store (§6.6)
 ============================  ==============================================
+
+On top of any backend, :class:`IndexedStore` maintains the secondary
+indexes of an :class:`IndexSpec` plan — derived statically from the
+program's rules by :func:`plan_indexes` (``ExecOptions(index_mode=
+"auto")``) or given explicitly per table.
 """
 
 from repro.gamma.base import CostProfile, StoreFactory, StoreRegistry, TableStore
 from repro.gamma.hashindex import ArrayOfHashSetsStore, HashIndexStore, HashKeyStore
+from repro.gamma.indexed import IndexedStore, IndexingRegistry
+from repro.gamma.indexplan import (
+    AccessPattern,
+    IndexSpec,
+    collect_access_patterns,
+    plan_indexes,
+    spec_for_pattern,
+)
 from repro.gamma.nativearray import NativeArrayStore, TwoIterationArrayStore
 from repro.gamma.skiplist import SkipListMap, SkipListSet
 from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
@@ -38,4 +51,11 @@ __all__ = [
     "ArrayOfHashSetsStore",
     "NativeArrayStore",
     "TwoIterationArrayStore",
+    "IndexedStore",
+    "IndexingRegistry",
+    "IndexSpec",
+    "AccessPattern",
+    "collect_access_patterns",
+    "plan_indexes",
+    "spec_for_pattern",
 ]

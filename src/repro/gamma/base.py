@@ -111,6 +111,13 @@ class TableStore(ABC):
         Stores that cannot delete raise."""
         raise SchemaError(f"{self.kind} store cannot discard tuples")
 
+    def lookup_cost_for(self, query: Query) -> tuple[float, str]:
+        """Virtual-time cost of serving one select, plus the metering
+        tag it is charged under.  The default is the flat profile cost;
+        index-aware stores return a cheaper cost (and a distinct tag)
+        for queries an index serves."""
+        return (self.cost.lookup_cost, "lookup")
+
     def heap_tuples(self) -> int:
         """Number of tuples retained on the heap — feeds the GC-pressure
         model.  Native-array stores override this to reflect their much

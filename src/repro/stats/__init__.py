@@ -1,6 +1,13 @@
 """Run statistics and dependency graphs (§1.5 logging subsystem)."""
 
-from repro.stats.advisor import Recommendation, advise, overrides_from
+from repro.stats.advisor import (
+    IndexReport,
+    Recommendation,
+    advise,
+    index_report,
+    overrides_from,
+    recommend_indexes,
+)
 from repro.stats.collector import RuleStats, StatsCollector, TableStats
 from repro.stats.depgraph import execution_graph, program_graph
 from repro.stats.report import (
@@ -12,8 +19,11 @@ from repro.stats.report import (
 
 __all__ = [
     "Recommendation",
+    "IndexReport",
     "advise",
     "overrides_from",
+    "index_report",
+    "recommend_indexes",
     "StatsCollector",
     "TableStats",
     "RuleStats",

@@ -1,0 +1,119 @@
+"""Cross-strategy differential harness for the secondary-index layer.
+
+§1.3's guarantee — identical output under every strategy and thread
+count — must survive ``index_mode="auto"``: indexes change *how*
+``select`` finds tuples, never *which* tuples (or in which order they
+are yielded).  This harness runs every example program under the full
+matrix
+
+    {sequential, forkjoin, threads} × {1, 2, 4 threads} × {off, auto}
+
+and asserts byte-identical ``output_text()`` and equal ``table_sizes``
+against the sequential / index-off reference.  A divergence pinpoints
+its configuration via the parametrised test id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.median import run_median
+from repro.apps.pvwatts import run_pvwatts
+from repro.apps.sensors import run_sensors
+from repro.apps.ship import run_ship
+from repro.apps.shortestpath import GraphSpec, run_shortestpath
+from repro.core import ExecOptions
+from repro.csvio.synth import generate_csv_bytes
+
+# sequential ignores the thread count, so it appears once
+CONFIGS = [
+    ("sequential", 1),
+    ("forkjoin", 1),
+    ("forkjoin", 2),
+    ("forkjoin", 4),
+    ("threads", 1),
+    ("threads", 2),
+    ("threads", 4),
+]
+INDEX_MODES = ["off", "auto"]
+
+MATRIX = [
+    pytest.param((s, t, m), id=f"{s}-{t}-{m}")
+    for (s, t) in CONFIGS
+    for m in INDEX_MODES
+]
+
+
+def _options(config) -> ExecOptions:
+    strategy, threads, mode = config
+    return ExecOptions(strategy=strategy, threads=threads, index_mode=mode)
+
+
+@pytest.fixture(scope="module")
+def small_csv() -> bytes:
+    """A sliced-down PvWatts year: header + ~1500 records, enough for
+    every month to appear without making 14 runs per app expensive."""
+    lines = generate_csv_bytes(n_years=1).split(b"\n")
+    return b"\n".join(lines[:1500]) + b"\n"
+
+
+def _assert_same(run, config):
+    """Run under the reference config and the probed config; compare."""
+    ref = run(ExecOptions())
+    got = run(_options(config))
+    assert got.output_text() == ref.output_text(), (
+        f"output diverged under {config}"
+    )
+    assert got.table_sizes == ref.table_sizes, (
+        f"table sizes diverged under {config}"
+    )
+
+
+@pytest.mark.parametrize("config", MATRIX)
+class TestDifferential:
+    def test_ship(self, config):
+        _assert_same(lambda o: run_ship(o), config)
+
+    def test_pvwatts(self, config, small_csv):
+        _assert_same(
+            lambda o: run_pvwatts(small_csv, o, n_readers=2), config
+        )
+
+    def test_shortestpath(self, config):
+        spec = GraphSpec(n_vertices=90, extra_edges=140, seed=3)
+        _assert_same(
+            lambda o: run_shortestpath(spec, o, n_gen_tasks=4), config
+        )
+
+    def test_sensors(self, config):
+        _assert_same(
+            lambda o: run_sensors(n_ticks=12, n_sensors=4, options=o), config
+        )
+
+    def test_median(self, config):
+        vals = np.random.default_rng(9).random(500)
+        _assert_same(lambda o: run_median(vals, o, n_regions=6), config)
+
+
+class TestIndexesActuallyUsed:
+    """Guard against the matrix passing vacuously: auto mode must build
+    and hit at least one index on the apps with indexable queries."""
+
+    def test_shortestpath_uses_edge_index(self):
+        from repro.stats import index_report
+
+        spec = GraphSpec(n_vertices=90, extra_edges=140, seed=3)
+        r = run_shortestpath(spec, ExecOptions(index_mode="auto"), n_gen_tasks=4)
+        reports = {rep.table: rep for rep in index_report(r)}
+        assert "Edge" in reports
+        assert reports["Edge"].hit_rate == 1.0
+
+    def test_pvwatts_uses_month_index(self, small_csv):
+        from repro.stats import index_report
+
+        r = run_pvwatts(small_csv, ExecOptions(index_mode="auto"), n_readers=2)
+        reports = {rep.table: rep for rep in index_report(r)}
+        assert "PvWatts" in reports
+        assert sum(reports["PvWatts"].usage.values()) > 0
+        assert reports["PvWatts"].hit_rate == 1.0

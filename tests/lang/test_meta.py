@@ -152,7 +152,8 @@ class TestExtraction:
         }
         """
         p, rule = rule_of(src)
-        rep_no_inv = check_program(p)
+        with pytest.warns(StratificationWarning, match="unproved"):
+            rep_no_inv = check_program(p)
         put_obs = [
             o
             for f in rep_no_inv.findings
