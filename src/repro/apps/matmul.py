@@ -160,6 +160,6 @@ def run_matmul(
         }
     )
     result = handles.program.run(opts)
-    store = result.database.store("Matrix")
+    store = result.require_database().store("Matrix")
     assert isinstance(store, NativeArrayStore)
     return result, store.array[2].copy()

@@ -234,7 +234,7 @@ def run_median(
 
 
 def median_from_result(result: RunResult) -> float:
-    rows = list(result.database.store("MedianResult").scan())
+    rows = list(result.require_database().store("MedianResult").scan())
     if len(rows) != 1:
         raise AssertionError(f"expected one MedianResult, got {rows}")
     return rows[0].value

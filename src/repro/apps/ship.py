@@ -84,5 +84,5 @@ def run_ship(options: ExecOptions | None = None) -> RunResult:
 
 def ship_trace(result: RunResult) -> list[tuple[int, int, int, int, int]]:
     """Extract the Ship table from a finished run, frame-ordered."""
-    store = result.database.store("Ship")
+    store = result.require_database().store("Ship")
     return sorted(tuple(t.values) for t in store.scan())

@@ -39,6 +39,7 @@ from repro.core.program import ExecOptions, Program
 from repro.core.rules import Rule, RuleContext
 from repro.core.tuples import JTuple
 from repro.exec.base import EngineTask, Strategy, TaskResult
+from repro.exec.chaos import ChaosStrategy
 from repro.exec.forkjoin import ForkJoinStrategy
 from repro.exec.metering import DEFAULT_WEIGHTS, CostMeter
 from repro.exec.sequential import SequentialStrategy
@@ -47,6 +48,7 @@ from repro.gamma.base import StoreRegistry
 from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
 from repro.simcore.machine import MachineReport
 from repro.stats.collector import StatsCollector
+from repro.trace.recorder import TraceRecorder, output_hash
 
 __all__ = ["RunResult", "Engine"]
 
@@ -66,7 +68,20 @@ class RunResult:
     meter: CostMeter
     steps: int
     options: ExecOptions
-    database: Database = field(repr=False, default=None)  # type: ignore[assignment]
+    #: None when the caller dropped it (e.g. a serialised result); use
+    #: :meth:`require_database` for the advisor/report paths that need it
+    database: Database | None = field(repr=False, default=None)
+    #: the run's event trace (only when ``ExecOptions.trace`` was set)
+    trace: TraceRecorder | None = field(repr=False, default=None)
+
+    def require_database(self) -> Database:
+        """The run's database, or a clear error when it was dropped."""
+        if self.database is None:
+            raise EngineError(
+                "this RunResult carries no database (it was dropped or the "
+                "result was deserialised); re-run with the database retained"
+            )
+        return self.database
 
     @property
     def virtual_time(self) -> float:
@@ -83,15 +98,25 @@ class RunResult:
 class Engine:
     """One execution of one program under one set of options."""
 
-    def __init__(self, program: Program, options: ExecOptions):
+    def __init__(
+        self,
+        program: Program,
+        options: ExecOptions,
+        strategy: Strategy | None = None,
+    ):
         program.freeze()
         self.program = program
         self.options = options
-        self.strategy = self._make_strategy(options)
+        # an injected strategy overrides options.strategy — the trace
+        # replayer uses this to run a *scripted* ChaosStrategy, and the
+        # chaos test harness to run an intentionally-broken variant
+        self.strategy = strategy if strategy is not None else self._make_strategy(options)
         registry = self._make_registry(options, self.strategy, program)
         self.db = Database(program.schemas(), registry, program.decls)
         self.delta = DeltaTree()
         self.stats = StatsCollector()
+        self.tracer = TraceRecorder() if options.trace else None
+        self.strategy.bind(tracer=self.tracer, stats=self.stats)
         self.output: list[str] = []
         self.meter = CostMeter()  # whole-run aggregate
         self._no_delta = options.no_delta
@@ -123,6 +148,10 @@ class Engine:
         if options.strategy == "forkjoin":
             return ForkJoinStrategy(
                 options.threads, calib=options.calib, gc=options.gc_model
+            )
+        if options.strategy == "chaos":
+            return ChaosStrategy(
+                seed=options.chaos_seed or 0, fault_plan=options.fault_plan
             )
         return ThreadStrategy(options.threads)
 
@@ -209,13 +238,14 @@ class Engine:
             self.stats.table(name).gamma_skipped += 1
         self._fire_rules(tup, result)
 
-    def _enqueue_delta(self, tup: JTuple, meter: CostMeter) -> None:
+    def _enqueue_delta(self, tup: JTuple, meter: CostMeter) -> bool:
         """Post-batch (sequential) insertion of one deferred put into
-        the Delta tree, charged to the producing task's meter."""
+        the Delta tree, charged to the producing task's meter.  Returns
+        whether the tuple was accepted (False = duplicate)."""
         name = tup.schema.name
         if name not in self._no_gamma and tup in self.db:
             self.stats.table(name).duplicates += 1
-            return
+            return False
         ts = self.db.timestamp(tup)
         if self.delta.insert(tup, ts):
             self.stats.table(name).delta_inserts += 1
@@ -224,8 +254,9 @@ class Engine:
                 meter.charge_shared(
                     "delta", DEFAULT_WEIGHTS["delta_insert"] * self._delta_serial
                 )
-        else:
-            self.stats.table(name).duplicates += 1
+            return True
+        self.stats.table(name).duplicates += 1
+        return False
 
     # -- rule firing -------------------------------------------------------------
 
@@ -246,6 +277,8 @@ class Engine:
             check_mode=self._check_mode,
             collector=self.stats,
             lock=self._lock,
+            scheduler=self.strategy.yield_point,
+            trace=result.events if self.tracer is not None else None,
         )
         rule.body(ctx, tup)
         ctx.finish()
@@ -343,8 +376,38 @@ class Engine:
                 self.stats.table(name).gamma_discarded += len(doomed)
             self._retention[name] = (pos, keep, new_max)
 
+    def _flush_task_events(self, results: list[TaskResult]) -> None:
+        """Emit each task's buffered micro events plus a per-task
+        summary, in submission order — the only order that is stable
+        across strategies."""
+        assert self.tracer is not None
+        for r in results:
+            for kind, data in r.events:
+                self.tracer.emit(kind, data)
+            self.tracer.emit(
+                "task",
+                {
+                    "trigger": repr(r.trigger),
+                    "duplicate": r.duplicate,
+                    "fired": list(r.fired_rules),
+                    "n_puts": len(r.puts),
+                    "n_output": len(r.output),
+                    "cost": r.meter.total_cost,
+                },
+            )
+
     def _run_step(self, batch: list[JTuple]) -> None:
         self.stats.on_step(len(batch))
+        if self.tracer is not None:
+            self.tracer.step = self._steps
+            self.tracer.emit(
+                "step",
+                {
+                    "step": self._steps,
+                    "width": len(batch),
+                    "frontier": [repr(t) for t in batch],
+                },
+            )
         # Phase A (sequential): move the whole class into Gamma, so the
         # rules fired in phase B see every tuple of the class ("positive
         # queries with timestamps <= T", §4) and Gamma stays read-only
@@ -358,10 +421,16 @@ class Engine:
         # Phase B: fire (possibly genuinely threaded).
         tasks = self._build_tasks(prepared)
         results = self.strategy.run_batch(tasks)
+        if self.tracer is not None:
+            self._flush_task_events(results)
         # Phase C (sequential, deterministic order): apply buffered puts.
         for r in results:
             for put in r.puts:
-                self._enqueue_delta(put, r.meter)
+                accepted = self._enqueue_delta(put, r.meter)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "effect", {"tuple": repr(put), "accepted": accepted}
+                    )
         if self._retention:
             self._apply_retention()
         allocations = 0.0
@@ -379,6 +448,20 @@ class Engine:
             raise EngineError("an Engine instance can only run once")
         self._ran = True
         start = time.perf_counter()
+        if self.tracer is not None:
+            fp = self.options.fault_plan
+            self.tracer.emit(
+                "run-start",
+                {
+                    "program": self.program.name,
+                    "strategy": self.strategy.name,
+                    "threads": self.strategy.n_threads,
+                    "chaos_seed": self.options.chaos_seed,
+                    "fault_plan": fp.to_dict() if fp is not None else None,
+                    "task_granularity": self.options.task_granularity,
+                },
+                meta=True,
+            )
 
         # Initial puts run as one synthetic sequential task so -noDelta
         # cascades work during initialisation too.
@@ -392,7 +475,12 @@ class Engine:
             else:
                 init_result.puts.append(tup)
         for put in init_result.puts:
-            self._enqueue_delta(put, init_result.meter)
+            accepted = self._enqueue_delta(put, init_result.meter)
+            if self.tracer is not None:
+                self.tracer.emit("effect", {"tuple": repr(put), "accepted": accepted})
+        if self.tracer is not None and init_result.events:
+            for kind, data in init_result.events:
+                self.tracer.emit(kind, data)
         self.output.extend(init_result.output)
         self.meter.merge(init_result.meter)
         self.strategy.account_serial(init_result.meter.total_cost)
@@ -414,6 +502,18 @@ class Engine:
 
         wall = time.perf_counter() - start
         self.strategy.close()
+        if self.tracer is not None:
+            self.tracer.step = self._steps
+            self.tracer.emit(
+                "run-end",
+                {
+                    "steps": self._steps,
+                    "output": output_hash(self.output),
+                    "n_output": len(self.output),
+                    "table_sizes": dict(sorted(self.db.table_sizes().items())),
+                },
+            )
+            self.tracer.run_end()
         return RunResult(
             program=self.program.name,
             strategy=self.strategy.name,
@@ -427,4 +527,5 @@ class Engine:
             steps=self._steps,
             options=self.options,
             database=self.db,
+            trace=self.tracer,
         )

@@ -70,8 +70,9 @@ class ExecOptions:
 
     ``strategy`` is ``"sequential"`` (the ``-sequential`` flag),
     ``"forkjoin"`` (simulated all-minimums parallelism; ``threads`` is
-    the pool size, the paper's ``--threads=N``) or ``"threads"`` (real
-    CPython threads, functional validation only).
+    the pool size, the paper's ``--threads=N``), ``"threads"`` (real
+    CPython threads, functional validation only) or ``"chaos"`` (seeded
+    adversarial scheduling, see :mod:`repro.exec.chaos`).
     """
 
     strategy: str = "sequential"
@@ -105,13 +106,21 @@ class ExecOptions:
     collect_stats: bool = True
     #: safety valve against diverging programs (None = unlimited)
     max_steps: int | None = None
+    #: record a structured event trace of the run (see repro.trace);
+    #: the recorder lands on ``RunResult.trace``
+    trace: bool = False
+    #: RNG seed for the "chaos" strategy (None = 0)
+    chaos_seed: int | None = None
+    #: fault-injection probabilities for the "chaos" strategy
+    #: (:class:`repro.exec.chaos.FaultPlan`; None = no faults)
+    fault_plan: Any = None
 
     def with_(self, **kw: Any) -> "ExecOptions":
         """Functional update, e.g. ``opts.with_(threads=8)``."""
         return replace(self, **kw)
 
     def __post_init__(self) -> None:
-        if self.strategy not in ("sequential", "forkjoin", "threads"):
+        if self.strategy not in ("sequential", "forkjoin", "threads", "chaos"):
             raise EngineError(f"unknown strategy {self.strategy!r}")
         if self.causality_check not in ("off", "warn", "strict"):
             raise EngineError(f"unknown causality_check {self.causality_check!r}")
@@ -123,6 +132,28 @@ class ExecOptions:
             raise EngineError(f"unknown index_mode {self.index_mode!r}")
         if self.index_mode == "off" and self.indexes:
             raise EngineError("indexes given but index_mode is 'off'")
+        if self.strategy != "chaos" and (
+            self.chaos_seed is not None or self.fault_plan is not None
+        ):
+            raise EngineError(
+                "chaos_seed / fault_plan only apply to the 'chaos' strategy"
+            )
+        if self.fault_plan is not None:
+            from repro.exec.chaos import FaultPlan  # local: avoid import cycles
+
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise EngineError(
+                    f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+                )
+            if self.fault_plan.raise_prob > 0 and self.no_delta:
+                # a -noDelta cascade inserts into Gamma *inside* the
+                # producing task; redelivering such a task after a fault
+                # skips the duplicate insert and loses the cascade —
+                # retryable faults require fully delta-buffered effects
+                raise EngineError(
+                    "fault_plan.raise_prob requires delta-buffered effects; "
+                    "-noDelta tables make tasks non-redeliverable"
+                )
 
 
 class Program:

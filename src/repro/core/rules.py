@@ -175,6 +175,8 @@ class RuleContext:
         "_neg_warned",
         "_collector",
         "_lock",
+        "_sched",
+        "_trace",
     )
 
     def __init__(
@@ -188,6 +190,8 @@ class RuleContext:
         check_mode: str = "warn",
         collector: Any = None,
         lock: Any = None,
+        scheduler: Any = None,
+        trace: list | None = None,
     ):
         self._db = db
         self._decls = decls
@@ -202,6 +206,12 @@ class RuleContext:
         self._neg_warned = False
         self._collector = collector
         self._lock = lock
+        # strategy yield hook: called at every put/query boundary so a
+        # perturbing strategy (chaos) can interleave or fault the body
+        self._sched = scheduler
+        # per-task trace event sink (flushed by the engine in
+        # deterministic submission order)
+        self._trace = trace
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -224,8 +234,21 @@ class RuleContext:
         but they are not allowed to change the past").
         """
         self._guard()
+        if self._sched is not None:
+            self._sched()
         if not isinstance(tup, JTuple):
             raise RuleError(f"put expects a tuple, got {type(tup).__name__}")
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "put",
+                    {
+                        "rule": self._rule.name,
+                        "table": tup.schema.name,
+                        "tuple": repr(tup),
+                    },
+                )
+            )
         if self._check_mode != "off":
             ts = self._db.timestamp(tup)
             if compare_timestamps(ts, self.trigger_ts) < 0:
@@ -282,6 +305,8 @@ class RuleContext:
     # -- queries ------------------------------------------------------------
 
     def _run_query(self, query: Query) -> list[JTuple]:
+        if self._sched is not None:
+            self._sched()
         store = self._db.store(query.schema.name)
         if self._lock is not None:
             # real-threads strategy: coarse lock so store iteration never
@@ -301,6 +326,18 @@ class RuleContext:
                 len(results),
                 eq_fields=tuple(sorted(names[i] for i in query.eq)),
                 range_fields=tuple(sorted(names[i] for i in query.ranges)),
+            )
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "query",
+                    {
+                        "rule": self._rule.name,
+                        "table": query.schema.name,
+                        "kind": query.kind.value,
+                        "n_results": len(results),
+                    },
+                )
             )
         return results
 

@@ -1,6 +1,7 @@
 """Execution strategies and cost metering (§5 parallelisation strategies)."""
 
 from repro.exec.base import EngineTask, Strategy, TaskResult
+from repro.exec.chaos import ChaosFault, ChaosStrategy, FaultPlan
 from repro.exec.forkjoin import ForkJoinStrategy
 from repro.exec.metering import DEFAULT_WEIGHTS, CostMeter
 from repro.exec.sequential import SequentialStrategy
@@ -10,6 +11,9 @@ __all__ = [
     "EngineTask",
     "Strategy",
     "TaskResult",
+    "ChaosFault",
+    "ChaosStrategy",
+    "FaultPlan",
     "ForkJoinStrategy",
     "SequentialStrategy",
     "ThreadStrategy",

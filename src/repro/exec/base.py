@@ -44,6 +44,10 @@ class TaskResult:
     meter: CostMeter = field(default_factory=CostMeter)
     fired_rules: list[str] = field(default_factory=list)
     duplicate: bool = False  # tuple was already in Gamma; nothing fired
+    #: per-task trace micro events (kind, data), buffered here so the
+    #: engine can flush them in submission order — a globally shared
+    #: recorder would interleave nondeterministically under real threads
+    events: list[tuple[str, dict]] = field(default_factory=list)
 
 
 @dataclass(slots=True)
@@ -68,6 +72,16 @@ class Strategy(ABC):
     n_threads: int = 1
     #: True -> engine must guard shared mutation with a real lock
     needs_locks: bool = False
+    #: optional hook the engine installs into every RuleContext: called
+    #: at each put/query boundary inside a rule body.  The chaos
+    #: strategy uses it to interleave and fault task bodies; every other
+    #: strategy leaves it None (zero overhead).
+    yield_point: Callable[[], None] | None = None
+
+    def bind(self, tracer=None, stats=None) -> None:
+        """Attach the run's trace recorder / stats collector.  Base
+        strategies ignore both; the chaos strategy records scheduling
+        decisions and fault counters through them."""
 
     @abstractmethod
     def run_batch(self, tasks: Sequence[EngineTask]) -> list[TaskResult]:

@@ -77,7 +77,7 @@ class Recommendation:
 
 def _observed_span(result: "RunResult", table: str, field: str) -> tuple[int, int] | None:
     """(lo, hi) of an int field's values currently in Gamma, or None."""
-    store = result.database.store(table)
+    store = result.require_database().store(table)
     pos = store.schema.field_position(field)
     lo = hi = None
     for t in store.scan():
@@ -105,7 +105,7 @@ def advise(
     """Analyse a finished run and recommend Gamma stores per table."""
     recs: list[Recommendation] = []
     stats = result.stats
-    for name, store in sorted(result.database.stores.items()):
+    for name, store in sorted(result.require_database().stores.items()):
         schema = store.schema
         shapes = stats.shapes_for(name)
         total = sum(shapes.values())
@@ -242,7 +242,7 @@ def index_report(result: "RunResult") -> list[IndexReport]:
     from repro.gamma.indexed import IndexedStore
 
     reports: list[IndexReport] = []
-    for name, store in sorted(result.database.stores.items()):
+    for name, store in sorted(result.require_database().stores.items()):
         if not isinstance(store, IndexedStore):
             continue
         usage = store.index_usage()
@@ -265,7 +265,7 @@ def recommend_indexes(
     from repro.gamma.indexplan import MAX_INDEXES_PER_TABLE, spec_for_pattern
 
     plan: dict[str, tuple] = {}
-    for name, store in sorted(result.database.stores.items()):
+    for name, store in sorted(result.require_database().stores.items()):
         shapes = result.stats.shapes_for(name)
         specs = []
         for (eq, rng), n in sorted(shapes.items()):

@@ -67,6 +67,11 @@ class StatsCollector:
     )
     steps: int = 0
     max_batch: int = 0
+    #: per-step frontier widths, in step order — the all-minimums
+    #: parallelism profile (how wide each equivalence class was)
+    frontier_widths: list[int] = field(default_factory=list)
+    #: injected-fault counters (chaos strategy): kind -> count
+    faults: dict[str, int] = field(default_factory=dict)
 
     def table(self, name: str) -> TableStats:
         s = self.tables.get(name)
@@ -85,6 +90,10 @@ class StatsCollector:
     def on_step(self, batch_size: int) -> None:
         self.steps += 1
         self.max_batch = max(self.max_batch, batch_size)
+        self.frontier_widths.append(batch_size)
+
+    def on_fault(self, kind: str) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + 1
 
     def on_fire(self, table: str, rule: str) -> None:
         self.table(table).triggers += 1
@@ -127,10 +136,25 @@ class StatsCollector:
     def summary_rows(self) -> list[tuple[str, TableStats]]:
         return sorted(self.tables.items())
 
+    def frontier_profile(self) -> dict[str, float]:
+        """Summary of per-step frontier widths: how much all-minimums
+        parallelism the program actually exposed."""
+        widths = self.frontier_widths
+        if not widths:
+            return {"steps": 0, "mean": 0.0, "max": 0, "singletons": 0}
+        return {
+            "steps": len(widths),
+            "mean": sum(widths) / len(widths),
+            "max": max(widths),
+            "singletons": sum(1 for w in widths if w == 1),
+        }
+
     def as_dict(self) -> dict:
         return {
             "steps": self.steps,
             "max_batch": self.max_batch,
+            "frontier": self.frontier_profile(),
+            "faults": dict(sorted(self.faults.items())),
             "tables": {n: vars(s) for n, s in self.tables.items()},
             "rules": {n: vars(s) for n, s in self.rules.items()},
         }

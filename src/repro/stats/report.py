@@ -77,6 +77,17 @@ def run_report(result: "RunResult") -> str:
         f"(threads={result.threads}): {result.steps} steps, "
         f"wall {result.wall_time * 1e3:.1f} ms",
     ]
+    fp = result.stats.frontier_profile()
+    if fp["steps"]:
+        parts.append(
+            f"frontier: mean width {fp['mean']:.2f}, max {fp['max']}, "
+            f"{fp['singletons']}/{fp['steps']} singleton steps"
+        )
+    if result.stats.faults:
+        counts = ", ".join(
+            f"{k}={n}" for k, n in sorted(result.stats.faults.items())
+        )
+        parts.append(f"injected faults: {counts}")
     if result.report is not None:
         parts.append(format_machine(result.report))
     parts.append(format_table_stats(result.stats))

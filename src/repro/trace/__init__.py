@@ -1,0 +1,28 @@
+"""Trace record / replay / diff — the §1.3 determinism contract as data.
+
+Record a run (``ExecOptions(trace=True)``), export it
+(:meth:`~repro.trace.recorder.TraceRecorder.to_jsonl`,
+:meth:`~repro.trace.recorder.TraceRecorder.to_chrome`), diff two runs
+(:func:`~repro.trace.diff.trace_diff`), replay a recorded schedule
+exactly (:class:`~repro.trace.replay.TraceReplayer`).
+"""
+
+from repro.trace.diff import Divergence, format_divergence, trace_diff
+from repro.trace.events import VOLATILE_KEYS, TraceEvent, semantic_key
+from repro.trace.recorder import TraceRecorder, load_events, output_hash
+from repro.trace.replay import ReplayError, ReplaySchedule, TraceReplayer
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceReplayer",
+    "ReplaySchedule",
+    "ReplayError",
+    "Divergence",
+    "trace_diff",
+    "format_divergence",
+    "semantic_key",
+    "load_events",
+    "output_hash",
+    "VOLATILE_KEYS",
+]

@@ -1,0 +1,114 @@
+"""``trace_diff`` — pinpoint the first divergent event between two runs.
+
+Two clean runs of the same program under *any* strategies must produce
+identical semantic event streams (§1.3); a chaos run that diverges is a
+determinism bug, and this tool names the exact step and event where the
+histories split, so the failure is immediately minimisable (replay up
+to that step) instead of a needle in two multi-megabyte logs.
+
+By default only semantic events are compared — scheduling decisions and
+injected faults are *supposed* to differ between runs.  Pass
+``include_meta=True`` to verify an exact replay of a recorded schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.events import VOLATILE_KEYS, TraceEvent, semantic_key
+from repro.trace.recorder import TraceLike, load_events
+
+__all__ = ["Divergence", "trace_diff", "format_divergence"]
+
+
+@dataclass(slots=True)
+class Divergence:
+    """The first point at which two traces disagree."""
+
+    index: int                  #: position in the compared event sequence
+    left: TraceEvent | None     #: None = left trace ended early
+    right: TraceEvent | None    #: None = right trace ended early
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"<divergence at event {self.index}: {self.reason}>"
+
+
+def trace_diff(
+    left: TraceLike, right: TraceLike, include_meta: bool = False
+) -> Divergence | None:
+    """First divergent event between two traces, or ``None`` if they are
+    equivalent.  Accepts recorders, event lists, or JSONL paths."""
+    a = load_events(left)
+    b = load_events(right)
+    if not include_meta:
+        a = [e for e in a if not e.meta]
+        b = [e for e in b if not e.meta]
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        ka, kb = semantic_key(ea), semantic_key(eb)
+        if ka != kb:
+            return Divergence(i, ea, eb, _describe(ea, eb))
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        ea = a[i] if i < len(a) else None
+        eb = b[i] if i < len(b) else None
+        longer = "left" if len(a) > len(b) else "right"
+        return Divergence(
+            i, ea, eb,
+            f"traces differ in length ({len(a)} vs {len(b)} events); "
+            f"{longer} trace continues with "
+            f"{(ea or eb).kind!r} at step {(ea or eb).step}",  # type: ignore[union-attr]
+        )
+    return None
+
+
+def _describe(a: TraceEvent, b: TraceEvent) -> str:
+    if a.kind != b.kind:
+        return (
+            f"event kind diverges at step {a.step}/{b.step}: "
+            f"{a.kind!r} vs {b.kind!r}"
+        )
+    if a.step != b.step:
+        return f"{a.kind!r} event attributed to step {a.step} vs {b.step}"
+    keys = sorted(set(a.data) | set(b.data))
+    for k in keys:
+        va, vb = a.data.get(k), b.data.get(k)
+        if k in VOLATILE_KEYS:
+            continue
+        if _norm(va) != _norm(vb):
+            return (
+                f"{a.kind!r} at step {a.step}: field {k!r} diverges "
+                f"({_short(va)} vs {_short(vb)})"
+            )
+    return f"{a.kind!r} at step {a.step}: data diverges"
+
+
+def _norm(v):
+    if isinstance(v, tuple):
+        return list(v)
+    if isinstance(v, (list,)):
+        return [_norm(x) for x in v]
+    if isinstance(v, dict):
+        return {str(k): _norm(x) for k, x in v.items()}
+    return v
+
+
+def _short(v, limit: int = 120) -> str:
+    s = repr(v)
+    return s if len(s) <= limit else s[: limit - 3] + "..."
+
+
+def format_divergence(d: Divergence | None) -> str:
+    """Human-readable one-paragraph report."""
+    if d is None:
+        return "traces are equivalent (no divergent events)"
+    lines = [f"first divergence at event {d.index}: {d.reason}"]
+    if d.left is not None:
+        lines.append(f"  left : step {d.left.step} {d.left.kind} {d.left.data!r}")
+    else:
+        lines.append("  left : <trace ended>")
+    if d.right is not None:
+        lines.append(f"  right: step {d.right.step} {d.right.kind} {d.right.data!r}")
+    else:
+        lines.append("  right: <trace ended>")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Property test: DeltaTree minimal-class extraction against a
+reference model.
+
+The reference is the obvious specification: keep every pending tuple in
+a list, and ``pop_min_class`` = stable-sort by timestamp
+(:func:`compare_timestamps`) and take the leading group of equal
+timestamps.  Stability makes the within-class order the insertion
+order, which is exactly what the engine relies on for deterministic
+batches.  Hypothesis drives arbitrary interleavings of inserts and
+pops over two tables that share literal levels, with value ranges small
+enough to force duplicate timestamps, duplicate tuples, and
+re-insertion of previously popped tuples.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import DeltaTree
+from repro.core.ordering import OrderDecls, compare_timestamps, evaluate_orderby
+from repro.core.schema import TableSchema
+from repro.core.tuples import TableHandle
+
+
+def make_env():
+    decls = OrderDecls()
+    decls.declare("Estimate", "Done")
+    Est = TableHandle(
+        TableSchema(
+            "Estimate", "int vertex, int distance", orderby=("seq distance", "Estimate")
+        )
+    )
+    Done = TableHandle(
+        TableSchema(
+            "Done", "int vertex -> int distance", orderby=("seq distance", "Done")
+        )
+    )
+    decls.freeze()
+
+    def ts(tup):
+        return evaluate_orderby(tup.schema.orderby, tup.asdict(), decls)
+
+    return (Est, Done), ts
+
+
+class ReferenceDelta:
+    """Sort-and-group specification of the Delta set."""
+
+    def __init__(self, ts):
+        self._ts = ts
+        self._pending: list = []  # insertion order
+
+    def insert(self, tup) -> bool:
+        if tup in self._pending:
+            return False
+        self._pending.append(tup)
+        return True
+
+    def pop_min_class(self) -> list:
+        if not self._pending:
+            return []
+        ranked = sorted(  # stable: ties keep insertion order
+            self._pending,
+            key=functools.cmp_to_key(
+                lambda a, b: compare_timestamps(self._ts(a), self._ts(b))
+            ),
+        )
+        head_ts = self._ts(ranked[0])
+        batch = [
+            t for t in ranked if compare_timestamps(self._ts(t), head_ts) == 0
+        ]
+        for t in batch:
+            self._pending.remove(t)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+# an op is ("insert", table index, vertex, distance) or ("pop",); tight
+# value ranges force equal timestamps and duplicate tuples
+OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 1),
+            st.integers(0, 4),
+            st.integers(0, 6),
+        ),
+        st.tuples(st.just("pop")),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_delta_tree_matches_sort_and_group_reference(ops):
+    (Est, Done), ts = make_env()
+    tree = DeltaTree()
+    model = ReferenceDelta(ts)
+    for op in ops:
+        if op[0] == "insert":
+            _, which, vertex, distance = op
+            tup = (Est if which == 0 else Done).new(vertex, distance)
+            assert tree.insert(tup, ts(tup)) == model.insert(tup)
+        else:
+            assert tree.pop_min_class() == model.pop_min_class()
+        assert len(tree) == len(model)
+    # drain whatever remains: every class must match, in causal order
+    while model:
+        assert tree.pop_min_class() == model.pop_min_class()
+    assert not tree
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    inserts=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 4), st.integers(0, 6)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_popped_tuple_can_reenter(inserts):
+    """A tuple removed by pop_min_class is no longer a member and is
+    accepted again on re-insertion (the engine's steady-state cycle)."""
+    (Est, Done), ts = make_env()
+    tree = DeltaTree()
+    for which, vertex, distance in inserts:
+        tup = (Est if which == 0 else Done).new(vertex, distance)
+        tree.insert(tup, ts(tup))
+    batch = tree.pop_min_class()
+    for t in batch:
+        assert t not in tree
+        assert tree.insert(t, ts(t))
+    assert len(tree) >= len(batch)

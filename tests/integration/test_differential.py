@@ -6,11 +6,12 @@ count — must survive ``index_mode="auto"``: indexes change *how*
 are yielded).  This harness runs every example program under the full
 matrix
 
-    {sequential, forkjoin, threads} × {1, 2, 4 threads} × {off, auto}
+    {sequential, forkjoin, threads, chaos×3 seeds} × {off, auto}
 
-and asserts byte-identical ``output_text()`` and equal ``table_sizes``
-against the sequential / index-off reference.  A divergence pinpoints
-its configuration via the parametrised test id.
+and asserts byte-identical ``output_text()``, equal ``table_sizes``,
+and — every run being traced — zero divergent semantic trace events
+(``trace_diff``) against the sequential / index-off reference.  A
+divergence pinpoints its configuration via the parametrised test id.
 """
 
 from __future__ import annotations
@@ -26,7 +27,8 @@ from repro.apps.shortestpath import GraphSpec, run_shortestpath
 from repro.core import ExecOptions
 from repro.csvio.synth import generate_csv_bytes
 
-# sequential ignores the thread count, so it appears once
+# sequential ignores the thread count, so it appears once; for the
+# chaos axis the second element is the schedule-fuzzing seed instead
 CONFIGS = [
     ("sequential", 1),
     ("forkjoin", 1),
@@ -35,6 +37,9 @@ CONFIGS = [
     ("threads", 1),
     ("threads", 2),
     ("threads", 4),
+    ("chaos", 0),
+    ("chaos", 1),
+    ("chaos", 2),
 ]
 INDEX_MODES = ["off", "auto"]
 
@@ -46,8 +51,12 @@ MATRIX = [
 
 
 def _options(config) -> ExecOptions:
-    strategy, threads, mode = config
-    return ExecOptions(strategy=strategy, threads=threads, index_mode=mode)
+    strategy, n, mode = config
+    if strategy == "chaos":
+        return ExecOptions(
+            strategy="chaos", chaos_seed=n, index_mode=mode, trace=True
+        )
+    return ExecOptions(strategy=strategy, threads=n, index_mode=mode, trace=True)
 
 
 @pytest.fixture(scope="module")
@@ -60,7 +69,9 @@ def small_csv() -> bytes:
 
 def _assert_same(run, config):
     """Run under the reference config and the probed config; compare."""
-    ref = run(ExecOptions())
+    from repro.trace import format_divergence, trace_diff
+
+    ref = run(ExecOptions(trace=True))
     got = run(_options(config))
     assert got.output_text() == ref.output_text(), (
         f"output diverged under {config}"
@@ -68,6 +79,8 @@ def _assert_same(run, config):
     assert got.table_sizes == ref.table_sizes, (
         f"table sizes diverged under {config}"
     )
+    d = trace_diff(ref.trace, got.trace)
+    assert d is None, f"trace diverged under {config}: {format_divergence(d)}"
 
 
 @pytest.mark.parametrize("config", MATRIX)

@@ -1,0 +1,150 @@
+"""Causality regressions, one passing and one violating program per
+query kind.
+
+Static half: :func:`generate_obligations` must discharge the passing
+variant and fail the violating variant on the *exact* ``query-past``
+obligation (positive queries need ``<=`` the trigger, negative and
+aggregate queries need strictly ``<``).
+
+Dynamic half: ``ExecOptions.causality_check`` must warn ("warn") or
+raise ("strict") when a negative/aggregate query's observable region
+touches the trigger's present — the runtime slice of the same §4 law.
+Positive queries have no dynamic check (phase A makes Gamma hold
+exactly the ``<=`` region when a batch fires), which is why their static
+obligation carries the whole burden.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import ExecOptions, Program
+from repro.core.errors import CausalityError, StratificationWarning
+from repro.core.query import QueryKind
+from repro.solver.obligations import RuleMeta, generate_obligations
+
+
+def _env():
+    p = Program("causality-regression")
+    T = p.table("T", "int t", orderby=("Int", "seq t"))
+    p.freeze()
+    return p, T
+
+
+def _query_past(obligations):
+    obs = [o for o in obligations if o.kind == "query-past"]
+    assert len(obs) == 1
+    return obs[0]
+
+
+class TestStaticObligations:
+    """One (passing, violating) pair per query kind; the violating one
+    must fail precisely its query-past obligation."""
+
+    @pytest.mark.parametrize(
+        "kind,expect_strict",
+        [
+            (QueryKind.POSITIVE, False),
+            (QueryKind.NEGATIVE, True),
+            (QueryKind.AGGREGATE, True),
+        ],
+    )
+    def test_passing_program(self, kind, expect_strict):
+        _, T = _env()
+        meta = RuleMeta(T)
+        t = meta.trigger
+        # positive may observe the trigger's own level (<=); negative and
+        # aggregate must stay strictly in the past
+        bound = t["t"] if kind is QueryKind.POSITIVE else t["t"] - 1
+        meta.branch().query(T, kind=kind, t=bound)
+        ob = _query_past(generate_obligations("r", meta, _env()[0].decls))
+        assert ob.proved, ob.reason
+        assert ("<" if expect_strict else "<=") in ob.description
+
+    @pytest.mark.parametrize(
+        "kind,bound_offset,reason_match",
+        [
+            # positive query on an unbounded future region: cannot prove <=
+            (QueryKind.POSITIVE, +1, "cannot prove"),
+            # negative query on the trigger's own timestamp: needs strict <
+            (QueryKind.NEGATIVE, 0, "strict ordering required"),
+            (QueryKind.AGGREGATE, 0, "strict ordering required"),
+        ],
+    )
+    def test_violating_program(self, kind, bound_offset, reason_match):
+        _, T = _env()
+        meta = RuleMeta(T)
+        t = meta.trigger
+        meta.branch().query(T, kind=kind, t=t["t"] + bound_offset)
+        ob = _query_past(generate_obligations("r", meta, _env()[0].decls))
+        assert not ob.proved
+        assert reason_match in ob.reason
+        assert ob.kind == "query-past"
+        assert kind.value in ob.description
+
+    def test_violation_is_attributed_to_the_query_not_the_put(self):
+        """A rule with a sound put and an unsound query must fail only
+        the query obligation — exact attribution is the point."""
+        _, T = _env()
+        meta = RuleMeta(T)
+        t = meta.trigger
+        b = meta.branch()
+        b.put(T, t=t["t"] + 1)
+        b.query(T, kind=QueryKind.NEGATIVE, t=t["t"])
+        obs = generate_obligations("r", meta, _env()[0].decls)
+        failed = [o for o in obs if not o.proved]
+        assert [o.kind for o in failed] == ["query-past"]
+        proved_kinds = {o.kind for o in obs if o.proved}
+        assert "put-causality" in proved_kinds
+
+
+def _dynamic_program(kind: QueryKind, violating: bool) -> Program:
+    p = Program(f"dyn-{kind.value}")
+    T = p.table("T", "int t", orderby=("Int", "seq t"))
+
+    @p.foreach(T, name="probe")
+    def probe(ctx, s):
+        bound = s.t if violating else s.t - 1
+        if kind is QueryKind.NEGATIVE:
+            ctx.absent(T, t=bound)
+        else:
+            ctx.count(T, t=bound)
+        if s.t < 2:
+            ctx.put(T.new(s.t + 1))
+
+    p.put(T.new(0))
+    return p
+
+
+class TestDynamicCheck:
+    @pytest.mark.parametrize("kind", [QueryKind.NEGATIVE, QueryKind.AGGREGATE])
+    def test_passing_program_is_silent(self, kind):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StratificationWarning)
+            _dynamic_program(kind, violating=False).run(
+                ExecOptions(causality_check="strict")
+            )
+
+    @pytest.mark.parametrize("kind", [QueryKind.NEGATIVE, QueryKind.AGGREGATE])
+    def test_violating_program_warns(self, kind):
+        with pytest.warns(StratificationWarning, match=kind.value):
+            _dynamic_program(kind, violating=True).run(
+                ExecOptions(causality_check="warn")
+            )
+
+    @pytest.mark.parametrize("kind", [QueryKind.NEGATIVE, QueryKind.AGGREGATE])
+    def test_violating_program_raises_under_strict(self, kind):
+        with pytest.raises(CausalityError, match=kind.value):
+            _dynamic_program(kind, violating=True).run(
+                ExecOptions(causality_check="strict")
+            )
+
+    @pytest.mark.parametrize("kind", [QueryKind.NEGATIVE, QueryKind.AGGREGATE])
+    def test_off_disables_the_check(self, kind):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StratificationWarning)
+            _dynamic_program(kind, violating=True).run(
+                ExecOptions(causality_check="off")
+            )

@@ -1,0 +1,77 @@
+"""``trace_diff``: pinpointing the first divergent event."""
+
+from __future__ import annotations
+
+from repro.trace import (
+    TraceEvent,
+    VOLATILE_KEYS,
+    format_divergence,
+    semantic_key,
+    trace_diff,
+)
+
+
+def ev(seq, kind, data, step=1, meta=False):
+    return TraceEvent(seq=seq, step=step, kind=kind, data=data, meta=meta)
+
+
+class TestDiff:
+    def test_identical_streams(self):
+        a = [ev(0, "step", {"width": 2}), ev(1, "task", {"trigger": "T(1)"})]
+        b = [ev(0, "step", {"width": 2}), ev(1, "task", {"trigger": "T(1)"})]
+        assert trace_diff(a, b) is None
+
+    def test_first_divergent_event_is_named(self):
+        a = [ev(0, "step", {"width": 2}), ev(1, "task", {"trigger": "T(1)"})]
+        b = [ev(0, "step", {"width": 2}), ev(1, "task", {"trigger": "T(2)"})]
+        d = trace_diff(a, b)
+        assert d is not None and d.index == 1
+        assert "trigger" in d.reason
+        assert "T(1)" in format_divergence(d) and "T(2)" in format_divergence(d)
+
+    def test_kind_mismatch(self):
+        d = trace_diff([ev(0, "put", {})], [ev(0, "query", {})])
+        assert d is not None and "kind" in d.reason
+
+    def test_step_attribution_mismatch(self):
+        d = trace_diff(
+            [ev(0, "task", {"trigger": "T"}, step=1)],
+            [ev(0, "task", {"trigger": "T"}, step=2)],
+        )
+        assert d is not None and "step 1 vs 2" in d.reason
+
+    def test_length_mismatch(self):
+        a = [ev(0, "step", {"width": 1})]
+        b = [ev(0, "step", {"width": 1}), ev(1, "task", {"trigger": "T"})]
+        d = trace_diff(a, b)
+        assert d is not None and d.index == 1
+        assert d.left is None and d.right is not None
+        assert "length" in d.reason
+
+    def test_empty_traces_are_equivalent(self):
+        assert trace_diff([], []) is None
+
+
+class TestMetaAndVolatile:
+    def test_meta_events_ignored_by_default(self):
+        a = [ev(0, "sched", {"order": [0, 1]}, meta=True), ev(1, "step", {"width": 2})]
+        b = [ev(0, "sched", {"order": [1, 0]}, meta=True), ev(1, "step", {"width": 2})]
+        assert trace_diff(a, b) is None
+        assert trace_diff(a, b, include_meta=True) is not None
+
+    def test_volatile_keys_ignored(self):
+        assert "cost" in VOLATILE_KEYS
+        a = [ev(0, "task", {"trigger": "T", "cost": 10.0})]
+        b = [ev(0, "task", {"trigger": "T", "cost": 99.0})]
+        assert trace_diff(a, b) is None
+
+    def test_seq_numbers_do_not_matter(self):
+        a = ev(0, "task", {"trigger": "T"})
+        b = ev(7, "task", {"trigger": "T"})
+        assert semantic_key(a) == semantic_key(b)
+
+    def test_tuples_and_lists_compare_equal(self):
+        # JSONL round-trips turn tuples into lists; the key canonicalises
+        a = ev(0, "sched", {"order": (0, 1)})
+        b = ev(0, "sched", {"order": [0, 1]})
+        assert semantic_key(a) == semantic_key(b)

@@ -1,0 +1,95 @@
+"""Trace recording: stream structure, exporters, hashing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.sensors import run_sensors
+from repro.apps.ship import run_ship
+from repro.core import ExecOptions
+from repro.trace import TraceRecorder, load_events, output_hash, trace_diff
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_sensors(n_ticks=8, n_sensors=3, options=ExecOptions(trace=True))
+
+
+class TestStream:
+    def test_untraced_run_has_no_recorder(self):
+        assert run_ship(ExecOptions()).trace is None
+
+    def test_bracketed_by_run_start_and_run_end(self, traced):
+        events = traced.trace.events
+        assert events[0].kind == "run-start" and events[0].meta
+        assert events[-1].kind == "run-end"
+        assert events[0].data["strategy"] == "sequential"
+
+    def test_run_end_summarises_the_run(self, traced):
+        end = traced.trace.run_end()
+        assert end.data["steps"] == traced.steps
+        assert end.data["n_output"] == len(traced.output)
+        assert end.data["output"] == output_hash(traced.output)
+        assert end.data["table_sizes"] == dict(sorted(traced.table_sizes.items()))
+
+    def test_step_events_match_frontier_widths(self, traced):
+        steps = [e for e in traced.trace.events if e.kind == "step"]
+        assert [e.data["width"] for e in steps] == traced.stats.frontier_widths
+        assert [e.data["step"] for e in steps] == list(range(1, traced.steps + 1))
+        for e in steps:
+            assert len(e.data["frontier"]) == e.data["width"]
+
+    def test_semantic_events_exclude_meta(self, traced):
+        sem = traced.trace.semantic_events()
+        assert all(not e.meta for e in sem)
+        assert len(sem) < len(traced.trace.events)
+
+    def test_micro_events_carry_rule_attribution(self, traced):
+        puts = [e for e in traced.trace.events if e.kind == "put"]
+        queries = [e for e in traced.trace.events if e.kind == "query"]
+        assert puts and queries
+        assert all({"rule", "table", "tuple"} <= set(e.data) for e in puts)
+        assert all(
+            {"rule", "table", "kind", "n_results"} <= set(e.data) for e in queries
+        )
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, traced, tmp_path):
+        path = tmp_path / "run.jsonl"
+        traced.trace.to_jsonl(path)
+        loaded = TraceRecorder.from_jsonl(path)
+        assert len(loaded.events) == len(traced.trace.events)
+        assert trace_diff(traced.trace, loaded, include_meta=True) is None
+        # every line is standalone JSON
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_load_events_accepts_paths_recorders_and_lists(self, traced, tmp_path):
+        path = tmp_path / "run.jsonl"
+        traced.trace.to_jsonl(path)
+        n = len(traced.trace.events)
+        assert len(load_events(traced.trace)) == n
+        assert len(load_events(str(path))) == n
+        assert len(load_events(list(traced.trace.events))) == n
+
+    def test_chrome_export(self, traced, tmp_path):
+        path = tmp_path / "run.trace.json"
+        traced.trace.to_chrome(path)
+        doc = json.loads(path.read_text())
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert {"task", "step"} <= cats
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["dur"] > 0 for e in slices)
+
+
+class TestOutputHash:
+    def test_sensitive_to_order_and_content(self):
+        assert output_hash(["a", "b"]) != output_hash(["b", "a"])
+        assert output_hash(["a", "b"]) != output_hash(["a", "c"])
+        assert output_hash(["a", "b"]) == output_hash(["a", "b"])
+
+    def test_line_boundaries_matter(self):
+        assert output_hash(["ab"]) != output_hash(["a", "b"])
