@@ -1,0 +1,229 @@
+"""Machine-readable fast-path benchmark (BENCH_pr3.json).
+
+Measures wall and virtual time for the example apps under each
+execution strategy, in the zero-overhead configuration (compiled plan
+cache + ``metering="off"``), plus the legacy sequential configuration
+(``plan_cache=False``, metering on) the speedup is quoted against.
+
+Methodology: configurations are run *interleaved*, round-robin, and
+the reported wall time is the minimum across rounds — the measure
+least sensitive to the machine-noise spikes that dominate sub-second
+runs.  A fixed pure-Python spin loop is timed alongside as a
+calibration constant so the perf-smoke check can normalise wall times
+across machines (see ``check_perf_smoke.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --out BENCH_pr3.json
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --pre-pr-src /path/to/old/src
+
+``--pre-pr-src`` additionally measures the pre-PR tree's sequential
+wall times (via subprocesses with a different PYTHONPATH) and records
+the cross-version speedups — the headline numbers of this PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+import time
+
+from repro.apps.pvwatts import array_of_hashsets_store, run_pvwatts
+from repro.apps.shortestpath import (
+    GraphSpec,
+    recommended_options,
+    run_shortestpath,
+)
+from repro.core import ExecOptions
+from repro.csvio import generate_csv_bytes
+
+SPEC = GraphSpec(n_vertices=2000, extra_edges=4000)
+CSV = generate_csv_bytes(n_years=1, seed=42, order="by-month")
+
+#: strategy label -> ExecOptions kwargs merged into each app's base
+STRATEGIES = {
+    "sequential": dict(strategy="sequential"),
+    "forkjoin-4": dict(strategy="forkjoin", threads=4),
+    "threads-2": dict(strategy="threads", threads=2),
+    "chaos": dict(strategy="chaos", chaos_seed=0),
+}
+
+
+def _dijkstra(extra: dict) -> object:
+    return run_shortestpath(SPEC, recommended_options(ExecOptions(**extra)))
+
+
+def _pvwatts(extra: dict, concurrent: bool) -> object:
+    return run_pvwatts(
+        CSV,
+        ExecOptions(
+            no_delta=frozenset({"PvWatts"}),
+            store_overrides={"PvWatts": array_of_hashsets_store(concurrent=concurrent)},
+            **extra,
+        ),
+        n_readers=8,
+    )
+
+
+def _apps() -> dict:
+    """app name -> callable(extra_options_kwargs, parallel) -> result"""
+    return {
+        "dijkstra": lambda extra, parallel: _dijkstra(extra),
+        "pvwatts": lambda extra, parallel: _pvwatts(extra, concurrent=parallel),
+    }
+
+
+def _fingerprint(result) -> str:
+    text = result.output_text()
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+def _calibration(n: int = 2_000_000) -> float:
+    t0 = time.perf_counter()
+    sum(i * i for i in range(n))
+    return time.perf_counter() - t0
+
+
+_PRE_PR_CHILD = r"""
+import json, time, hashlib
+from repro.apps.shortestpath import GraphSpec, run_shortestpath, recommended_options
+from repro.apps.pvwatts import run_pvwatts, array_of_hashsets_store
+from repro.csvio import generate_csv_bytes
+from repro.core import ExecOptions
+SPEC = GraphSpec(n_vertices=2000, extra_edges=4000)
+CSV = generate_csv_bytes(n_years=1, seed=42, order="by-month")
+def dij():
+    return run_shortestpath(SPEC, recommended_options(ExecOptions()))
+def pvw():
+    return run_pvwatts(CSV, ExecOptions(
+        no_delta=frozenset({"PvWatts"}),
+        store_overrides={"PvWatts": array_of_hashsets_store(concurrent=False)},
+    ), n_readers=8)
+out = {}
+for name, fn in [("dijkstra", dij), ("pvwatts", pvw)]:
+    fn()  # warmup
+    best = 1e9
+    r = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        r = fn()
+        best = min(best, time.perf_counter() - t0)
+    out[name] = {"wall": best,
+                 "fingerprint": hashlib.sha1(r.output_text().encode()).hexdigest()}
+print(json.dumps(out))
+"""
+
+
+def _measure_pre_pr(src: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _PRE_PR_CHILD],
+        env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_bench(rounds: int = 3, pre_pr_src: str | None = None) -> dict:
+    apps = _apps()
+    # config list: (app, strategy label, mode, options kwargs, parallel)
+    configs = []
+    for app in apps:
+        configs.append((app, "sequential", "legacy", dict(plan_cache=False), False))
+        for label, strat_kw in STRATEGIES.items():
+            parallel = label != "sequential"
+            kw = dict(strat_kw, metering="off")
+            configs.append((app, label, "fast", kw, parallel))
+
+    walls: dict[tuple, float] = {c[:3]: float("inf") for c in configs}
+    virtuals: dict[tuple, float] = {}
+    prints: dict[tuple, str] = {}
+    calib = float("inf")
+    for _ in range(rounds + 1):  # first round is warmup
+        warmup = not virtuals
+        calib = min(calib, _calibration())
+        for app, label, mode, kw, parallel in configs:
+            t0 = time.perf_counter()
+            r = apps[app](kw, parallel)
+            wall = time.perf_counter() - t0
+            key = (app, label, mode)
+            if not warmup:
+                walls[key] = min(walls[key], wall)
+            virtuals[key] = r.virtual_time
+            prints[key] = _fingerprint(r)
+
+    out: dict = {
+        "meta": {
+            "bench": "pr3 fast path",
+            "rounds": rounds,
+            "method": "interleaved, min wall across rounds, 1 warmup round",
+            "calibration_wall": calib,
+            "dijkstra_spec": {"n_vertices": SPEC.n_vertices, "extra_edges": SPEC.extra_edges},
+            "pvwatts_input": "synthetic 1 year, seed 42, 8 readers",
+        },
+        "apps": {},
+    }
+    for app in apps:
+        entry: dict = {}
+        for label in STRATEGIES:
+            key = (app, label, "fast")
+            entry[label] = {
+                "fast_wall": round(walls[key], 4),
+                "fast_virtual": round(virtuals[key], 4),
+            }
+        lkey = (app, "sequential", "legacy")
+        fkey = (app, "sequential", "fast")
+        entry["sequential"].update(
+            legacy_wall=round(walls[lkey], 4),
+            legacy_virtual=round(virtuals[lkey], 4),
+            speedup_fast_vs_legacy=round(walls[lkey] / walls[fkey], 3),
+            outputs_equal=prints[lkey] == prints[fkey],
+        )
+        out["apps"][app] = entry
+
+    if pre_pr_src:
+        pre = _measure_pre_pr(pre_pr_src)
+        out["meta"]["pre_pr_src"] = pre_pr_src
+        for app, rec in pre.items():
+            fkey = (app, "sequential", "fast")
+            out["apps"][app]["sequential"].update(
+                pre_pr_wall=round(rec["wall"], 4),
+                speedup_fast_vs_pre_pr=round(rec["wall"] / walls[fkey], 3),
+                outputs_equal_pre_pr=rec["fingerprint"] == prints[fkey],
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_pr3.json")
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--pre-pr-src", default=None,
+                    help="PYTHONPATH of a pre-PR checkout to compare against")
+    args = ap.parse_args(argv)
+    result = run_bench(rounds=args.rounds, pre_pr_src=args.pre_pr_src)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for app, entry in result["apps"].items():
+        seq = entry["sequential"]
+        line = (
+            f"{app}: fast {seq['fast_wall']:.3f}s vs legacy {seq['legacy_wall']:.3f}s "
+            f"({seq['speedup_fast_vs_legacy']:.2f}x, outputs equal: {seq['outputs_equal']})"
+        )
+        if "pre_pr_wall" in seq:
+            line += (
+                f"; vs pre-PR {seq['pre_pr_wall']:.3f}s "
+                f"({seq['speedup_fast_vs_pre_pr']:.2f}x)"
+            )
+        print(line)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

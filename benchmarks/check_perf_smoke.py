@@ -1,0 +1,79 @@
+"""CI perf-smoke gate: fail on >25 % wall-time regression.
+
+Compares a freshly measured fast-path benchmark (``bench_fastpath.py``
+output) against the committed baseline
+(``benchmarks/baselines/BENCH_pr3.baseline.json``).  Wall times are
+normalised by each file's spin-loop calibration constant, so the gate
+measures *engine* regressions rather than the raw speed of whichever
+machine CI landed on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --out /tmp/bench_current.json
+    python benchmarks/check_perf_smoke.py /tmp/bench_current.json
+
+Exit status 1 if any (app, strategy) fast wall regressed by more than
+``TOLERANCE`` after calibration, or if a sequential fast run no longer
+matches the legacy run's output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 1.25  # >25 % normalised wall-time regression fails
+BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr3.baseline.json"
+
+
+def check(current: dict, baseline: dict, tolerance: float = TOLERANCE) -> list[str]:
+    failures: list[str] = []
+    cal_cur = current["meta"]["calibration_wall"]
+    cal_base = baseline["meta"]["calibration_wall"]
+    for app, entry in baseline["apps"].items():
+        cur_entry = current["apps"].get(app)
+        if cur_entry is None:
+            failures.append(f"{app}: missing from current benchmark")
+            continue
+        for strategy, rec in entry.items():
+            cur = cur_entry.get(strategy)
+            if cur is None:
+                failures.append(f"{app}/{strategy}: missing from current benchmark")
+                continue
+            base_norm = rec["fast_wall"] / cal_base
+            cur_norm = cur["fast_wall"] / cal_cur
+            if cur_norm > base_norm * tolerance:
+                failures.append(
+                    f"{app}/{strategy}: normalised fast wall {cur_norm:.2f} "
+                    f"exceeds baseline {base_norm:.2f} x{tolerance}"
+                    f" (raw {cur['fast_wall']:.3f}s vs {rec['fast_wall']:.3f}s)"
+                )
+            if cur.get("outputs_equal") is False:
+                failures.append(
+                    f"{app}/{strategy}: fast output diverged from the legacy run"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="bench_fastpath.py output to check")
+    ap.add_argument("--baseline", default=str(BASELINE))
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = ap.parse_args(argv)
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = check(current, baseline, args.tolerance)
+    if failures:
+        print("perf-smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("perf-smoke OK: all fast walls within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

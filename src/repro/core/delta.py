@@ -91,6 +91,31 @@ class DeltaTree:
         if tup in self._members:
             return False
         self._members.add(tup)
+        self._place(tup, ts)
+        return True
+
+    def insert_batch(self, items: list[tuple[JTuple, Timestamp]]) -> list[bool]:
+        """Insert a whole phase-C put batch with one membership-set
+        update at the end instead of one per tuple.  The returned flags
+        are positionally aligned with ``items``; per-item semantics are
+        exactly :meth:`insert` in order (intra-batch duplicates are
+        rejected like already-pending tuples)."""
+        members = self._members
+        fresh: set[JTuple] = set()
+        accepted: list[bool] = []
+        place = self._place
+        for tup, ts in items:
+            if tup in members or tup in fresh:
+                accepted.append(False)
+                continue
+            place(tup, ts)
+            fresh.add(tup)
+            accepted.append(True)
+        members.update(fresh)
+        return accepted
+
+    def _place(self, tup: JTuple, ts: Timestamp) -> None:
+        """The tree walk of an insert (membership managed by callers)."""
         node = self._root
         path: list[_Node] = [node]
         for comp in ts.key:
@@ -128,9 +153,29 @@ class DeltaTree:
         node.here[tup] = None
         for n in path:
             n.count += 1
-        return True
 
     # -- extraction -----------------------------------------------------------
+
+    @staticmethod
+    def _min_entry(node: _Node) -> tuple:
+        """``(key, child)`` for the minimal non-empty child of an
+        interior node — the single min-descent step shared by
+        :meth:`peek_min_node` and :meth:`pop_min_class`.  ``key`` is the
+        child's key in its parent (``None`` for the collapsed par
+        child), which pop-side pruning needs."""
+        if node.kind == KIND_PAR:
+            child = node.par_child
+            assert child is not None and child.count > 0
+            return None, child
+        if node.kind == KIND_LIT:
+            assert isinstance(node.children, dict)
+            key = min(r for r, c in node.children.items() if c.count > 0)
+            return key, node.children[key]
+        assert isinstance(node.children, SkipListMap)
+        for k, c in node.children.items():
+            if c.count > 0:
+                return k, c
+        raise AssertionError("non-empty node had no non-empty child")
 
     def peek_min_node(self) -> _Node | None:
         """The node holding the minimal equivalence class (or None)."""
@@ -138,23 +183,8 @@ class DeltaTree:
         if node.count == 0:
             return None
         while not node.here:
-            node = self._min_child(node)
+            _, node = self._min_entry(node)
         return node
-
-    def _min_child(self, node: _Node) -> _Node:
-        if node.kind == KIND_PAR:
-            child = node.par_child
-            assert child is not None and child.count > 0
-            return child
-        if node.kind == KIND_LIT:
-            assert isinstance(node.children, dict)
-            best_rank = min(r for r, c in node.children.items() if c.count > 0)
-            return node.children[best_rank]
-        assert isinstance(node.children, SkipListMap)
-        for _, child in node.children.items():
-            if child.count > 0:
-                return child
-        raise AssertionError("non-empty node had no non-empty child")
 
     def pop_min_class(self) -> list[JTuple]:
         """Remove and return the minimal equivalence class (insertion
@@ -166,22 +196,7 @@ class DeltaTree:
         path: list[tuple[_Node, int | None]] = []  # (node, child key or None)
         node = self._root
         while not node.here:
-            if node.kind == KIND_PAR:
-                child = node.par_child
-                key: int | None = None
-            elif node.kind == KIND_LIT:
-                assert isinstance(node.children, dict)
-                key = min(r for r, c in node.children.items() if c.count > 0)
-                child = node.children[key]
-            else:
-                assert isinstance(node.children, SkipListMap)
-                key = None
-                child = None
-                for k, c in node.children.items():
-                    if c.count > 0:
-                        key, child = k, c
-                        break
-            assert child is not None
+            key, child = self._min_entry(node)
             path.append((node, key))
             node = child
         batch = list(node.here)

@@ -41,11 +41,12 @@ from repro.core.tuples import JTuple
 from repro.exec.base import EngineTask, Strategy, TaskResult
 from repro.exec.chaos import ChaosStrategy
 from repro.exec.forkjoin import ForkJoinStrategy
-from repro.exec.metering import DEFAULT_WEIGHTS, CostMeter
+from repro.exec.metering import DEFAULT_WEIGHTS, NULL_METER, CostMeter
 from repro.exec.sequential import SequentialStrategy
 from repro.exec.threads import ThreadStrategy
 from repro.gamma.base import StoreRegistry
 from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
+from repro.plan.cache import PlanCache
 from repro.simcore.machine import MachineReport
 from repro.stats.collector import StatsCollector
 from repro.trace.recorder import TraceRecorder, output_hash
@@ -124,13 +125,38 @@ class Engine:
         self._check_mode = options.causality_check
         self._delta_serial = options.calib.delta_serial_fraction
         self._per_rule_tasks = options.task_granularity == "rule"
-        # retention hints: table -> (field position, keep_last, max seen)
-        self._retention: dict[str, tuple[int, int, int | None]] = {}
+        # ``metering="off"`` replaces per-task meters with the shared
+        # no-op meter — unless the strategy's virtual-time machine
+        # consumes meters, in which case metering is forced back on
+        self._metered = options.metering == "on" or self.strategy.requires_metering
+        # compiled query plans, warmed from the program's static access
+        # patterns; None -> RuleContext uses the generic build_query path
+        self._plans = PlanCache(self.db, program) if options.plan_cache else None
+        # deferred stats tallies: (table, rule) -> firings and
+        # (rule, table) -> puts, folded into the collector at run end —
+        # totals identical to per-event on_fire/on_put, without paying
+        # three hash-structure updates on every firing and put
+        self._fire_tallies: dict[tuple[str, str], int] = {}
+        self._put_tallies: dict[tuple[str, str], int] = {}
+        # same deferral for the per-table Gamma/Delta counters:
+        # name -> [delta_bypass, duplicates, gamma_inserts,
+        # gamma_skipped, delta_inserts]
+        self._table_tallies: dict[str, list[int]] = {}
+        # retention hints: table -> mutable
+        # [field position, keep_last, max seen, max at last prune];
+        # max-seen is maintained incrementally at insert time (NEW
+        # outcomes only), so pruning never needs a discovery scan
+        self._retention: dict[str, list] = {}
         for name, hint in options.retention.items():
             schema = program.schemas().get(name)
             if schema is None:
                 raise EngineError(f"retention hint for unknown table {name!r}")
-            self._retention[name] = (schema.field_position(hint.field), hint.keep_last, None)
+            self._retention[name] = [schema.field_position(hint.field), hint.keep_last, None, None]
+        # step coalescing merges trigger-less minimal classes into the
+        # following step; retention prunes per step, so hints keep the
+        # one-class-per-step cadence
+        self._coalesce = options.coalesce_steps and not self._retention
+        self._silent_tables: dict[str, bool] = {}
         self._lock: ContextManager | None = None
         if self.strategy.needs_locks:
             import threading
@@ -153,7 +179,12 @@ class Engine:
             return ChaosStrategy(
                 seed=options.chaos_seed or 0, fault_plan=options.fault_plan
             )
-        return ThreadStrategy(options.threads)
+        if options.strategy == "threads":
+            return ThreadStrategy(options.threads)
+        raise EngineError(
+            f"unknown strategy {options.strategy!r}; valid strategies: "
+            "sequential, forkjoin, threads, chaos"
+        )
 
     @staticmethod
     def _make_registry(
@@ -204,6 +235,12 @@ class Engine:
     def _guarded(self) -> ContextManager:
         return self._lock if self._lock is not None else nullcontext()
 
+    def _tt(self, name: str) -> list[int]:
+        t = self._table_tallies.get(name)
+        if t is None:
+            t = self._table_tallies[name] = [0, 0, 0, 0, 0]
+        return t
+
     # -- put routing -------------------------------------------------------------
 
     def _handle_puts(self, ctx_puts: list[JTuple], result: TaskResult, rule_name: str) -> None:
@@ -212,11 +249,13 @@ class Engine:
         the task result and enters Delta after the batch joins — which
         keeps Delta mutation out of the parallel phase and effect order
         deterministic."""
+        tallies = self._put_tallies
         for tup in ctx_puts:
             name = tup.schema.name
-            self.stats.on_put(rule_name, name)
+            key = (rule_name, name)
+            tallies[key] = tallies.get(key, 0) + 1
             if name in self._no_delta:
-                self.stats.table(name).delta_bypass += 1
+                self._tt(name)[0] += 1
                 self._immediate(tup, result)
             else:
                 result.puts.append(tup)
@@ -227,36 +266,73 @@ class Engine:
         name = tup.schema.name
         if name not in self._no_gamma:
             store = self.db.store(name)
-            with self._guarded():
+            if self._lock is None:
                 outcome = self.db.insert(tup)
+            else:
+                with self._lock:
+                    outcome = self.db.insert(tup)
             result.meter.charge_store_op("insert", store)
             if outcome is InsertOutcome.DUPLICATE:
-                self.stats.table(name).duplicates += 1
+                self._tt(name)[1] += 1
                 return
-            self.stats.table(name).gamma_inserts += 1
+            self._tt(name)[2] += 1
+            if self._retention:
+                self._note_retained(name, tup)
         else:
-            self.stats.table(name).gamma_skipped += 1
+            self._tt(name)[3] += 1
         self._fire_rules(tup, result)
 
-    def _enqueue_delta(self, tup: JTuple, meter: CostMeter) -> bool:
-        """Post-batch (sequential) insertion of one deferred put into
-        the Delta tree, charged to the producing task's meter.  Returns
-        whether the tuple was accepted (False = duplicate)."""
-        name = tup.schema.name
-        if name not in self._no_gamma and tup in self.db:
-            self.stats.table(name).duplicates += 1
-            return False
-        ts = self.db.timestamp(tup)
-        if self.delta.insert(tup, ts):
-            self.stats.table(name).delta_inserts += 1
-            meter.charge("delta_insert")
-            if self._delta_serial > 0.0:
-                meter.charge_shared(
-                    "delta", DEFAULT_WEIGHTS["delta_insert"] * self._delta_serial
-                )
-            return True
-        self.stats.table(name).duplicates += 1
-        return False
+    def _note_retained(self, name: str, tup: JTuple) -> None:
+        """Advance a retained table's incrementally-tracked max on a NEW
+        Gamma insert (satellite of §5 step 4: pruning reads this instead
+        of rediscovering the max with a full scan every step)."""
+        ent = self._retention.get(name)
+        if ent is not None:
+            v = tup.values[ent[0]]
+            if ent[2] is None or v > ent[2]:
+                ent[2] = v
+
+    def _enqueue_delta_batch(
+        self, pending: list[tuple[JTuple, CostMeter]]
+    ) -> list[bool]:
+        """Post-batch (sequential) insertion of a step's deferred puts
+        into the Delta tree, each charged to its producing task's meter.
+        One :meth:`~repro.core.delta.DeltaTree.insert_batch` call covers
+        the whole step; per-put semantics (Gamma-duplicate precheck,
+        then Delta dedup) are exactly the former one-at-a-time loop —
+        phase C never mutates Gamma, so prechecking all puts up front
+        observes the same store state as interleaving would."""
+        flags = [False] * len(pending)
+        items: list[tuple[JTuple, object]] = []
+        idx: list[int] = []
+        ng = self._no_gamma
+        db = self.db
+        tt = self._tt
+        for i, (tup, _meter) in enumerate(pending):
+            name = tup.schema.name
+            if name not in ng and tup in db:
+                tt(name)[1] += 1
+                continue
+            items.append((tup, db.timestamp(tup)))
+            idx.append(i)
+        if not items:
+            return flags
+        accepted = self.delta.insert_batch(items)
+        delta_serial = self._delta_serial
+        shared_cost = DEFAULT_WEIGHTS["delta_insert"] * delta_serial
+        for k, ok in enumerate(accepted):
+            i = idx[k]
+            tup, meter = pending[i]
+            name = tup.schema.name
+            if ok:
+                flags[i] = True
+                tt(name)[4] += 1
+                meter.charge("delta_insert")
+                if delta_serial > 0.0:
+                    meter.charge_shared("delta", shared_cost)
+            else:
+                tt(name)[1] += 1
+        return flags
 
     # -- rule firing -------------------------------------------------------------
 
@@ -265,7 +341,9 @@ class Engine:
             self._fire_one(rule, tup, result)
 
     def _fire_one(self, rule: Rule, tup: JTuple, result: TaskResult) -> None:
-        self.stats.on_fire(tup.schema.name, rule.name)
+        tallies = self._fire_tallies
+        key = (tup.schema.name, rule.name)
+        tallies[key] = tallies.get(key, 0) + 1
         result.meter.charge("rule_fire")
         ctx = RuleContext(
             self.db,
@@ -274,11 +352,12 @@ class Engine:
             rule,
             tup,
             self.db.timestamp(tup),
-            check_mode=self._check_mode,
-            collector=self.stats,
-            lock=self._lock,
-            scheduler=self.strategy.yield_point,
-            trace=result.events if self.tracer is not None else None,
+            self._check_mode,
+            self.stats,
+            self._lock,
+            self.strategy.yield_point,
+            result.events if self.tracer is not None else None,
+            self._plans,
         )
         rule.body(ctx, tup)
         ctx.finish()
@@ -290,24 +369,32 @@ class Engine:
 
     # -- step machinery -------------------------------------------------------------
 
+    def _new_result(self, trigger: JTuple) -> TaskResult:
+        """A task result with a private meter, or — metering off — the
+        shared no-op meter (every charge on it is a no-op, so sharing
+        the singleton is safe)."""
+        if self._metered:
+            return TaskResult(trigger=trigger)
+        return TaskResult(trigger=trigger, meter=NULL_METER)
+
     def _make_task(self, tup: JTuple, outcome: InsertOutcome | None) -> EngineTask:
         """Task closure for one popped tuple.  ``outcome`` is the Gamma
         insertion result decided in the sequential prepare phase; the
         task charges for it and fires the triggered rules."""
 
         def run() -> TaskResult:
-            result = TaskResult(trigger=tup)
+            result = self._new_result(tup)
             result.meter.charge("delta_pop")
             name = tup.schema.name
             if outcome is None:  # -noGamma table
-                self.stats.table(name).gamma_skipped += 1
+                self._tt(name)[3] += 1
             else:
                 result.meter.charge_store_op("insert", self.db.store(name))
                 if outcome is InsertOutcome.DUPLICATE:
                     result.duplicate = True
-                    self.stats.table(name).duplicates += 1
+                    self._tt(name)[1] += 1
                     return result
-                self.stats.table(name).gamma_inserts += 1
+                self._tt(name)[2] += 1
             self._fire_rules(tup, result)
             return result
 
@@ -325,15 +412,15 @@ class Engine:
         its Delta-pop and Gamma-insert costs."""
 
         def run() -> TaskResult:
-            result = TaskResult(trigger=tup)
+            result = self._new_result(tup)
             name = tup.schema.name
             if charge_insert:
                 result.meter.charge("delta_pop")
                 if outcome is None:
-                    self.stats.table(name).gamma_skipped += 1
+                    self._tt(name)[3] += 1
                 else:
                     result.meter.charge_store_op("insert", self.db.store(name))
-                    self.stats.table(name).gamma_inserts += 1
+                    self._tt(name)[2] += 1
             self._fire_one(rule, tup, result)
             return result
 
@@ -358,23 +445,54 @@ class Engine:
         return tasks
 
     def _apply_retention(self) -> None:
-        """Prune Gamma generations per the lifetime hints (§5 step 4)."""
-        for name, (pos, keep, max_seen) in list(self._retention.items()):
-            store = self.db.store(name)
-            new_max = max_seen
-            for t in store.scan():
-                v = t.values[pos]
-                if new_max is None or v > new_max:
-                    new_max = v
-            if new_max is None or new_max == max_seen:
+        """Prune Gamma generations per the lifetime hints (§5 step 4).
+        The per-table max is tracked incrementally at insert time
+        (:meth:`_note_retained`), so a table is scanned exactly once —
+        to collect the doomed generation — and only on the steps where
+        its max actually advanced."""
+        for name, ent in self._retention.items():
+            pos, keep, max_seen, pruned_max = ent
+            if max_seen is None or max_seen == pruned_max:
                 continue
-            cutoff = new_max - keep + 1
+            store = self.db.store(name)
+            cutoff = max_seen - keep + 1
             doomed = [t for t in store.scan() if t.values[pos] < cutoff]
             for t in doomed:
                 store.discard(t)
             if doomed:
                 self.stats.table(name).gamma_discarded += len(doomed)
-            self._retention[name] = (pos, keep, new_max)
+            ent[3] = max_seen
+
+    def _class_silent(self, batch: list[JTuple]) -> bool:
+        """True iff no tuple of this class triggers any rule — its whole
+        effect is the phase-A Gamma insert."""
+        silent = self._silent_tables
+        for tup in batch:
+            name = tup.schema.name
+            s = silent.get(name)
+            if s is None:
+                s = silent[name] = not self.program.rules_for(name)
+            if not s:
+                return False
+        return True
+
+    def _pop_super_batch(self) -> list[JTuple]:
+        """Step coalescing (``coalesce_steps``): pop consecutive
+        trigger-less minimal classes together with the first triggering
+        class as one super-step.  Sound because a silent class fires
+        nothing — its tuples only need to be in Gamma before any *later*
+        class fires, and phase A inserts the merged batch in pop order
+        before phase B runs."""
+        batch = self.delta.pop_min_class()
+        if not self.delta or not self._class_silent(batch):
+            return batch
+        out = list(batch)
+        while self.delta:
+            cls = self.delta.pop_min_class()
+            out.extend(cls)
+            if not self._class_silent(cls):
+                break
+        return out
 
     def _flush_task_events(self, results: list[TaskResult]) -> None:
         """Emit each task's buffered micro events plus a per-task
@@ -411,35 +529,41 @@ class Engine:
         # Phase A (sequential): move the whole class into Gamma, so the
         # rules fired in phase B see every tuple of the class ("positive
         # queries with timestamps <= T", §4) and Gamma stays read-only
-        # while the batch fires.
-        prepared: list[tuple[JTuple, InsertOutcome | None]] = []
-        for tup in batch:
-            if tup.schema.name in self._no_gamma:
-                prepared.append((tup, None))
-            else:
-                prepared.append((tup, self.db.insert(tup)))
+        # while the batch fires.  One batched insert resolves each store
+        # once per same-table run instead of once per tuple.
+        prepared = list(zip(batch, self.db.insert_batch(batch, self._no_gamma)))
+        if self._retention:
+            for tup, outcome in prepared:
+                if outcome is InsertOutcome.NEW:
+                    self._note_retained(tup.schema.name, tup)
         # Phase B: fire (possibly genuinely threaded).
         tasks = self._build_tasks(prepared)
         results = self.strategy.run_batch(tasks)
         if self.tracer is not None:
             self._flush_task_events(results)
-        # Phase C (sequential, deterministic order): apply buffered puts.
-        for r in results:
-            for put in r.puts:
-                accepted = self._enqueue_delta(put, r.meter)
-                if self.tracer is not None:
+        # Phase C (sequential, deterministic order): apply buffered puts
+        # as one Delta batch.
+        pending = [(put, r.meter) for r in results for put in r.puts]
+        if pending:
+            flags = self._enqueue_delta_batch(pending)
+            if self.tracer is not None:
+                for (put, _meter), accepted in zip(pending, flags):
                     self.tracer.emit(
                         "effect", {"tuple": repr(put), "accepted": accepted}
                     )
         if self._retention:
             self._apply_retention()
-        allocations = 0.0
-        for r in results:
-            self.output.extend(r.output)
-            allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
-            self.meter.merge(r.meter)
-        retained = float(self.db.heap_tuples())
-        self.strategy.account_step(results, allocations=allocations, retained=retained)
+        if self._metered:
+            allocations = 0.0
+            for r in results:
+                self.output.extend(r.output)
+                allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
+                self.meter.merge(r.meter)
+            retained = float(self.db.heap_tuples())
+            self.strategy.account_step(results, allocations=allocations, retained=retained)
+        else:
+            for r in results:
+                self.output.extend(r.output)
 
     # -- run -------------------------------------------------------------
 
@@ -465,7 +589,7 @@ class Engine:
 
         # Initial puts run as one synthetic sequential task so -noDelta
         # cascades work during initialisation too.
-        init_result = TaskResult(trigger=None)  # type: ignore[arg-type]
+        init_result = self._new_result(None)  # type: ignore[arg-type]
         for tup in self.program.initial_puts:
             init_result.meter.charge("tuple_put")
             self.stats.on_put("<init>", tup.schema.name)
@@ -474,16 +598,19 @@ class Engine:
                 self._immediate(tup, init_result)
             else:
                 init_result.puts.append(tup)
-        for put in init_result.puts:
-            accepted = self._enqueue_delta(put, init_result.meter)
+        if init_result.puts:
+            pending = [(put, init_result.meter) for put in init_result.puts]
+            flags = self._enqueue_delta_batch(pending)
             if self.tracer is not None:
-                self.tracer.emit("effect", {"tuple": repr(put), "accepted": accepted})
+                for (put, _meter), accepted in zip(pending, flags):
+                    self.tracer.emit("effect", {"tuple": repr(put), "accepted": accepted})
         if self.tracer is not None and init_result.events:
             for kind, data in init_result.events:
                 self.tracer.emit(kind, data)
         self.output.extend(init_result.output)
-        self.meter.merge(init_result.meter)
-        self.strategy.account_serial(init_result.meter.total_cost)
+        if self._metered:
+            self.meter.merge(init_result.meter)
+            self.strategy.account_serial(init_result.meter.total_cost)
         if self._retention:
             # -noDelta cascades can run entirely inside initialisation
             # (zero engine steps); lifetime hints still apply
@@ -497,11 +624,18 @@ class Engine:
                     f"{len(self.delta)} tuples still pending"
                 )
             self._steps += 1
-            batch = self.delta.pop_min_class()
+            batch = self._pop_super_batch() if self._coalesce else self.delta.pop_min_class()
             self._run_step(batch)
 
         wall = time.perf_counter() - start
         self.strategy.close()
+        self.stats.absorb_tallies(self._fire_tallies, self._put_tallies)
+        self.stats.absorb_table_tallies(self._table_tallies)
+        self._fire_tallies.clear()
+        self._put_tallies.clear()
+        self._table_tallies.clear()
+        if self._plans is not None:
+            self.stats.absorb_planned(self._plans.plans())
         if self.tracer is not None:
             self.tracer.step = self._steps
             self.tracer.emit(

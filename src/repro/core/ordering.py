@@ -338,6 +338,10 @@ def compare_timestamps(a: Timestamp, b: Timestamp) -> int:
     orderby suffix means "no further constraint", which the Delta tree
     treats as the earliest point of the subtree).
     """
+    if a is b:
+        # shared object — constant-orderby timestamps and the memoised
+        # per-tuple timestamps make this the common case
+        return 0
     ka, kb = a.key, b.key
     for ca, cb in zip(ka, kb):
         c = _compare_component(ca, cb)

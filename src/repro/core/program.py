@@ -114,6 +114,22 @@ class ExecOptions:
     #: fault-injection probabilities for the "chaos" strategy
     #: (:class:`repro.exec.chaos.FaultPlan`; None = no faults)
     fault_plan: Any = None
+    #: cost metering: "on" (default; feeds the virtual-time machine) or
+    #: "off" (wall-clock fast path: tasks use a shared no-op meter and
+    #: the engine skips all cost bookkeeping).  Strategies that consume
+    #: meters — the fork/join virtual machine — force metering back on
+    #: regardless of this flag; results are identical either way.
+    metering: str = "on"
+    #: compile each rule's query shapes once and dispatch through the
+    #: precompiled plans (see :mod:`repro.plan`); off = the legacy
+    #: interpret-per-firing path.  Results are identical either way.
+    plan_cache: bool = True
+    #: opt-in: pop consecutive minimal classes that trigger no rules
+    #: together with the next triggering class, as one super-step.
+    #: Outputs and table sizes are unchanged, but step counts (and the
+    #: trace's step events) differ from uncoalesced runs, so this is
+    #: off by default and disabled under retention hints.
+    coalesce_steps: bool = False
 
     def with_(self, **kw: Any) -> "ExecOptions":
         """Functional update, e.g. ``opts.with_(threads=8)``."""
@@ -121,7 +137,10 @@ class ExecOptions:
 
     def __post_init__(self) -> None:
         if self.strategy not in ("sequential", "forkjoin", "threads", "chaos"):
-            raise EngineError(f"unknown strategy {self.strategy!r}")
+            raise EngineError(
+                f"unknown strategy {self.strategy!r}; valid strategies: "
+                "sequential, forkjoin, threads, chaos"
+            )
         if self.causality_check not in ("off", "warn", "strict"):
             raise EngineError(f"unknown causality_check {self.causality_check!r}")
         if self.task_granularity not in ("tuple", "rule"):
@@ -130,6 +149,8 @@ class ExecOptions:
             raise EngineError("threads must be >= 1")
         if self.index_mode not in ("off", "auto", "explicit"):
             raise EngineError(f"unknown index_mode {self.index_mode!r}")
+        if self.metering not in ("on", "off"):
+            raise EngineError(f"unknown metering mode {self.metering!r}")
         if self.index_mode == "off" and self.indexes:
             raise EngineError("indexes given but index_mode is 'off'")
         if self.strategy != "chaos" and (
@@ -166,6 +187,8 @@ class Program:
         self.decls = OrderDecls()
         self.initial_puts: list[JTuple] = []
         self._rules_by_trigger: dict[str, list[Rule]] | None = None
+        # (rule count it was computed at, patterns) — see query_shapes()
+        self._query_shapes: tuple[int, tuple] | None = None
 
     # -- declarations -----------------------------------------------------
 
@@ -247,6 +270,22 @@ class Program:
         Idempotent; called automatically by :meth:`run`."""
         self.decls.freeze()
         self._index_rules()
+        self.query_shapes()  # pre-resolve rule query shapes (plan cache)
+
+    def query_shapes(self) -> tuple:
+        """The distinct static query shapes of this program's rules —
+        the same access-pattern walk the index planner performs
+        (:func:`repro.gamma.indexplan.collect_access_patterns`), cached
+        so every engine's plan cache can warm up without re-probing the
+        rules' symbolic metadata."""
+        if self._query_shapes is None or self._query_shapes[0] != len(self.rules):
+            from repro.gamma.indexplan import collect_access_patterns
+
+            self._query_shapes = (
+                len(self.rules),
+                tuple(collect_access_patterns(self)),
+            )
+        return self._query_shapes[1]
 
     def _index_rules(self) -> None:
         by_trigger: dict[str, list[Rule]] = {}

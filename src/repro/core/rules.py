@@ -40,6 +40,8 @@ from repro.core.tuples import JTuple, TableHandle
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.database import Database
     from repro.exec.metering import CostMeter
+    from repro.plan.cache import PlanCache
+    from repro.plan.compile import CompiledQueryPlan
 
 __all__ = ["Rule", "RuleContext", "query_upper_bound"]
 
@@ -171,12 +173,15 @@ class RuleContext:
         "puts",
         "output",
         "_check_mode",
+        "_adjudicate",
         "_finished",
         "_neg_warned",
+        "_ts_ok",
         "_collector",
         "_lock",
         "_sched",
         "_trace",
+        "_plans",
     )
 
     def __init__(
@@ -192,6 +197,7 @@ class RuleContext:
         lock: Any = None,
         scheduler: Any = None,
         trace: list | None = None,
+        plans: "PlanCache | None" = None,
     ):
         self._db = db
         self._decls = decls
@@ -202,8 +208,17 @@ class RuleContext:
         self.puts: list[JTuple] = []
         self.output: list[str] = []
         self._check_mode = check_mode
+        # adjudication of negative/aggregate queries is settled per
+        # firing; hot paths branch on this instead of calling into the
+        # checker just to return
+        self._adjudicate = check_mode != "off" and not rule.assume_stratified
         self._finished = False
         self._neg_warned = False
+        # identity of the last timestamp object that passed the put
+        # causality check — timestamps are memoised per tuple (and
+        # shared for constant orderbys), so consecutive puts of the
+        # same table usually present the same object again
+        self._ts_ok = None
         self._collector = collector
         self._lock = lock
         # strategy yield hook: called at every put/query boundary so a
@@ -212,6 +227,9 @@ class RuleContext:
         # per-task trace event sink (flushed by the engine in
         # deterministic submission order)
         self._trace = trace
+        # compiled query plans shared across all firings of this run;
+        # None -> every query rebuilds through build_query (legacy path)
+        self._plans = plans
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -251,11 +269,13 @@ class RuleContext:
             )
         if self._check_mode != "off":
             ts = self._db.timestamp(tup)
-            if compare_timestamps(ts, self.trigger_ts) < 0:
-                raise CausalityError(
-                    f"rule {self._rule.name} put {tup!r} (ts {ts}) into the "
-                    f"past of its trigger {self.trigger!r} (ts {self.trigger_ts})"
-                )
+            if ts is not self._ts_ok:
+                if compare_timestamps(ts, self.trigger_ts) < 0:
+                    raise CausalityError(
+                        f"rule {self._rule.name} put {tup!r} (ts {ts}) into the "
+                        f"past of its trigger {self.trigger!r} (ts {self.trigger_ts})"
+                    )
+                self._ts_ok = ts
         self._meter.charge("tuple_put")
         self.puts.append(tup)
 
@@ -341,12 +361,66 @@ class RuleContext:
             )
         return results
 
+    def _run_planned(self, plan: "CompiledQueryPlan", query: Query) -> list[JTuple]:
+        """:meth:`_run_query` for the compiled-plan fast path: the
+        store's access path and metering tags were resolved when the
+        shape compiled, so per firing this is one prepared select plus
+        flat counter bumps."""
+        if self._sched is not None:
+            self._sched()
+        ps = plan.prepared
+        if self._lock is not None:
+            with self._lock:
+                results = ps.run(query)
+        else:
+            results = ps.run(query)
+        n = len(results)
+        self._meter.charge_planned(ps, n)
+        if self._collector is not None:
+            hit = plan.rule_hits.get(self._rule.name)
+            if hit is None:
+                plan.rule_hits[self._rule.name] = [1, n]
+            else:
+                hit[0] += 1
+                hit[1] += n
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "query",
+                    {
+                        "rule": self._rule.name,
+                        "table": plan.table_name,
+                        "kind": query.kind.value,
+                        "n_results": len(results),
+                    },
+                )
+            )
+        return results
+
     def _check_negative(self, query: Query) -> None:
         """Dynamic slice of the §4 law for negative/aggregate queries:
         their observable region must lie strictly before the trigger."""
         if self._check_mode == "off" or self._rule.assume_stratified:
             return
-        bound = query_upper_bound(query, self._decls)
+        self._adjudicate_negative(
+            query_upper_bound(query, self._decls), query.kind.value, query.schema.name
+        )
+
+    def _check_negative_planned(
+        self, plan: "CompiledQueryPlan", query: Query
+    ) -> None:
+        """:meth:`_check_negative` with the orderby walk precompiled."""
+        if self._check_mode == "off" or self._rule.assume_stratified:
+            return
+        bound = plan.bound.evaluate(query) if plan.bound is not None else None
+        self._adjudicate_negative(bound, query.kind.value, plan.table_name)
+
+    def _adjudicate_negative(
+        self,
+        bound: tuple[Timestamp, bool] | None,
+        kind_value: str,
+        table_name: str,
+    ) -> None:
         ok: bool | None
         if bound is None:
             ok = None  # cannot adjudicate dynamically
@@ -364,23 +438,23 @@ class RuleContext:
             if not self._neg_warned:
                 self._neg_warned = True
                 warnings.warn(
-                    f"rule {self._rule.name}: {query.kind.value} query on "
-                    f"{query.schema.name} has no statically bounded timestamp; "
+                    f"rule {self._rule.name}: {kind_value} query on "
+                    f"{table_name} has no statically bounded timestamp; "
                     f"stratification not verified dynamically",
                     StratificationWarning,
-                    stacklevel=3,
+                    stacklevel=4,
                 )
         elif not ok:
             msg = (
-                f"rule {self._rule.name}: {query.kind.value} query on "
-                f"{query.schema.name} can observe the present/future of its "
+                f"rule {self._rule.name}: {kind_value} query on "
+                f"{table_name} can observe the present/future of its "
                 f"trigger (ts {self.trigger_ts}) — violates local stratification"
             )
             if self._check_mode == "strict":
                 raise CausalityError(msg)
             if not self._neg_warned:
                 self._neg_warned = True
-                warnings.warn(msg, StratificationWarning, stacklevel=3)
+                warnings.warn(msg, StratificationWarning, stacklevel=4)
 
     def get(
         self,
@@ -392,8 +466,12 @@ class RuleContext:
     ) -> list[JTuple]:
         """Positive query: all matching tuples (``get T(args)``)."""
         self._guard()
-        q = build_query(table, *prefix, where=where, ranges=ranges, **eq)
-        return self._run_query(q)
+        plans = self._plans
+        if plans is None:
+            q = build_query(table, *prefix, where=where, ranges=ranges, **eq)
+            return self._run_query(q)
+        plan, q = plans.lookup(table, prefix, where, ranges, eq, QueryKind.POSITIVE)
+        return self._run_planned(plan, q)
 
     def get_uniq(
         self,
@@ -409,11 +487,18 @@ class RuleContext:
         so this is checked as NEGATIVE.  More than one match raises.
         """
         self._guard()
-        q = build_query(
-            table, *prefix, where=where, ranges=ranges, kind=QueryKind.NEGATIVE, **eq
-        )
-        self._check_negative(q)
-        results = self._run_query(q)
+        plans = self._plans
+        if plans is None:
+            q = build_query(
+                table, *prefix, where=where, ranges=ranges, kind=QueryKind.NEGATIVE, **eq
+            )
+            self._check_negative(q)
+            results = self._run_query(q)
+        else:
+            plan, q = plans.lookup(table, prefix, where, ranges, eq, QueryKind.NEGATIVE)
+            if self._adjudicate:
+                self._check_negative_planned(plan, q)
+            results = self._run_planned(plan, q)
         if len(results) > 1:
             raise RuleError(
                 f"get uniq? {table.name} matched {len(results)} tuples"
@@ -434,11 +519,17 @@ class RuleContext:
     ) -> bool:
         """Negative query: true iff *no* tuple matches."""
         self._guard()
-        q = build_query(
-            table, *prefix, where=where, ranges=ranges, kind=QueryKind.NEGATIVE, **eq
-        )
-        self._check_negative(q)
-        return not self._run_query(q)
+        plans = self._plans
+        if plans is None:
+            q = build_query(
+                table, *prefix, where=where, ranges=ranges, kind=QueryKind.NEGATIVE, **eq
+            )
+            self._check_negative(q)
+            return not self._run_query(q)
+        plan, q = plans.lookup(table, prefix, where, ranges, eq, QueryKind.NEGATIVE)
+        if self._adjudicate:
+            self._check_negative_planned(plan, q)
+        return not self._run_planned(plan, q)
 
     def get_min(
         self,
@@ -452,22 +543,37 @@ class RuleContext:
         """``get min T(args)``: matching tuple minimising field ``by``
         (an aggregate query)."""
         self._guard()
-        q = build_query(
-            table, *prefix, where=where, ranges=ranges, kind=QueryKind.AGGREGATE, **eq
-        )
-        self._check_negative(q)
-        pos = table.schema.field_position(by)
-        results = self._run_query(q)
+        plans = self._plans
+        if plans is None:
+            q = build_query(
+                table, *prefix, where=where, ranges=ranges, kind=QueryKind.AGGREGATE, **eq
+            )
+            self._check_negative(q)
+            results = self._run_query(q)
+        else:
+            plan, q = plans.lookup(table, prefix, where, ranges, eq, QueryKind.AGGREGATE)
+            if self._adjudicate:
+                self._check_negative_planned(plan, q)
+            results = self._run_planned(plan, q)
         if not results:
             return None
+        pos = table.schema.field_position(by)
         return min(results, key=lambda t: t.values[pos])
 
     def count(self, table: TableHandle, *prefix: Any, **kw: Any) -> int:
         """Aggregate count of matching tuples."""
         self._guard()
-        q = build_query(table, *prefix, kind=QueryKind.AGGREGATE, **kw)
-        self._check_negative(q)
-        return len(self._run_query(q))
+        plans = self._plans
+        if plans is None:
+            q = build_query(table, *prefix, kind=QueryKind.AGGREGATE, **kw)
+            self._check_negative(q)
+            return len(self._run_query(q))
+        where = kw.pop("where", None)
+        ranges = kw.pop("ranges", None)
+        plan, q = plans.lookup(table, prefix, where, ranges, kw, QueryKind.AGGREGATE)
+        if self._adjudicate:
+            self._check_negative_planned(plan, q)
+        return len(self._run_planned(plan, q))
 
     def reduce(
         self,
@@ -482,11 +588,18 @@ class RuleContext:
         """Aggregate reduction over matching tuples — the Fig 4 pattern
         ``for (record : get PvWatts(...)) stats += record.power``."""
         self._guard()
-        q = build_query(
-            table, *prefix, where=where, ranges=ranges, kind=QueryKind.AGGREGATE, **eq
-        )
-        self._check_negative(q)
-        results = self._run_query(q)
+        plans = self._plans
+        if plans is None:
+            q = build_query(
+                table, *prefix, where=where, ranges=ranges, kind=QueryKind.AGGREGATE, **eq
+            )
+            self._check_negative(q)
+            results = self._run_query(q)
+        else:
+            plan, q = plans.lookup(table, prefix, where, ranges, eq, QueryKind.AGGREGATE)
+            if self._adjudicate:
+                self._check_negative_planned(plan, q)
+            results = self._run_planned(plan, q)
         self._meter.charge("reduce_op", n=len(results))
         return reduce_all(reducer, (value(t) for t in results))
 

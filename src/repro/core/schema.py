@@ -148,6 +148,9 @@ class TableSchema:
         "dep_indexes",
         "field_names",
         "_defaults",
+        "_checks",
+        "_all_int",
+        "_exact",
     )
 
     def __init__(
@@ -180,6 +183,14 @@ class TableSchema:
                     f"orderby of {name} references unknown field {entry.field!r}"
                 )
         self._defaults = tuple(f.default for f in self.fields)
+        self._checks = tuple(_TYPE_CHECKS[f.type] for f in self.fields)
+        self._all_int = all(f.type == "int" for f in self.fields)
+        # exact runtime type per field (None for "any"): a value of
+        # exactly its declared type always passes its checker
+        self._exact = tuple(
+            {"int": int, "float": float, "str": str, "bool": bool}.get(f.type)
+            for f in self.fields
+        )
 
     # -- helpers used by tuples/engine -----------------------------------
 
@@ -201,8 +212,26 @@ class TableSchema:
         return self._defaults
 
     def check_types(self, values: tuple) -> None:
-        for f, v in zip(self.fields, values):
-            if not f.check(v):
+        if self._all_int:
+            # exact-type scan for the dominant all-int case; anything
+            # else (bool, int subclass, wrong type) takes the slow loop
+            # below for the per-field verdict and error message
+            for v in values:
+                if type(v) is not int:
+                    break
+            else:
+                return
+        else:
+            # mixed schemas: a value of exactly its declared runtime
+            # type always passes; widenings (int in a float field) and
+            # failures fall through to the per-field loop
+            for v, tp in zip(values, self._exact):
+                if tp is not None and type(v) is not tp:
+                    break
+            else:
+                return
+        for f, chk, v in zip(self.fields, self._checks, values):
+            if not chk(v):
                 raise SchemaError(
                     f"{self.name}.{f.name} expects {f.type}, got {type(v).__name__} ({v!r})"
                 )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.csvio.reader import iter_lines, parse_int_fields
+from repro.csvio.reader import read_records_bytes
 
 __all__ = ["split_regions", "region_bounds", "read_region"]
 
@@ -85,10 +85,6 @@ def read_region(
     """Stream the records owned by byte region ``[start, end)`` to
     ``on_record``; returns the record count."""
     first, last = region_bounds(data, start, end)
-    n = 0
-    for line in iter_lines(data, first, last):
-        rec = parse_int_fields(line, int_positions, n_fields)
-        if rec is not None:
-            on_record(rec)
-            n += 1
-    return n
+    # same per-line semantics as parse_int_fields, via the inlined
+    # whole-window loop (no per-line function call)
+    return read_records_bytes(data, int_positions, n_fields, first, last, on_record)

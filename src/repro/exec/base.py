@@ -72,6 +72,10 @@ class Strategy(ABC):
     n_threads: int = 1
     #: True -> engine must guard shared mutation with a real lock
     needs_locks: bool = False
+    #: True -> this strategy consumes per-task CostMeters (a virtual
+    #: -time machine); the engine forces metering on even when the run
+    #: asked for ``metering="off"``
+    requires_metering: bool = False
     #: optional hook the engine installs into every RuleContext: called
     #: at each put/query boundary inside a rule body.  The chaos
     #: strategy uses it to interleave and fault task bodies; every other

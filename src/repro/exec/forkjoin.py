@@ -32,6 +32,9 @@ __all__ = ["ForkJoinStrategy"]
 class ForkJoinStrategy(Strategy):
     name = "forkjoin"
     concurrent_stores = True
+    # the virtual machine schedules each task's metered cost onto its
+    # cores — without meters there is nothing to simulate
+    requires_metering = True
 
     def __init__(
         self,

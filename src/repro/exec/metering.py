@@ -29,9 +29,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.gamma.base import TableStore
+    from repro.gamma.base import PreparedSelect, TableStore
 
-__all__ = ["DEFAULT_WEIGHTS", "CostMeter"]
+__all__ = ["DEFAULT_WEIGHTS", "CostMeter", "NullMeter", "NULL_METER"]
 
 #: Work units charged per op for non-store counters.
 DEFAULT_WEIGHTS: dict[str, float] = {
@@ -120,6 +120,32 @@ class CostMeter:
         if profile.resource is not None and profile.serial_fraction > 0.0:
             self.charge_shared(profile.resource, cost * profile.serial_fraction)
 
+    def charge_planned(self, ps: "PreparedSelect", n_results: int) -> None:
+        """Charge one select served through a compiled plan.  Ledger
+        effects are exactly ``charge_lookup(store, query)`` followed by
+        ``charge_store_op("result", store, n_results)`` (when results
+        were yielded) — the costs, counters, and shared fractions were
+        precomputed per shape on the :class:`~repro.gamma.base.PreparedSelect`."""
+        counters = self.counters
+        costs = self.costs
+        counter = ps.lookup_counter
+        counters[counter] = counters.get(counter, 0) + 1
+        costs[counter] = costs.get(counter, 0.0) + ps.lookup_cost
+        self.total_cost += ps.lookup_cost
+        if ps.lookup_shared:
+            self.shared[ps.resource] = (
+                self.shared.get(ps.resource, 0.0) + ps.lookup_shared
+            )
+        if n_results:
+            cost = ps.result_cost * n_results
+            counter = ps.result_counter
+            counters[counter] = counters.get(counter, 0) + n_results
+            costs[counter] = costs.get(counter, 0.0) + cost
+            self.total_cost += cost
+            shared = ps.result_shared * n_results
+            if shared:
+                self.shared[ps.resource] = self.shared.get(ps.resource, 0.0) + shared
+
     def charge_query(self, table_name: str, n_results: int) -> None:
         """Base query dispatch + per-result cost (store-agnostic share;
         store-specific result costs are added by the engine where it
@@ -162,3 +188,45 @@ class CostMeter:
             f"CostMeter(total={self.total_cost:.1f}, "
             f"counters={len(self.counters)}, shared={list(self.shared)})"
         )
+
+
+class NullMeter(CostMeter):
+    """The ``metering="off"`` meter: every charge is a no-op, so the
+    hot path spends zero time on cost dict traffic.  The ledgers stay
+    empty (``total_cost == 0.0``), which is visible — and documented —
+    in ``RunResult.meter`` / ``virtual_time`` for unmetered runs.
+    Strategies that *consume* meters (the fork/join virtual machine)
+    declare :attr:`~repro.exec.base.Strategy.requires_metering`, and
+    the engine forces metering back on for them.
+    """
+
+    __slots__ = ()
+
+    def charge(self, counter: str, n: int = 1, cost: float | None = None) -> None:
+        pass
+
+    def charge_shared(self, resource: str, cost: float) -> None:
+        pass
+
+    def charge_parallel(self, cost: float, chunks: int, counter: str = "par_loop") -> None:
+        pass
+
+    def charge_store_op(self, op: str, store: "TableStore", n: int = 1) -> None:
+        pass
+
+    def charge_lookup(self, store: "TableStore", query) -> None:
+        pass
+
+    def charge_planned(self, ps: "PreparedSelect", n_results: int) -> None:
+        pass
+
+    def charge_query(self, table_name: str, n_results: int) -> None:
+        pass
+
+    def merge(self, other: CostMeter) -> None:
+        pass
+
+
+#: shared instance — a NullMeter has no state, so every unmetered task
+#: can use the same one (no per-task allocation at all)
+NULL_METER = NullMeter()

@@ -32,7 +32,13 @@ from repro.core.query import Query
 from repro.core.schema import TableSchema
 from repro.core.tuples import JTuple
 
-__all__ = ["CostProfile", "TableStore", "StoreFactory", "StoreRegistry"]
+__all__ = [
+    "CostProfile",
+    "PreparedSelect",
+    "TableStore",
+    "StoreFactory",
+    "StoreRegistry",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,46 @@ class CostProfile:
     result_cost: float = 0.25
     resource: str | None = None
     serial_fraction: float = 0.0
+
+
+class PreparedSelect:
+    """A select path resolved once per query *shape* (see
+    :mod:`repro.plan`): ``run`` materialises results for one concrete
+    query of that shape, and the precomputed cost fields let
+    :meth:`~repro.exec.metering.CostMeter.charge_planned` replicate
+    ``charge_lookup`` + ``charge_store_op("result", ...)`` without
+    re-deriving anything.  ``lookup_shared`` / ``result_shared`` are the
+    serialisable work units per lookup / per result (0.0 when the store
+    is uncontended)."""
+
+    __slots__ = (
+        "run",
+        "lookup_cost",
+        "lookup_counter",
+        "lookup_shared",
+        "result_cost",
+        "result_counter",
+        "result_shared",
+        "resource",
+    )
+
+    def __init__(
+        self,
+        run: Callable[["Query"], list[JTuple]],
+        lookup_cost: float,
+        lookup_tag: str,
+        profile: CostProfile,
+        table_name: str,
+    ):
+        self.run = run
+        sf = profile.serial_fraction if profile.resource is not None else 0.0
+        self.lookup_cost = lookup_cost
+        self.lookup_counter = f"gamma_{lookup_tag}:{table_name}"
+        self.lookup_shared = lookup_cost * sf
+        self.result_cost = profile.result_cost
+        self.result_counter = f"gamma_result:{table_name}"
+        self.result_shared = profile.result_cost * sf
+        self.resource = profile.resource
 
 
 class TableStore(ABC):
@@ -117,6 +163,22 @@ class TableStore(ABC):
         index-aware stores return a cheaper cost (and a distinct tag)
         for queries an index serves."""
         return (self.cost.lookup_cost, "lookup")
+
+    def prepare(self, query: Query) -> PreparedSelect:
+        """Resolve the select path for this query's *shape* once (plan
+        cache, §5's compiled-query advantage).  Every query later run
+        through the result constrains the same field positions, so any
+        decision that depends only on positions — key coverage, index
+        choice, prefix length — may be made here.  The default simply
+        prices the shape via :meth:`lookup_cost_for` and delegates each
+        call to :meth:`select`; stores with shape-dependent paths
+        override this to pick the path up front."""
+        cost, tag = self.lookup_cost_for(query)
+
+        def run(q: Query) -> list[JTuple]:
+            return list(self.select(q))
+
+        return PreparedSelect(run, cost, tag, self.cost, self.schema.name)
 
     def heap_tuples(self) -> int:
         """Number of tuples retained on the heap — feeds the GC-pressure

@@ -29,7 +29,7 @@ from repro.core.errors import SchemaError
 from repro.core.query import Query
 from repro.core.schema import TableSchema
 from repro.core.tuples import JTuple
-from repro.gamma.base import CostProfile, TableStore
+from repro.gamma.base import CostProfile, PreparedSelect, TableStore
 
 __all__ = ["HashKeyStore", "HashIndexStore", "ArrayOfHashSetsStore"]
 
@@ -95,6 +95,34 @@ class HashKeyStore(TableStore):
             del self._data[tup.key()]
             return True
         return False
+
+    def prepare(self, query: Query) -> PreparedSelect:
+        """Fully-bound key shapes become a single dict probe; when the
+        shape binds *exactly* the key (no ranges), every hit matches by
+        construction and only the residual ``where`` runs."""
+        cost, tag = self.lookup_cost_for(query)
+        if query.key_if_fully_bound() is not None:
+            key_idx = self.schema.key_indexes
+            data = self._data
+            if len(query.eq) == len(key_idx) and not query.ranges:
+
+                def run(q: Query) -> list[JTuple]:
+                    t = data.get(tuple(q.eq[i] for i in key_idx))
+                    if t is None:
+                        return []
+                    w = q.where
+                    return [t] if w is None or w(t) else []
+
+            else:
+
+                def run(q: Query) -> list[JTuple]:
+                    t = data.get(tuple(q.eq[i] for i in key_idx))
+                    if t is not None and q.matches(t):
+                        return [t]
+                    return []
+
+            return PreparedSelect(run, cost, tag, self.cost, self.schema.name)
+        return super().prepare(query)
 
 
 class HashIndexStore(TableStore):
@@ -183,6 +211,38 @@ class HashIndexStore(TableStore):
             return
         yield from query.filter(self.scan())
 
+    def prepare(self, query: Query) -> PreparedSelect:
+        """Index-covered shapes resolve to their bucket probe once.  A
+        shape binding exactly the index fields (no ranges) skips the
+        per-tuple eq re-check entirely: bucket members share those
+        values by construction."""
+        cost, tag = self.lookup_cost_for(query)
+        pos = self._positions
+        eq = query.eq
+        if all(p in eq for p in pos):
+            buckets = self._buckets
+            if len(eq) == len(pos) and not query.ranges:
+
+                def run(q: Query) -> list[JTuple]:
+                    bucket = buckets.get(tuple(q.eq[i] for i in pos))
+                    if not bucket:
+                        return []
+                    w = q.where
+                    if w is None:
+                        return list(bucket)
+                    return [t for t in bucket if w(t)]
+
+            else:
+
+                def run(q: Query) -> list[JTuple]:
+                    bucket = buckets.get(tuple(q.eq[i] for i in pos))
+                    if not bucket:
+                        return []
+                    return [t for t in bucket if q.matches(t)]
+
+            return PreparedSelect(run, cost, tag, self.cost, self.schema.name)
+        return super().prepare(query)
+
 
 class ArrayOfHashSetsStore(TableStore):
     """The paper's custom PvWatts store: dense array over a small-int
@@ -269,3 +329,30 @@ class ArrayOfHashSetsStore(TableStore):
             yield from query.filter(slot)
             return
         yield from query.filter(self.scan())
+
+    def prepare(self, query: Query) -> PreparedSelect:
+        """Slot-covered shapes resolve to the array probe once; a shape
+        binding only the slot field (no ranges) needs just the residual
+        ``where`` — slot members share the slot value by construction."""
+        cost, tag = self.lookup_cost_for(query)
+        pos = self._pos
+        if pos in query.eq:
+            if len(query.eq) == 1 and not query.ranges:
+
+                def run(q: Query) -> list[JTuple]:
+                    slot = self._slot(q.eq[pos])
+                    if not slot:
+                        return []
+                    w = q.where
+                    if w is None:
+                        return list(slot)
+                    return [t for t in slot if w(t)]
+
+            else:
+
+                def run(q: Query) -> list[JTuple]:
+                    slot = self._slot(q.eq[pos])
+                    return [t for t in slot if q.matches(t)]
+
+            return PreparedSelect(run, cost, tag, self.cost, self.schema.name)
+        return super().prepare(query)

@@ -32,7 +32,7 @@ from typing import Iterator, Mapping
 from repro.core.query import Query
 from repro.core.schema import TableSchema
 from repro.core.tuples import JTuple
-from repro.gamma.base import CostProfile, StoreRegistry, TableStore
+from repro.gamma.base import CostProfile, PreparedSelect, StoreRegistry, TableStore
 from repro.gamma.indexplan import IndexSpec
 
 __all__ = ["IndexedStore", "IndexingRegistry"]
@@ -280,6 +280,45 @@ class IndexedStore(TableStore):
         if ix is None:
             return (self.base.cost.lookup_cost, "lookup")
         return (min(ix.probe_cost, self.base.cost.lookup_cost), "ixlookup")
+
+    def prepare(self, query: Query) -> PreparedSelect:
+        """Index selection per *shape* instead of per select: the key /
+        index / fallback decision of :meth:`select` (and the matching
+        cost of :meth:`lookup_cost_for`) only reads constrained
+        positions.  Each runner bumps exactly the hit counter the
+        per-call path would, so the advisor's report is unchanged."""
+        name = self.schema.name
+        base = self.base
+        if query.key_if_fully_bound() is not None:
+            cost, tag = base.lookup_cost_for(query)
+
+            def run(q: Query) -> list[JTuple]:
+                self.key_hits += 1
+                return list(base.select(q))
+
+        else:
+            ix = self._plan_query(query)
+            if ix is None:
+                cost, tag = base.cost.lookup_cost, "lookup"
+
+                def run(q: Query) -> list[JTuple]:
+                    self.scan_fallbacks += 1
+                    return list(base.select(q))
+
+            else:
+                cost, tag = min(ix.probe_cost, base.cost.lookup_cost), "ixlookup"
+                hits = self.index_hits
+                spec = ix.spec
+
+                def run(q: Query, _ix=ix) -> list[JTuple]:
+                    hits[spec] += 1
+                    return [
+                        t
+                        for t in sorted(_ix.candidates(q), key=lambda t: t.values)
+                        if q.matches(t)
+                    ]
+
+        return PreparedSelect(run, cost, tag, self.cost, name)
 
     # -- reporting -----------------------------------------------------------
 

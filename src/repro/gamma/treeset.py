@@ -25,7 +25,7 @@ from typing import Iterator
 from repro.core.query import Query
 from repro.core.schema import TableSchema
 from repro.core.tuples import JTuple
-from repro.gamma.base import CostProfile, TableStore
+from repro.gamma.base import CostProfile, PreparedSelect, TableStore
 from repro.gamma.skiplist import SkipListMap
 
 __all__ = ["TreeSetStore", "ConcurrentSkipListStore"]
@@ -97,6 +97,44 @@ class TreeSetStore(TableStore):
                 break
             if query.matches(tup):
                 yield tup
+
+    def prepare(self, query: Query) -> PreparedSelect:
+        """Shape-resolved select: the key-vs-prefix-vs-scan decision of
+        :meth:`select` depends only on which positions are constrained,
+        so make it once and hand back a runner for that path."""
+        cost, tag = self.lookup_cost_for(query)
+        if query.key_if_fully_bound() is not None:
+            key_idx = self.schema.key_indexes
+
+            def run(q: Query) -> list[JTuple]:
+                t = self.lookup_key(tuple(q.eq[i] for i in key_idx))
+                if t is not None and q.matches(t):
+                    return [t]
+                return []
+
+        else:
+            k = 0
+            while k in query.eq:
+                k += 1
+            if k == 0:
+
+                def run(q: Query) -> list[JTuple]:
+                    return [t for t in self._map.values() if q.matches(t)]
+
+            else:
+                n = k
+
+                def run(q: Query) -> list[JTuple]:
+                    prefix = tuple(q.eq[i] for i in range(n))
+                    out: list[JTuple] = []
+                    for values, tup in self._map.items_from(prefix):
+                        if values[:n] != prefix:
+                            break
+                        if q.matches(tup):
+                            out.append(tup)
+                    return out
+
+        return PreparedSelect(run, cost, tag, self.cost, self.schema.name)
 
 
 class ConcurrentSkipListStore(TreeSetStore):

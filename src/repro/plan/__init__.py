@@ -1,0 +1,22 @@
+"""Compiled rule plans: the zero-overhead hot path.
+
+The paper's generated Java embeds every query's field positions and
+access paths at compile time (§5); this package recovers that advantage
+for the interpreted engine.  See :mod:`repro.plan.cache` for the query
+plan cache, :mod:`repro.plan.compile` for the per-shape compiler, and
+:mod:`repro.plan.timestamps` for compiled orderby evaluation.  The
+``ExecOptions(plan_cache=...)`` flag toggles the whole layer; results
+are identical either way (asserted by the fast-path differential
+suite).
+"""
+
+from repro.plan.cache import PlanCache
+from repro.plan.compile import CompiledBound, CompiledQueryPlan
+from repro.plan.timestamps import CompiledTimestamper
+
+__all__ = [
+    "PlanCache",
+    "CompiledQueryPlan",
+    "CompiledBound",
+    "CompiledTimestamper",
+]

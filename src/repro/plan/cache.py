@@ -1,0 +1,121 @@
+"""The per-engine plan cache.
+
+This is the paper's "the compiler knows the query shapes" advantage
+(§5) recovered at runtime: the generated Java rule methods embed their
+queries' field positions and data-structure access paths at compile
+time, while our interpreted ``RuleContext`` re-derived them on every
+firing.  The :class:`PlanCache` closes that gap:
+
+* each distinct call shape — ``(schema, kind, #positional, named eq
+  fields, range forms)`` — compiles once into a
+  :class:`~repro.plan.compile.CompiledQueryPlan`;
+* prepared store selects are memoised separately by *constraint
+  positions*, so e.g. a POSITIVE ``get`` and a NEGATIVE ``absent`` on
+  the same fields share one resolved access path;
+* at construction (i.e. at ``Program.freeze()`` time, when the engine
+  builds its database) the cache pre-resolves every query shape the
+  program's rule metadata declares — the same
+  :func:`~repro.gamma.indexplan.collect_access_patterns` walk the
+  static index planner uses — so hot rules never pay even a first-call
+  compile inside the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.query import Query, QueryKind, build_query
+from repro.gamma.base import PreparedSelect
+from repro.plan.compile import CompiledQueryPlan, range_form
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.database import Database
+    from repro.core.program import Program
+    from repro.core.tuples import TableHandle
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Compiled query plans for one engine run (one database)."""
+
+    __slots__ = ("_db", "_decls", "_plans", "_prepared")
+
+    def __init__(self, db: "Database", program: "Program"):
+        self._db = db
+        self._decls = program.decls
+        self._plans: dict[tuple, CompiledQueryPlan] = {}
+        # (schema, frozenset eq positions, frozenset range positions)
+        # -> PreparedSelect; shared across kinds and call styles
+        self._prepared: dict[tuple, PreparedSelect] = {}
+        for pattern in program.query_shapes():
+            self._warm(pattern)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plans(self):
+        """All compiled plans, in first-compilation order."""
+        return self._plans.values()
+
+    # -- freeze-time warming ----------------------------------------------
+
+    def _warm(self, pattern) -> None:
+        """Pre-resolve one static access pattern's store select.  Values
+        are unknown statically; every decision a ``prepare`` makes (key
+        coverage, index choice) depends only on the constrained
+        *positions*, so ``None`` placeholders suffice."""
+        schema = self._db._schemas.get(pattern.table)
+        if schema is None:  # pragma: no cover - patterns name own tables
+            return
+        try:
+            eq = {schema.field_position(n): None for n in pattern.eq_fields}
+            rng = {
+                schema.field_position(n): (None, None, True, True)
+                for n in pattern.range_fields
+            }
+        except Exception:  # stale metadata must not break the run
+            return
+        probe = Query(schema, eq, rng, None, QueryKind.POSITIVE)
+        pkey = (schema, frozenset(eq), frozenset(rng))
+        if pkey not in self._prepared:
+            self._prepared[pkey] = self._db.store(schema.name).prepare(probe)
+
+    # -- the per-call entry point -----------------------------------------
+
+    def lookup(
+        self,
+        table: "TableHandle",
+        prefix: tuple,
+        where,
+        ranges: Mapping[str, Any] | None,
+        eq: Mapping[str, Any],
+        kind: QueryKind,
+    ) -> tuple[CompiledQueryPlan, Query]:
+        """The plan for this call shape (compiling on first sight) and
+        the concrete query for this call's values."""
+        schema = table.schema
+        if ranges:
+            rsig = tuple((n, range_form(s)) for n, s in ranges.items())
+        else:
+            rsig = ()
+        key = (schema, kind, len(prefix), tuple(eq) if eq else (), rsig)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._compile(table, prefix, where, ranges, eq, kind)
+            self._plans[key] = plan
+        return plan, plan.build(prefix, eq, ranges, where)
+
+    def _compile(
+        self, table, prefix, where, ranges, eq, kind
+    ) -> CompiledQueryPlan:
+        # the generic builder runs once so its validation (unknown
+        # fields, twice-constrained, eq+range conflicts) still applies
+        probe = build_query(table, *prefix, where=where, ranges=ranges, kind=kind, **eq)
+        schema = probe.schema
+        pkey = (schema, frozenset(probe.eq), frozenset(probe.ranges))
+        prepared = self._prepared.get(pkey)
+        if prepared is None:
+            prepared = self._db.store(schema.name).prepare(probe)
+            self._prepared[pkey] = prepared
+        return CompiledQueryPlan(probe, ranges, self._decls, prepared)

@@ -1,0 +1,87 @@
+"""Compiled timestamp evaluation.
+
+:func:`repro.core.ordering.evaluate_orderby` re-interprets a schema's
+orderby spec for every tuple: it builds a field-name → value dict,
+walks the entries, and dispatches on their type.  The spec, however, is
+fixed per schema once the program's order declarations freeze — so a
+:class:`CompiledTimestamper` resolves everything static exactly once:
+
+* ``Lit`` entries become constant ``(KIND_LIT, rank)`` components;
+* ``Seq`` / ``Par`` entries become field *positions* into the tuple's
+  value vector (no dict build per tuple);
+* an all-literal orderby (``("PvWatts",)``-style, very common) becomes
+  a single shared :class:`~repro.core.ordering.Timestamp` object.
+
+The produced timestamps are equal (same ``key``/``display``) to the
+interpreter's — asserted by the plan-cache unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ordering import (
+    KIND_LIT,
+    KIND_PAR,
+    KIND_SEQ,
+    Lit,
+    OrderDecls,
+    Seq,
+    Timestamp,
+)
+from repro.core.schema import TableSchema
+
+__all__ = ["CompiledTimestamper"]
+
+# op codes for the compiled entry list
+_OP_CONST = 0  # payload = finished key component, disp = display value
+_OP_SEQ = 1    # payload = field position
+_OP_PAR = 2    # payload = field position (display only)
+
+_PAR_COMPONENT = (KIND_PAR,)
+
+
+class CompiledTimestamper:
+    """Per-schema orderby spec, pre-resolved against frozen decls."""
+
+    __slots__ = ("_ops", "_const")
+
+    def __init__(self, schema: TableSchema, decls: OrderDecls):
+        ops: list[tuple] = []
+        constant = True
+        for entry in schema.orderby:
+            if isinstance(entry, Lit):
+                ops.append((_OP_CONST, (KIND_LIT, decls.rank(entry.name)), entry.name))
+            elif isinstance(entry, Seq):
+                ops.append((_OP_SEQ, schema.field_position(entry.field), None))
+                constant = False
+            else:  # Par
+                ops.append((_OP_PAR, schema.field_position(entry.field), None))
+                constant = False
+        self._ops: tuple[tuple, ...] = tuple(ops)
+        #: the one shared Timestamp when no entry depends on the tuple
+        self._const: Timestamp | None = None
+        if constant:
+            self._const = Timestamp(
+                tuple(comp for _, comp, _ in ops),
+                tuple(disp for _, _, disp in ops),
+            )
+    def timestamp(self, values: Sequence) -> Timestamp:
+        """The timestamp of a tuple with these field ``values``."""
+        const = self._const
+        if const is not None:
+            return const
+        key: list[tuple] = []
+        display: list = []
+        for op, payload, disp in self._ops:
+            if op == _OP_CONST:
+                key.append(payload)
+                display.append(disp)
+            elif op == _OP_SEQ:
+                v = values[payload]
+                key.append((KIND_SEQ, v))
+                display.append(v)
+            else:  # _OP_PAR: value erased from the ordering key (§5)
+                key.append(_PAR_COMPONENT)
+                display.append(values[payload])
+        return Timestamp(tuple(key), tuple(display))

@@ -123,6 +123,58 @@ class StatsCollector:
         shape = (table, eq_fields, range_fields)
         self.query_shapes[shape] = self.query_shapes.get(shape, 0) + 1
 
+    def absorb_planned(self, plans) -> None:
+        """Fold the per-plan query tallies (see
+        :attr:`~repro.plan.compile.CompiledQueryPlan.rule_hits`) into the
+        collector — called once at run end; totals are identical to
+        having routed every planned query through :meth:`on_query`."""
+        for plan in plans:
+            if not plan.rule_hits:
+                continue
+            shape = plan.stat_shape
+            table = shape[0]
+            t = self.table(table)
+            for rule, (n_queries, n_results) in plan.rule_hits.items():
+                t.queries += n_queries
+                t.results += n_results
+                key = (rule, table)
+                self.query_edges[key] = self.query_edges.get(key, 0) + n_queries
+            self.query_shapes[shape] = (
+                self.query_shapes.get(shape, 0)
+                + sum(h[0] for h in plan.rule_hits.values())
+            )
+
+    def absorb_tallies(
+        self,
+        fire_tallies: dict[tuple[str, str], int],
+        put_tallies: dict[tuple[str, str], int],
+    ) -> None:
+        """Fold the engine's deferred firing/put tallies into the
+        collector — called once at run end; totals are identical to
+        having routed every event through :meth:`on_fire` /
+        :meth:`on_put`."""
+        for (table, rule), n in fire_tallies.items():
+            self.table(table).triggers += n
+            self.rule(rule).firings += n
+            self.trigger_edges[(table, rule)] = (
+                self.trigger_edges.get((table, rule), 0) + n
+            )
+        for (rule, table), n in put_tallies.items():
+            self.rule(rule).puts += n
+            self.table(table).puts += n
+            self.put_edges[(rule, table)] = self.put_edges.get((rule, table), 0) + n
+
+    def absorb_table_tallies(self, tallies: dict[str, list[int]]) -> None:
+        """Fold the engine's deferred per-table counters (same scheme as
+        :meth:`absorb_tallies`; list layout fixed by the engine)."""
+        for name, (bypass, dups, gins, gskip, dins) in tallies.items():
+            t = self.table(name)
+            t.delta_bypass += bypass
+            t.duplicates += dups
+            t.gamma_inserts += gins
+            t.gamma_skipped += gskip
+            t.delta_inserts += dins
+
     def shapes_for(self, table: str) -> dict[tuple[tuple[str, ...], tuple[str, ...]], int]:
         """Observed (eq fields, range fields) -> count for one table."""
         return {

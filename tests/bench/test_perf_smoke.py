@@ -1,0 +1,95 @@
+"""Unit tests for the perf-smoke gate (benchmarks/check_perf_smoke.py).
+
+The gate itself runs in CI against real measurements; these tests pin
+its *logic* — calibration normalisation, the 25 % tolerance, missing
+entries, and the output-equality re-assertion — on synthetic data.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf_smoke", ROOT / "benchmarks" / "check_perf_smoke.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+checker = _load_checker()
+
+
+def _bench(fast_wall: float, calibration: float = 0.1, outputs_equal: bool = True) -> dict:
+    return {
+        "meta": {"calibration_wall": calibration},
+        "apps": {
+            "dijkstra": {
+                "sequential": {
+                    "fast_wall": fast_wall,
+                    "fast_virtual": 0.0,
+                    "outputs_equal": outputs_equal,
+                }
+            }
+        },
+    }
+
+
+def test_within_tolerance_passes():
+    assert checker.check(_bench(0.48), _bench(0.40)) == []
+
+
+def test_regression_beyond_tolerance_fails():
+    failures = checker.check(_bench(0.55), _bench(0.40))
+    assert len(failures) == 1
+    assert "dijkstra/sequential" in failures[0]
+
+
+def test_calibration_normalises_machine_speed():
+    # 2x slower machine (2x calibration wall): same normalised time passes
+    assert checker.check(_bench(0.80, calibration=0.2), _bench(0.40, calibration=0.1)) == []
+    # but a genuine 2x engine regression still fails on the slow machine
+    assert checker.check(_bench(1.60, calibration=0.2), _bench(0.40, calibration=0.1))
+
+
+def test_missing_app_or_strategy_fails():
+    current = _bench(0.40)
+    del current["apps"]["dijkstra"]
+    assert checker.check(current, _bench(0.40))
+    current = _bench(0.40)
+    current["apps"]["dijkstra"] = {}
+    assert checker.check(current, _bench(0.40))
+
+
+def test_output_divergence_fails_even_when_fast():
+    failures = checker.check(_bench(0.30, outputs_equal=False), _bench(0.40))
+    assert any("output" in f for f in failures)
+
+
+def test_committed_artifacts_are_consistent():
+    """BENCH_pr3.json and the committed baseline satisfy the gate and
+    record the PR's acceptance numbers (>=1.5x sequential speedup with
+    byte-identical outputs on both benchmark apps)."""
+    bench = json.loads((ROOT / "BENCH_pr3.json").read_text())
+    baseline = json.loads(
+        (ROOT / "benchmarks" / "baselines" / "BENCH_pr3.baseline.json").read_text()
+    )
+    assert checker.check(bench, baseline) == []
+    for app in ("dijkstra", "pvwatts"):
+        seq = bench["apps"][app]["sequential"]
+        assert seq["outputs_equal"] is True
+        assert seq["speedup_fast_vs_pre_pr"] >= 1.5
+        assert seq["outputs_equal_pre_pr"] is True
+        for strategy in ("sequential", "forkjoin-4", "threads-2", "chaos"):
+            assert bench["apps"][app][strategy]["fast_wall"] > 0
+
+
+if "check_perf_smoke" in sys.modules:
+    del sys.modules["check_perf_smoke"]

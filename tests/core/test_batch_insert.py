@@ -1,0 +1,105 @@
+"""Batched step machinery: ``Database.insert_batch`` (phase A) and
+``DeltaTree.insert_batch`` (phase C) must be positionally faithful to
+the one-at-a-time loops they replace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database, InsertOutcome
+from repro.core.delta import DeltaTree
+from repro.core.errors import KeyInvariantError, UnknownTableError
+from repro.core.ordering import OrderDecls, evaluate_orderby
+from repro.core.schema import TableSchema
+from repro.core.tuples import TableHandle
+from repro.gamma import StoreRegistry, TreeSetStore
+
+
+@pytest.fixture
+def env():
+    decls = OrderDecls()
+    decls.declare("A", "B")
+    Keyed = TableHandle(TableSchema("Keyed", "int k -> int v", orderby=("A", "seq k")))
+    Plain = TableHandle(TableSchema("Plain", "int x, int y", orderby=("B", "seq x")))
+    decls.freeze()
+    db = Database(
+        {"Keyed": Keyed.schema, "Plain": Plain.schema},
+        StoreRegistry(lambda s: TreeSetStore(s)),
+        decls,
+    )
+    return db, Keyed, Plain
+
+
+class TestDatabaseInsertBatch:
+    def test_outcomes_positionally_aligned(self, env):
+        db, Keyed, Plain = env
+        db.insert(Plain.new(9, 9))
+        batch = [
+            Keyed.new(1, 10),   # NEW
+            Keyed.new(1, 10),   # DUPLICATE (same key, same value)
+            Plain.new(9, 9),    # DUPLICATE (pre-existing)
+            Plain.new(2, 2),    # NEW
+        ]
+        assert db.insert_batch(batch) == [
+            InsertOutcome.NEW,
+            InsertOutcome.DUPLICATE,
+            InsertOutcome.DUPLICATE,
+            InsertOutcome.NEW,
+        ]
+
+    def test_matches_sequential_inserts(self, env):
+        db, Keyed, Plain = env
+        db2, _, _ = (
+            Database(
+                {"Keyed": Keyed.schema, "Plain": Plain.schema},
+                StoreRegistry(lambda s: TreeSetStore(s)),
+                db.decls,
+            ),
+            None,
+            None,
+        )
+        batch = [Plain.new(i % 3, i % 2) for i in range(10)] + [Keyed.new(0, 5)]
+        assert db.insert_batch(batch) == [db2.insert(t) for t in batch]
+        assert db.table_sizes() == db2.table_sizes()
+
+    def test_skip_tables_get_none(self, env):
+        db, Keyed, Plain = env
+        out = db.insert_batch(
+            [Plain.new(1, 1), Keyed.new(1, 1)], skip=frozenset({"Plain"})
+        )
+        assert out == [None, InsertOutcome.NEW]
+        assert db.size("Plain") == 0
+
+    def test_key_invariant_raises_mid_batch(self, env):
+        db, Keyed, _ = env
+        with pytest.raises(KeyInvariantError):
+            db.insert_batch([Keyed.new(1, 10), Keyed.new(1, 11)])
+        # the first tuple landed before the violation, like the old loop
+        assert db.size("Keyed") == 1
+
+    def test_unknown_table_raises(self, env):
+        db, _, _ = env
+        Ghost = TableHandle(TableSchema("Ghost", "int x"))
+        with pytest.raises(UnknownTableError):
+            db.insert_batch([Ghost.new(1)])
+
+
+class TestDeltaInsertBatch:
+    def _ts(self, decls):
+        return lambda tup: evaluate_orderby(tup.schema.orderby, tup.asdict(), decls)
+
+    def test_intra_batch_duplicates_rejected(self):
+        decls = OrderDecls()
+        decls.declare("A", "B")
+        T = TableHandle(TableSchema("T", "int x", orderby=("A", "seq x")))
+        decls.freeze()
+        ts = self._ts(decls)
+        tree = DeltaTree()
+        a, b = T.new(1), T.new(2)
+        flags = tree.insert_batch([(a, ts(a)), (b, ts(b)), (a, ts(a))])
+        assert flags == [True, True, False]
+        assert len(tree) == 2
+        # a second batch sees the earlier membership
+        flags = tree.insert_batch([(b, ts(b)), (T.new(3), ts(T.new(3)))])
+        assert flags == [False, True]
+        assert tree.pop_min_class() == [a]

@@ -80,16 +80,15 @@ class ReferenceDelta:
         return len(self._pending)
 
 
-# an op is ("insert", table index, vertex, distance) or ("pop",); tight
-# value ranges force equal timestamps and duplicate tuples
+# an op is ("insert", table index, vertex, distance), a ("batch", [...])
+# of such triples (exercising insert_batch's single membership update,
+# including intra-batch duplicates), or ("pop",); tight value ranges
+# force equal timestamps and duplicate tuples
+_TRIPLE = st.tuples(st.integers(0, 1), st.integers(0, 4), st.integers(0, 6))
 OPS = st.lists(
     st.one_of(
-        st.tuples(
-            st.just("insert"),
-            st.integers(0, 1),
-            st.integers(0, 4),
-            st.integers(0, 6),
-        ),
+        st.tuples(st.just("insert"), _TRIPLE),
+        st.tuples(st.just("batch"), st.lists(_TRIPLE, max_size=8)),
         st.tuples(st.just("pop")),
     ),
     max_size=60,
@@ -104,9 +103,15 @@ def test_delta_tree_matches_sort_and_group_reference(ops):
     model = ReferenceDelta(ts)
     for op in ops:
         if op[0] == "insert":
-            _, which, vertex, distance = op
+            which, vertex, distance = op[1]
             tup = (Est if which == 0 else Done).new(vertex, distance)
             assert tree.insert(tup, ts(tup)) == model.insert(tup)
+        elif op[0] == "batch":
+            tups = [
+                (Est if w == 0 else Done).new(v, d) for w, v, d in op[1]
+            ]
+            got = tree.insert_batch([(t, ts(t)) for t in tups])
+            assert got == [model.insert(t) for t in tups]
         else:
             assert tree.pop_min_class() == model.pop_min_class()
         assert len(tree) == len(model)

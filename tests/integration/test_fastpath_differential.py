@@ -1,0 +1,134 @@
+"""Differential harness for the zero-overhead hot path.
+
+``metering="off"``, the compiled plan cache, and step coalescing are
+pure performance features: §1.3's determinism contract demands they
+change *time*, never results.  This harness runs every example program
+under the fast-path matrix
+
+    {sequential, forkjoin×2, threads×2, chaos} × metering="off"
+    (plan cache on — the default — plus one plan_cache=False probe)
+
+and asserts byte-identical ``output_text()``, equal ``table_sizes``,
+and zero divergent semantic trace events (``trace_diff``) against the
+fully metered sequential reference.  Coalesced runs change step counts
+by design, so they are compared on output/table sizes against the
+uncoalesced reference and on full traces *among themselves*.  A final
+20-seed chaos fuzz leg replays the schedule-permutation matrix with
+metering off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.median import run_median
+from repro.apps.pvwatts import run_pvwatts
+from repro.apps.sensors import run_sensors
+from repro.apps.ship import run_ship
+from repro.apps.shortestpath import GraphSpec, run_shortestpath
+from repro.core import ExecOptions
+from repro.csvio.synth import generate_csv_bytes
+from repro.trace import format_divergence, trace_diff
+
+# (strategy, threads-or-seed, plan_cache)
+FAST_CONFIGS = [
+    ("sequential", 1, True),
+    ("sequential", 1, False),
+    ("forkjoin", 2, True),
+    ("threads", 2, True),
+    ("chaos", 1, True),
+]
+
+MATRIX = [
+    pytest.param(c, id=f"{c[0]}-{c[1]}{'' if c[2] else '-noplan'}")
+    for c in FAST_CONFIGS
+]
+
+
+def _fast_options(config) -> ExecOptions:
+    strategy, n, plan = config
+    kw = dict(metering="off", plan_cache=plan, trace=True)
+    if strategy == "chaos":
+        return ExecOptions(strategy="chaos", chaos_seed=n, **kw)
+    return ExecOptions(strategy=strategy, threads=n, **kw)
+
+
+@pytest.fixture(scope="module")
+def small_csv() -> bytes:
+    lines = generate_csv_bytes(n_years=1).split(b"\n")
+    return b"\n".join(lines[:1500]) + b"\n"
+
+
+def _apps(small_csv):
+    vals = np.random.default_rng(9).random(500)
+    spec = GraphSpec(n_vertices=90, extra_edges=140, seed=3)
+    return {
+        "ship": lambda o: run_ship(o),
+        "pvwatts": lambda o: run_pvwatts(small_csv, o, n_readers=2),
+        "shortestpath": lambda o: run_shortestpath(spec, o, n_gen_tasks=4),
+        "sensors": lambda o: run_sensors(n_ticks=12, n_sensors=4, options=o),
+        "median": lambda o: run_median(vals, o, n_regions=6),
+    }
+
+
+@pytest.fixture(scope="module")
+def apps(small_csv):
+    return _apps(small_csv)
+
+
+@pytest.fixture(scope="module")
+def references(apps):
+    """The fully metered sequential runs every fast config must match."""
+    return {name: run(ExecOptions(trace=True)) for name, run in apps.items()}
+
+
+def _assert_same(got, ref, label: str) -> None:
+    assert got.output_text() == ref.output_text(), f"output diverged: {label}"
+    assert got.table_sizes == ref.table_sizes, f"table sizes diverged: {label}"
+    d = trace_diff(ref.trace, got.trace)
+    assert d is None, f"trace diverged: {label}: {format_divergence(d)}"
+
+
+@pytest.mark.parametrize("config", MATRIX)
+@pytest.mark.parametrize("app", ["ship", "pvwatts", "shortestpath", "sensors", "median"])
+def test_fast_path_matches_metered_reference(app, config, apps, references):
+    got = apps[app](_fast_options(config))
+    _assert_same(got, references[app], f"{app} under {config}")
+
+
+@pytest.mark.parametrize("app", ["ship", "pvwatts", "shortestpath", "sensors", "median"])
+def test_coalesced_steps_same_results(app, apps, references):
+    """Coalescing merges trigger-less classes into the next step, so
+    step counts (and step trace events) legitimately differ from the
+    uncoalesced reference — but outputs and table sizes must not, and
+    the coalesced runs must agree with each other event-for-event."""
+    ref = references[app]
+    opts = [
+        ExecOptions(metering="off", coalesce_steps=True, trace=True),
+        ExecOptions(
+            strategy="forkjoin", threads=2, coalesce_steps=True, trace=True
+        ),
+    ]
+    runs = [apps[app](o) for o in opts]
+    for got, o in zip(runs, opts):
+        assert got.output_text() == ref.output_text(), (
+            f"{app}: coalesced output diverged under {o.strategy}"
+        )
+        assert got.table_sizes == ref.table_sizes, (
+            f"{app}: coalesced table sizes diverged under {o.strategy}"
+        )
+        assert got.steps <= ref.steps
+    d = trace_diff(runs[0].trace, runs[1].trace)
+    assert d is None, (
+        f"{app}: coalesced runs diverged from each other: {format_divergence(d)}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("app", ["ship", "sensors", "shortestpath"])
+def test_chaos_fuzz_with_metering_off(app, seed, apps, references):
+    got = apps[app](
+        ExecOptions(strategy="chaos", chaos_seed=seed, metering="off", trace=True)
+    )
+    _assert_same(got, references[app], f"{app} chaos seed {seed} metering off")

@@ -1,0 +1,200 @@
+"""Unit tests for the compiled-plan layer (:mod:`repro.plan`).
+
+The contract under test: for every call shape and every store kind, the
+planned path must be observationally identical to the legacy
+build-query-per-firing path — same results, same validation errors,
+same meter charges — while compiling each shape exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecOptions, Program
+from repro.core.errors import SchemaError
+from repro.core.ordering import evaluate_orderby
+from repro.core.reducers import SumReducer
+
+
+def plan_program():
+    """One program exercising every query style the context offers."""
+    from repro.solver import RuleMeta
+
+    p = Program("plans")
+    Edge = p.table("Edge", "int src, int dst, int w", orderby=("Init", "par src"))
+    Dist = p.table("Dist", "int v, int d", orderby=("Run", "seq d", "par v"))
+    Done = p.table("Done", "int v", orderby=("End",))
+    p.order("Init", "Run", "End")
+
+    meta = RuleMeta(Dist)
+    t = meta.trigger
+    meta.branch().query(Edge, src=t["v"])
+
+    @p.foreach(Dist, meta=meta)
+    def relax(ctx, dist):
+        # positional-prefix positive query
+        for e in ctx.get(Edge, dist.v):
+            # named-eq + where
+            better = ctx.get(Dist, v=e.dst, where=lambda t: t.d <= dist.d + e.w)
+            if not better:
+                ctx.put(Dist.new(e.dst, dist.d + e.w))
+        # negative query on an Init-ordered table: statically past-bounded
+        if ctx.absent(Edge, src=dist.v, where=lambda t: t.w < 0):
+            ctx.put(Done.new(dist.v))
+
+    @p.foreach(Done, assume_stratified=True)
+    def summarise(ctx, done):
+        # pair-form range + aggregate reduce
+        total = ctx.reduce(
+            Dist,
+            reducer=SumReducer(),
+            value=lambda t: t.d,
+            ranges={"d": (0, 100)},
+        )
+        # op-dict range form
+        n_far = ctx.count(Dist, ranges={"d": {"ge": 2, "lt": 100}})
+        # get_min aggregate
+        best = ctx.get_min(Dist, by="d")
+        # get_uniq on a fully-constrained shape
+        me = ctx.get_uniq(Edge, src=0, dst=1)
+        assert me is not None
+        ctx.println(f"v={done.v} total={total} far={n_far} min={best.d}")
+
+    for (s, d, w) in [(0, 1, 1), (0, 2, 4), (1, 2, 1), (2, 3, 2)]:
+        p.put(Edge.new(s, d, w))
+    p.put(Dist.new(0, 0))
+    return p
+
+
+@pytest.mark.parametrize("index_mode", ["off", "auto"])
+def test_planned_equals_legacy(index_mode):
+    """Same outputs, table sizes, meter counters *and* per-counter costs
+    with the plan cache on and off, for plain and indexed stores."""
+    ref = plan_program().run(ExecOptions(plan_cache=False, index_mode=index_mode))
+    got = plan_program().run(ExecOptions(plan_cache=True, index_mode=index_mode))
+    assert got.output_text() == ref.output_text()
+    assert got.table_sizes == ref.table_sizes
+    assert got.meter.counters == ref.meter.counters
+    assert got.meter.costs == pytest.approx(ref.meter.costs)
+    assert got.meter.shared == pytest.approx(ref.meter.shared)
+    assert got.virtual_time == pytest.approx(ref.virtual_time)
+
+
+def test_planned_equals_legacy_forkjoin():
+    ref = plan_program().run(ExecOptions(strategy="forkjoin", threads=4, plan_cache=False))
+    got = plan_program().run(ExecOptions(strategy="forkjoin", threads=4))
+    assert got.output_text() == ref.output_text()
+    assert got.meter.counters == ref.meter.counters
+    assert got.virtual_time == pytest.approx(ref.virtual_time)
+
+
+def test_shapes_compile_once():
+    from repro.core.engine import Engine
+
+    p = plan_program()
+    e = Engine(p, ExecOptions())
+    assert e._plans is not None
+    warm = len(e._plans._prepared)
+    assert warm > 0  # freeze-time warming resolved the static shapes
+    e.run()
+    n_plans = len(e._plans)
+    assert n_plans > 0
+    # a second engine over the same program compiles the same shapes
+    e2 = Engine(p, ExecOptions())
+    e2.run()
+    assert len(e2._plans) == n_plans
+
+
+def test_validation_errors_survive_planning():
+    p = Program("bad")
+    T = p.table("T", "int a, int b", orderby=("T",))
+    boom: list[Exception] = []
+
+    @p.foreach(T)
+    def r(ctx, t):
+        try:
+            ctx.get(T, nosuch=1)
+        except SchemaError as e:
+            boom.append(e)
+        try:
+            ctx.get(T, nosuch=1)  # second call: same error, not a cached plan
+        except SchemaError as e:
+            boom.append(e)
+
+    p.put(T.new(1, 2))
+    p.run()
+    assert len(boom) == 2
+
+
+def test_bad_range_spec_rejected():
+    p = Program("badrange")
+    T = p.table("T", "int a", orderby=("T", "seq a"))
+    errs: list[Exception] = []
+
+    @p.foreach(T, assume_stratified=True)
+    def r(ctx, t):
+        try:
+            ctx.count(T, ranges={"a": [1, 2, 3]})
+        except SchemaError as e:
+            errs.append(e)
+
+    p.put(T.new(1))
+    p.run()
+    assert len(errs) == 1
+
+
+def test_compiled_timestamper_matches_evaluate_orderby():
+    from repro.plan.timestamps import CompiledTimestamper
+
+    p = Program("ts")
+    A = p.table("A", "int x, int y", orderby=("Lit1", "seq x", "par y"))
+    B = p.table("B", "int x", orderby=("OnlyLit",))
+    p.order("Lit1", "OnlyLit")
+    p.freeze()
+    for handle, values in [(A, (3, 7)), (A, (0, 0)), (B, (5,))]:
+        schema = handle.schema
+        compiled = CompiledTimestamper(schema, p.decls)
+        tup = handle.new(*values)
+        fields = dict(zip(schema.field_names, tup.values))
+        expect = evaluate_orderby(schema.orderby, fields, p.decls)
+        got = compiled.timestamp(tup.values)
+        assert got.key == expect.key
+        assert got.display == expect.display
+
+
+def test_all_literal_orderby_is_constant():
+    from repro.plan.timestamps import CompiledTimestamper
+
+    p = Program("const")
+    B = p.table("B", "int x", orderby=("OnlyLit",))
+    p.freeze()
+    c = CompiledTimestamper(B.schema, p.decls)
+    t1 = c.timestamp((1,))
+    t2 = c.timestamp((2,))
+    assert t1 is t2  # one shared Timestamp for the whole table
+
+
+def test_compiled_bound_matches_query_upper_bound():
+    from repro.core.query import QueryKind, build_query
+    from repro.core.rules import query_upper_bound
+    from repro.plan.compile import compile_bound
+
+    p = Program("bounds")
+    T = p.table("T", "int a, int b", orderby=("L", "seq a", "par b"))
+    p.freeze()
+
+    cases = [
+        dict(eq={"a": 3}),
+        dict(ranges={"a": (0, 9)}),
+        dict(ranges={"a": {"lt": 9}}),
+        dict(ranges={"a": {"ge": 1}}),  # no upper bound -> None at runtime
+        dict(eq={"b": 1}),  # seq level unconstrained -> no static bound
+    ]
+    for kw in cases:
+        q = build_query(T, kind=QueryKind.NEGATIVE, **kw.get("eq", {}), ranges=kw.get("ranges"))
+        expect = query_upper_bound(q, p.decls)
+        cb = compile_bound(T.schema, q, p.decls)
+        if cb is None:
+            assert expect is None
+        else:
+            assert cb.evaluate(q) == expect
