@@ -33,7 +33,15 @@ from repro.core import ExecOptions, Program, RetentionHint, RunResult
 from repro.core.tuples import TableHandle
 from repro.solver import RuleMeta
 
-__all__ = ["SensorHandles", "build_sensor_program", "run_sensors", "alerts_from_output"]
+__all__ = [
+    "SensorHandles",
+    "build_sensor_program",
+    "build_sensor_stream",
+    "sensor_events",
+    "run_sensors",
+    "run_sensors_streaming",
+    "alerts_from_output",
+]
 
 
 @dataclass
@@ -62,13 +70,18 @@ def build_sensor_program(
         "int tick, int sensor -> int value, int previous",
         orderby=("Int", "seq tick", "Alert", "par sensor"),
     )
+    # the Out stratum is *interleaved per tick* (first level "Int", like
+    # the inputs), not ordered after the whole stream: tick t's log
+    # lines leave Delta before tick t+1's readings, which is what lets a
+    # session settle mid-stream and still produce the single-shot log
+    # byte-for-byte — the printed order is (tick, sensor) either way
     Println = p.table(
         "Println",
         "int tick, int sensor -> str text",
-        orderby=("Out", "seq tick", "seq sensor"),
+        orderby=("Int", "seq tick", "Out", "seq sensor"),
     )
     p.order("Int", "Out")
-    p.order("Reading", "Alert")
+    p.order("Reading", "Alert", "Out")
 
     meta = RuleMeta(Reading)
     t = meta.trigger
@@ -102,7 +115,35 @@ def build_sensor_program(
         # i.e. in Println's causal output order (footnote 8)
         ctx.println(line.text)
 
-    # the external event stream, deliberately inserted out of order
+    # the external event stream, deliberately shuffled
+    for ev in sensor_events(Reading, n_ticks, n_sensors, spike_factor, seed):
+        p.put(ev)
+    return SensorHandles(p, Reading, Alert, Println)
+
+
+def build_sensor_stream(
+    n_ticks: int = 50,
+    n_sensors: int = 8,
+    spike_factor: float = 2.0,
+    seed: int = 5,
+) -> tuple[SensorHandles, list]:
+    """The streaming variant: the same program with *no* initial puts,
+    plus the (shuffled) event stream as a list — the caller owns the
+    input and feeds it through an :class:`~repro.core.EngineSession`."""
+    handles = build_sensor_program(n_ticks=0, n_sensors=n_sensors,
+                                   spike_factor=spike_factor, seed=seed)
+    events = sensor_events(handles.Reading, n_ticks, n_sensors, spike_factor, seed)
+    return handles, events
+
+
+def sensor_events(
+    Reading: TableHandle,
+    n_ticks: int,
+    n_sensors: int,
+    spike_factor: float = 2.0,
+    seed: int = 5,
+) -> list:
+    """The synthetic event stream, in shuffled arrival order."""
     rng = np.random.default_rng(seed)
     base = rng.integers(50, 100, size=n_sensors)
     events = []
@@ -113,9 +154,7 @@ def build_sensor_program(
                 value = int(value * (spike_factor + 0.5))
             events.append(Reading.new(tick, sensor, value))
     order = rng.permutation(len(events))
-    for i in order:
-        p.put(events[int(i)])
-    return SensorHandles(p, Reading, Alert, Println)
+    return [events[int(i)] for i in order]
 
 
 def run_sensors(
@@ -134,6 +173,33 @@ def run_sensors(
             retention={**dict(opts.retention), "Reading": RetentionHint("tick", 2)}
         )
     return handles.program.run(opts)
+
+
+def run_sensors_streaming(
+    n_ticks: int = 50,
+    n_sensors: int = 8,
+    options: ExecOptions | None = None,
+    bounded_memory: bool = False,
+    seed: int = 5,
+    chunks: int = 5,
+) -> RunResult:
+    """The session-API twin of :func:`run_sensors`: the event stream
+    arrives in ``chunks`` causally-aligned feeds with a ``settle()``
+    after each — a long-running monitor absorbing traffic in bursts.
+    The cumulative result is byte-identical to the single-shot run."""
+    from repro.core import causal_chunks
+
+    handles, events = build_sensor_stream(n_ticks, n_sensors, seed=seed)
+    opts = options or ExecOptions()
+    if bounded_memory:
+        opts = opts.with_(
+            retention={**dict(opts.retention), "Reading": RetentionHint("tick", 2)}
+        )
+    with handles.program.session(opts) as s:
+        for chunk in causal_chunks(s.database, events, chunks):
+            s.feed(chunk)
+            s.settle()
+    return s.result
 
 
 def alerts_from_output(result: RunResult) -> list[str]:

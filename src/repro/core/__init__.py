@@ -19,10 +19,12 @@ Public API::
 
 from repro.core.database import Database, InsertOutcome
 from repro.core.delta import DeltaTree
-from repro.core.engine import Engine, RunResult
+from repro.core.engine import Engine, FeedReport, RunResult
 from repro.core.errors import (
+    AdmissionWarning,
     CausalityError,
     EngineError,
+    EngineWarning,
     JStarError,
     KeyInvariantError,
     OrderingError,
@@ -59,6 +61,7 @@ from repro.core.reducers import (
 )
 from repro.core.rules import Rule, RuleContext
 from repro.core.schema import Field, TableSchema
+from repro.core.session import EngineSession, causal_chunks, causal_sort
 from repro.core.tuples import JTuple, TableHandle
 
 __all__ = [
@@ -66,6 +69,10 @@ __all__ = [
     "ExecOptions",
     "RetentionHint",
     "Engine",
+    "EngineSession",
+    "FeedReport",
+    "causal_sort",
+    "causal_chunks",
     "RunResult",
     "TableSchema",
     "TableHandle",
@@ -107,5 +114,7 @@ __all__ = [
     "StratificationWarning",
     "RuleError",
     "EngineError",
+    "EngineWarning",
+    "AdmissionWarning",
     "UnsafeOperationError",
 ]

@@ -254,6 +254,31 @@ class DeltaTree:
         walk(self._root, ())
         return out
 
+    def dump(self) -> list[JTuple]:
+        """Every pending tuple, in causal walk order (``here`` before
+        children; literal children by rank, seq children in key order,
+        the collapsed par child last).  Within one leaf the original
+        insertion order is preserved, so re-inserting the dumped list
+        into an empty tree — each tuple at its own timestamp —
+        reproduces this tree exactly, including the deterministic
+        pop order of every equivalence class.  This is the Delta half of
+        a session snapshot."""
+        out: list[JTuple] = []
+
+        def walk(node: _Node) -> None:
+            out.extend(node.here)
+            if node.kind == KIND_PAR and node.par_child is not None:
+                walk(node.par_child)
+            elif node.kind == KIND_LIT and isinstance(node.children, dict):
+                for rank in sorted(node.children):
+                    walk(node.children[rank])
+            elif node.kind == KIND_SEQ and isinstance(node.children, SkipListMap):
+                for _k, child in node.children.items():
+                    walk(child)
+
+        walk(self._root)
+        return out
+
     def clear(self) -> None:
         self._root = _Node()
         self._members.clear()

@@ -1,103 +1,35 @@
-"""The pseudo-naive incremental execution engine (§3, §5, Fig 3).
+"""The one-shot engine facade over the step kernel (§3, §5, Fig 3).
 
-The tuple lifecycle implemented here is exactly Fig 3:
+Historically this module *was* the engine: one monolithic ``run`` that
+did initial puts, the step loop, stats folding, and the run-end trace
+event in a single breath.  That machinery now lives in two places:
 
-1. a rule (or an initial ``put``) creates a tuple, which enters the
-   **Delta** tree to await processing — unless its table is in the
-   ``-noDelta`` set, in which case it goes straight to Gamma and fires
-   its rules immediately inside the producing task (§5.1);
-2. each step removes the minimal *equivalence class* from Delta,
-   inserts those tuples into **Gamma** (unless ``-noGamma``), and fires
-   every rule they trigger — one task per tuple, all tasks of the class
-   conceptually in parallel (the all-minimums strategy, §5);
-3. rules query Gamma; batch effects (new puts) are buffered per task
-   and applied in deterministic task order after the batch joins;
-4. lifetime hints may discard tuples (``Database.discard``).
+* :class:`repro.core.kernel.StepKernel` — the step mechanism (pop the
+  minimal class, fire, apply effects, tallies, retention);
+* :class:`repro.core.session.EngineSession` — the lifecycle (open,
+  incremental ``feed``/``settle``, checkpoint/restore, close).
 
-Determinism: batches leave the Delta tree in a deterministic order,
-effects are applied in task order, so program output is identical under
-every strategy and thread count (§1.3) — asserted by the test suite.
-
-Cost attribution: each task's meter is charged for the Gamma insertion
-of its trigger, the rules it fires, the queries they make, and the
-Delta insertions of the tuples it put — the *producer* pays for shared
-Delta traffic, which is what makes the Delta tree Dijkstra's
-scalability bottleneck in Fig 12.
+:class:`Engine` remains the stable single-shot entry point:
+``Engine(program, options).run()`` is exactly
+``open -> feed(initial puts) -> settle -> close`` on a private session,
+and is what ``Program.run`` drives.  Callers that want to stream input,
+settle incrementally, or checkpoint mid-run should use
+``Program.session`` / :class:`~repro.core.session.EngineSession`
+directly.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import ContextManager
-
-from repro.core.database import Database, InsertOutcome
-from repro.core.delta import DeltaTree
 from repro.core.errors import EngineError
+from repro.core.kernel import FeedReport, RunResult, StepKernel
 from repro.core.program import ExecOptions, Program
-from repro.core.rules import Rule, RuleContext
-from repro.core.tuples import JTuple
-from repro.exec.base import EngineTask, Strategy, TaskResult
-from repro.exec.chaos import ChaosStrategy
-from repro.exec.forkjoin import ForkJoinStrategy
-from repro.exec.metering import DEFAULT_WEIGHTS, NULL_METER, CostMeter
-from repro.exec.sequential import SequentialStrategy
-from repro.exec.threads import ThreadStrategy
-from repro.gamma.base import StoreRegistry
-from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
-from repro.plan.cache import PlanCache
-from repro.simcore.machine import MachineReport
-from repro.stats.collector import StatsCollector
-from repro.trace.recorder import TraceRecorder, output_hash
+from repro.exec.base import Strategy
 
-__all__ = ["RunResult", "Engine"]
-
-
-@dataclass
-class RunResult:
-    """Everything a run produced."""
-
-    program: str
-    strategy: str
-    threads: int
-    output: list[str]
-    wall_time: float
-    report: MachineReport | None
-    stats: StatsCollector
-    table_sizes: dict[str, int]
-    meter: CostMeter
-    steps: int
-    options: ExecOptions
-    #: None when the caller dropped it (e.g. a serialised result); use
-    #: :meth:`require_database` for the advisor/report paths that need it
-    database: Database | None = field(repr=False, default=None)
-    #: the run's event trace (only when ``ExecOptions.trace`` was set)
-    trace: TraceRecorder | None = field(repr=False, default=None)
-
-    def require_database(self) -> Database:
-        """The run's database, or a clear error when it was dropped."""
-        if self.database is None:
-            raise EngineError(
-                "this RunResult carries no database (it was dropped or the "
-                "result was deserialised); re-run with the database retained"
-            )
-        return self.database
-
-    @property
-    def virtual_time(self) -> float:
-        """Elapsed virtual time (work units); falls back to total cost
-        for strategies without a machine."""
-        if self.report is not None:
-            return self.report.elapsed
-        return self.meter.total_cost
-
-    def output_text(self) -> str:
-        return "\n".join(self.output)
+__all__ = ["RunResult", "FeedReport", "Engine"]
 
 
 class Engine:
-    """One execution of one program under one set of options."""
+    """One single-shot execution of one program under one set of options."""
 
     def __init__(
         self,
@@ -105,561 +37,79 @@ class Engine:
         options: ExecOptions,
         strategy: Strategy | None = None,
     ):
-        program.freeze()
-        self.program = program
-        self.options = options
-        # an injected strategy overrides options.strategy — the trace
-        # replayer uses this to run a *scripted* ChaosStrategy, and the
-        # chaos test harness to run an intentionally-broken variant
-        self.strategy = strategy if strategy is not None else self._make_strategy(options)
-        registry = self._make_registry(options, self.strategy, program)
-        self.db = Database(program.schemas(), registry, program.decls)
-        self.delta = DeltaTree()
-        self.stats = StatsCollector()
-        self.tracer = TraceRecorder() if options.trace else None
-        self.strategy.bind(tracer=self.tracer, stats=self.stats)
-        self.output: list[str] = []
-        self.meter = CostMeter()  # whole-run aggregate
-        self._no_delta = options.no_delta
-        self._no_gamma = options.no_gamma
-        self._check_mode = options.causality_check
-        self._delta_serial = options.calib.delta_serial_fraction
-        self._per_rule_tasks = options.task_granularity == "rule"
-        # ``metering="off"`` replaces per-task meters with the shared
-        # no-op meter — unless the strategy's virtual-time machine
-        # consumes meters, in which case metering is forced back on
-        self._metered = options.metering == "on" or self.strategy.requires_metering
-        # compiled query plans, warmed from the program's static access
-        # patterns; None -> RuleContext uses the generic build_query path
-        self._plans = PlanCache(self.db, program) if options.plan_cache else None
-        # deferred stats tallies: (table, rule) -> firings and
-        # (rule, table) -> puts, folded into the collector at run end —
-        # totals identical to per-event on_fire/on_put, without paying
-        # three hash-structure updates on every firing and put
-        self._fire_tallies: dict[tuple[str, str], int] = {}
-        self._put_tallies: dict[tuple[str, str], int] = {}
-        # same deferral for the per-table Gamma/Delta counters:
-        # name -> [delta_bypass, duplicates, gamma_inserts,
-        # gamma_skipped, delta_inserts]
-        self._table_tallies: dict[str, list[int]] = {}
-        # retention hints: table -> mutable
-        # [field position, keep_last, max seen, max at last prune];
-        # max-seen is maintained incrementally at insert time (NEW
-        # outcomes only), so pruning never needs a discovery scan
-        self._retention: dict[str, list] = {}
-        for name, hint in options.retention.items():
-            schema = program.schemas().get(name)
-            if schema is None:
-                raise EngineError(f"retention hint for unknown table {name!r}")
-            self._retention[name] = [schema.field_position(hint.field), hint.keep_last, None, None]
-        # step coalescing merges trigger-less minimal classes into the
-        # following step; retention prunes per step, so hints keep the
-        # one-class-per-step cadence
-        self._coalesce = options.coalesce_steps and not self._retention
-        self._silent_tables: dict[str, bool] = {}
-        self._lock: ContextManager | None = None
-        if self.strategy.needs_locks:
-            import threading
-
-            self._lock = threading.Lock()
+        self.kernel = StepKernel(program, options, strategy)
         self._ran = False
-        self._steps = 0
 
-    # -- construction helpers ------------------------------------------------
+    # construction helpers kept as Engine attributes — the replayer and
+    # store-tuning paths call them without an Engine instance
+    _make_strategy = staticmethod(StepKernel._make_strategy)
+    _make_registry = staticmethod(StepKernel._make_registry)
+    _index_plan = staticmethod(StepKernel._index_plan)
 
-    @staticmethod
-    def _make_strategy(options: ExecOptions) -> Strategy:
-        if options.strategy == "sequential":
-            return SequentialStrategy(gc=options.gc_model)
-        if options.strategy == "forkjoin":
-            return ForkJoinStrategy(
-                options.threads, calib=options.calib, gc=options.gc_model
-            )
-        if options.strategy == "chaos":
-            return ChaosStrategy(
-                seed=options.chaos_seed or 0, fault_plan=options.fault_plan
-            )
-        if options.strategy == "threads":
-            return ThreadStrategy(options.threads)
-        raise EngineError(
-            f"unknown strategy {options.strategy!r}; valid strategies: "
-            "sequential, forkjoin, threads, chaos"
-        )
+    # -- delegated views (tests and tools reach into these) -------------------
 
-    @staticmethod
-    def _make_registry(
-        options: ExecOptions, strategy: Strategy, program: Program | None = None
-    ) -> StoreRegistry:
-        if strategy.concurrent_stores:
-            default = lambda schema: ConcurrentSkipListStore(schema)  # noqa: E731
-        else:
-            default = lambda schema: TreeSetStore(schema)  # noqa: E731
-        registry = StoreRegistry(default)
-        for name, factory in options.store_overrides.items():
-            registry.override(name, factory)
-        plan = Engine._index_plan(options, program)
-        if plan:
-            from repro.gamma.indexed import IndexingRegistry
+    @property
+    def program(self) -> Program:
+        return self.kernel.program
 
-            return IndexingRegistry(registry, plan)
-        return registry
+    @property
+    def options(self) -> ExecOptions:
+        return self.kernel.options
 
-    @staticmethod
-    def _index_plan(options: ExecOptions, program: Program | None) -> dict:
-        """The effective index plan for this run: empty when indexing is
-        off, the static planner's output merged with explicit specs in
-        ``auto`` mode, the explicit specs alone in ``explicit`` mode.
-        -noGamma tables never get indexes (they are never stored), and
-        auto mode leaves tables with a hand-chosen ``store_overrides``
-        representation alone — an explicit §1.4 commitment beats the
-        planner (explicit ``indexes`` entries still apply)."""
-        if options.index_mode == "off":
-            return {}
-        plan: dict[str, tuple] = {}
-        if options.index_mode == "auto" and program is not None:
-            from repro.gamma.indexplan import plan_indexes
+    @property
+    def strategy(self) -> Strategy:
+        return self.kernel.strategy
 
-            plan.update(
-                (name, specs)
-                for name, specs in plan_indexes(program).items()
-                if name not in options.store_overrides
-            )
-        for name, specs in options.indexes.items():
-            plan[name] = tuple(specs)
-        return {
-            name: specs
-            for name, specs in plan.items()
-            if specs and name not in options.no_gamma
-        }
+    @property
+    def db(self):
+        return self.kernel.db
 
-    def _guarded(self) -> ContextManager:
-        return self._lock if self._lock is not None else nullcontext()
+    @property
+    def delta(self):
+        return self.kernel.delta
 
-    def _tt(self, name: str) -> list[int]:
-        t = self._table_tallies.get(name)
-        if t is None:
-            t = self._table_tallies[name] = [0, 0, 0, 0, 0]
-        return t
+    @property
+    def stats(self):
+        return self.kernel.stats
 
-    # -- put routing -------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self.kernel.tracer
 
-    def _handle_puts(self, ctx_puts: list[JTuple], result: TaskResult, rule_name: str) -> None:
-        """Route a rule's puts.  -noDelta tables cascade immediately
-        inside the producing task (§5.1); everything else is buffered on
-        the task result and enters Delta after the batch joins — which
-        keeps Delta mutation out of the parallel phase and effect order
-        deterministic."""
-        tallies = self._put_tallies
-        for tup in ctx_puts:
-            name = tup.schema.name
-            key = (rule_name, name)
-            tallies[key] = tallies.get(key, 0) + 1
-            if name in self._no_delta:
-                self._tt(name)[0] += 1
-                self._immediate(tup, result)
-            else:
-                result.puts.append(tup)
+    @property
+    def output(self) -> list[str]:
+        return self.kernel.output
 
-    def _immediate(self, tup: JTuple, result: TaskResult) -> None:
-        """-noDelta path: straight into Gamma and fire now, inside the
-        producing task."""
-        name = tup.schema.name
-        if name not in self._no_gamma:
-            store = self.db.store(name)
-            if self._lock is None:
-                outcome = self.db.insert(tup)
-            else:
-                with self._lock:
-                    outcome = self.db.insert(tup)
-            result.meter.charge_store_op("insert", store)
-            if outcome is InsertOutcome.DUPLICATE:
-                self._tt(name)[1] += 1
-                return
-            self._tt(name)[2] += 1
-            if self._retention:
-                self._note_retained(name, tup)
-        else:
-            self._tt(name)[3] += 1
-        self._fire_rules(tup, result)
+    @property
+    def meter(self):
+        return self.kernel.meter
 
-    def _note_retained(self, name: str, tup: JTuple) -> None:
-        """Advance a retained table's incrementally-tracked max on a NEW
-        Gamma insert (satellite of §5 step 4: pruning reads this instead
-        of rediscovering the max with a full scan every step)."""
-        ent = self._retention.get(name)
-        if ent is not None:
-            v = tup.values[ent[0]]
-            if ent[2] is None or v > ent[2]:
-                ent[2] = v
+    @property
+    def _plans(self):
+        return self.kernel._plans
 
-    def _enqueue_delta_batch(
-        self, pending: list[tuple[JTuple, CostMeter]]
-    ) -> list[bool]:
-        """Post-batch (sequential) insertion of a step's deferred puts
-        into the Delta tree, each charged to its producing task's meter.
-        One :meth:`~repro.core.delta.DeltaTree.insert_batch` call covers
-        the whole step; per-put semantics (Gamma-duplicate precheck,
-        then Delta dedup) are exactly the former one-at-a-time loop —
-        phase C never mutates Gamma, so prechecking all puts up front
-        observes the same store state as interleaving would."""
-        flags = [False] * len(pending)
-        items: list[tuple[JTuple, object]] = []
-        idx: list[int] = []
-        ng = self._no_gamma
-        db = self.db
-        tt = self._tt
-        for i, (tup, _meter) in enumerate(pending):
-            name = tup.schema.name
-            if name not in ng and tup in db:
-                tt(name)[1] += 1
-                continue
-            items.append((tup, db.timestamp(tup)))
-            idx.append(i)
-        if not items:
-            return flags
-        accepted = self.delta.insert_batch(items)
-        delta_serial = self._delta_serial
-        shared_cost = DEFAULT_WEIGHTS["delta_insert"] * delta_serial
-        for k, ok in enumerate(accepted):
-            i = idx[k]
-            tup, meter = pending[i]
-            name = tup.schema.name
-            if ok:
-                flags[i] = True
-                tt(name)[4] += 1
-                meter.charge("delta_insert")
-                if delta_serial > 0.0:
-                    meter.charge_shared("delta", shared_cost)
-            else:
-                tt(name)[1] += 1
-        return flags
+    @property
+    def _coalesce(self) -> bool:
+        return self.kernel._coalesce
 
-    # -- rule firing -------------------------------------------------------------
-
-    def _fire_rules(self, tup: JTuple, result: TaskResult) -> None:
-        for rule in self.program.rules_for(tup.schema.name):
-            self._fire_one(rule, tup, result)
-
-    def _fire_one(self, rule: Rule, tup: JTuple, result: TaskResult) -> None:
-        tallies = self._fire_tallies
-        key = (tup.schema.name, rule.name)
-        tallies[key] = tallies.get(key, 0) + 1
-        result.meter.charge("rule_fire")
-        ctx = RuleContext(
-            self.db,
-            self.program.decls,
-            result.meter,
-            rule,
-            tup,
-            self.db.timestamp(tup),
-            self._check_mode,
-            self.stats,
-            self._lock,
-            self.strategy.yield_point,
-            result.events if self.tracer is not None else None,
-            self._plans,
-        )
-        rule.body(ctx, tup)
-        ctx.finish()
-        result.fired_rules.append(rule.name)
-        if ctx.output:
-            result.output.extend(ctx.output)
-            self.stats.rule(rule.name).output_lines += len(ctx.output)
-        self._handle_puts(ctx.puts, result, rule.name)
-
-    # -- step machinery -------------------------------------------------------------
-
-    def _new_result(self, trigger: JTuple) -> TaskResult:
-        """A task result with a private meter, or — metering off — the
-        shared no-op meter (every charge on it is a no-op, so sharing
-        the singleton is safe)."""
-        if self._metered:
-            return TaskResult(trigger=trigger)
-        return TaskResult(trigger=trigger, meter=NULL_METER)
-
-    def _make_task(self, tup: JTuple, outcome: InsertOutcome | None) -> EngineTask:
-        """Task closure for one popped tuple.  ``outcome`` is the Gamma
-        insertion result decided in the sequential prepare phase; the
-        task charges for it and fires the triggered rules."""
-
-        def run() -> TaskResult:
-            result = self._new_result(tup)
-            result.meter.charge("delta_pop")
-            name = tup.schema.name
-            if outcome is None:  # -noGamma table
-                self._tt(name)[3] += 1
-            else:
-                result.meter.charge_store_op("insert", self.db.store(name))
-                if outcome is InsertOutcome.DUPLICATE:
-                    result.duplicate = True
-                    self._tt(name)[1] += 1
-                    return result
-                self._tt(name)[2] += 1
-            self._fire_rules(tup, result)
-            return result
-
-        return EngineTask(trigger=tup, run=run)
-
-    def _make_rule_task(
-        self,
-        tup: JTuple,
-        rule: Rule,
-        outcome: InsertOutcome | None,
-        charge_insert: bool,
-    ) -> EngineTask:
-        """§5.2's first extension: "we could create one task per rule
-        that is triggered".  The first rule task of a tuple also pays
-        its Delta-pop and Gamma-insert costs."""
-
-        def run() -> TaskResult:
-            result = self._new_result(tup)
-            name = tup.schema.name
-            if charge_insert:
-                result.meter.charge("delta_pop")
-                if outcome is None:
-                    self._tt(name)[3] += 1
-                else:
-                    result.meter.charge_store_op("insert", self.db.store(name))
-                    self._tt(name)[2] += 1
-            self._fire_one(rule, tup, result)
-            return result
-
-        return EngineTask(trigger=tup, run=run)
-
-    def _build_tasks(
-        self, prepared: list[tuple[JTuple, InsertOutcome | None]]
-    ) -> list[EngineTask]:
-        if not self._per_rule_tasks:
-            return [self._make_task(tup, outcome) for tup, outcome in prepared]
-        tasks: list[EngineTask] = []
-        for tup, outcome in prepared:
-            if outcome is InsertOutcome.DUPLICATE:
-                tasks.append(self._make_task(tup, outcome))  # dup bookkeeping
-                continue
-            rules = self.program.rules_for(tup.schema.name)
-            if not rules:
-                tasks.append(self._make_task(tup, outcome))
-                continue
-            for i, rule in enumerate(rules):
-                tasks.append(self._make_rule_task(tup, rule, outcome, charge_insert=i == 0))
-        return tasks
-
-    def _apply_retention(self) -> None:
-        """Prune Gamma generations per the lifetime hints (§5 step 4).
-        The per-table max is tracked incrementally at insert time
-        (:meth:`_note_retained`), so a table is scanned exactly once —
-        to collect the doomed generation — and only on the steps where
-        its max actually advanced."""
-        for name, ent in self._retention.items():
-            pos, keep, max_seen, pruned_max = ent
-            if max_seen is None or max_seen == pruned_max:
-                continue
-            store = self.db.store(name)
-            cutoff = max_seen - keep + 1
-            doomed = [t for t in store.scan() if t.values[pos] < cutoff]
-            for t in doomed:
-                store.discard(t)
-            if doomed:
-                self.stats.table(name).gamma_discarded += len(doomed)
-            ent[3] = max_seen
-
-    def _class_silent(self, batch: list[JTuple]) -> bool:
-        """True iff no tuple of this class triggers any rule — its whole
-        effect is the phase-A Gamma insert."""
-        silent = self._silent_tables
-        for tup in batch:
-            name = tup.schema.name
-            s = silent.get(name)
-            if s is None:
-                s = silent[name] = not self.program.rules_for(name)
-            if not s:
-                return False
-        return True
-
-    def _pop_super_batch(self) -> list[JTuple]:
-        """Step coalescing (``coalesce_steps``): pop consecutive
-        trigger-less minimal classes together with the first triggering
-        class as one super-step.  Sound because a silent class fires
-        nothing — its tuples only need to be in Gamma before any *later*
-        class fires, and phase A inserts the merged batch in pop order
-        before phase B runs."""
-        batch = self.delta.pop_min_class()
-        if not self.delta or not self._class_silent(batch):
-            return batch
-        out = list(batch)
-        while self.delta:
-            cls = self.delta.pop_min_class()
-            out.extend(cls)
-            if not self._class_silent(cls):
-                break
-        return out
-
-    def _flush_task_events(self, results: list[TaskResult]) -> None:
-        """Emit each task's buffered micro events plus a per-task
-        summary, in submission order — the only order that is stable
-        across strategies."""
-        assert self.tracer is not None
-        for r in results:
-            for kind, data in r.events:
-                self.tracer.emit(kind, data)
-            self.tracer.emit(
-                "task",
-                {
-                    "trigger": repr(r.trigger),
-                    "duplicate": r.duplicate,
-                    "fired": list(r.fired_rules),
-                    "n_puts": len(r.puts),
-                    "n_output": len(r.output),
-                    "cost": r.meter.total_cost,
-                },
-            )
-
-    def _run_step(self, batch: list[JTuple]) -> None:
-        self.stats.on_step(len(batch))
-        if self.tracer is not None:
-            self.tracer.step = self._steps
-            self.tracer.emit(
-                "step",
-                {
-                    "step": self._steps,
-                    "width": len(batch),
-                    "frontier": [repr(t) for t in batch],
-                },
-            )
-        # Phase A (sequential): move the whole class into Gamma, so the
-        # rules fired in phase B see every tuple of the class ("positive
-        # queries with timestamps <= T", §4) and Gamma stays read-only
-        # while the batch fires.  One batched insert resolves each store
-        # once per same-table run instead of once per tuple.
-        prepared = list(zip(batch, self.db.insert_batch(batch, self._no_gamma)))
-        if self._retention:
-            for tup, outcome in prepared:
-                if outcome is InsertOutcome.NEW:
-                    self._note_retained(tup.schema.name, tup)
-        # Phase B: fire (possibly genuinely threaded).
-        tasks = self._build_tasks(prepared)
-        results = self.strategy.run_batch(tasks)
-        if self.tracer is not None:
-            self._flush_task_events(results)
-        # Phase C (sequential, deterministic order): apply buffered puts
-        # as one Delta batch.
-        pending = [(put, r.meter) for r in results for put in r.puts]
-        if pending:
-            flags = self._enqueue_delta_batch(pending)
-            if self.tracer is not None:
-                for (put, _meter), accepted in zip(pending, flags):
-                    self.tracer.emit(
-                        "effect", {"tuple": repr(put), "accepted": accepted}
-                    )
-        if self._retention:
-            self._apply_retention()
-        if self._metered:
-            allocations = 0.0
-            for r in results:
-                self.output.extend(r.output)
-                allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
-                self.meter.merge(r.meter)
-            retained = float(self.db.heap_tuples())
-            self.strategy.account_step(results, allocations=allocations, retained=retained)
-        else:
-            for r in results:
-                self.output.extend(r.output)
+    @property
+    def _metered(self) -> bool:
+        return self.kernel._metered
 
     # -- run -------------------------------------------------------------
 
     def run(self) -> RunResult:
         if self._ran:
-            raise EngineError("an Engine instance can only run once")
+            raise EngineError(
+                "an Engine instance can only run once; construct a fresh "
+                "Engine, or use EngineSession (open/feed/settle/close) for "
+                "incremental, resumable execution"
+            )
         self._ran = True
-        start = time.perf_counter()
-        if self.tracer is not None:
-            fp = self.options.fault_plan
-            self.tracer.emit(
-                "run-start",
-                {
-                    "program": self.program.name,
-                    "strategy": self.strategy.name,
-                    "threads": self.strategy.n_threads,
-                    "chaos_seed": self.options.chaos_seed,
-                    "fault_plan": fp.to_dict() if fp is not None else None,
-                    "task_granularity": self.options.task_granularity,
-                },
-                meta=True,
-            )
+        from repro.core.session import EngineSession
 
-        # Initial puts run as one synthetic sequential task so -noDelta
-        # cascades work during initialisation too.
-        init_result = self._new_result(None)  # type: ignore[arg-type]
-        for tup in self.program.initial_puts:
-            init_result.meter.charge("tuple_put")
-            self.stats.on_put("<init>", tup.schema.name)
-            if tup.schema.name in self._no_delta:
-                self.stats.table(tup.schema.name).delta_bypass += 1
-                self._immediate(tup, init_result)
-            else:
-                init_result.puts.append(tup)
-        if init_result.puts:
-            pending = [(put, init_result.meter) for put in init_result.puts]
-            flags = self._enqueue_delta_batch(pending)
-            if self.tracer is not None:
-                for (put, _meter), accepted in zip(pending, flags):
-                    self.tracer.emit("effect", {"tuple": repr(put), "accepted": accepted})
-        if self.tracer is not None and init_result.events:
-            for kind, data in init_result.events:
-                self.tracer.emit(kind, data)
-        self.output.extend(init_result.output)
-        if self._metered:
-            self.meter.merge(init_result.meter)
-            self.strategy.account_serial(init_result.meter.total_cost)
-        if self._retention:
-            # -noDelta cascades can run entirely inside initialisation
-            # (zero engine steps); lifetime hints still apply
-            self._apply_retention()
-
-        max_steps = self.options.max_steps
-        while self.delta:
-            if max_steps is not None and self._steps >= max_steps:
-                raise EngineError(
-                    f"program exceeded max_steps={max_steps}; "
-                    f"{len(self.delta)} tuples still pending"
-                )
-            self._steps += 1
-            batch = self._pop_super_batch() if self._coalesce else self.delta.pop_min_class()
-            self._run_step(batch)
-
-        wall = time.perf_counter() - start
-        self.strategy.close()
-        self.stats.absorb_tallies(self._fire_tallies, self._put_tallies)
-        self.stats.absorb_table_tallies(self._table_tallies)
-        self._fire_tallies.clear()
-        self._put_tallies.clear()
-        self._table_tallies.clear()
-        if self._plans is not None:
-            self.stats.absorb_planned(self._plans.plans())
-        if self.tracer is not None:
-            self.tracer.step = self._steps
-            self.tracer.emit(
-                "run-end",
-                {
-                    "steps": self._steps,
-                    "output": output_hash(self.output),
-                    "n_output": len(self.output),
-                    "table_sizes": dict(sorted(self.db.table_sizes().items())),
-                },
-            )
-            self.tracer.run_end()
-        return RunResult(
-            program=self.program.name,
-            strategy=self.strategy.name,
-            threads=self.strategy.n_threads,
-            output=self.output,
-            wall_time=wall,
-            report=self.strategy.report(),
-            stats=self.stats,
-            table_sizes=self.db.table_sizes(),
-            meter=self.meter,
-            steps=self._steps,
-            options=self.options,
-            database=self.db,
-            trace=self.tracer,
-        )
+        session = EngineSession(self.program, _kernel=self.kernel)
+        with session:
+            session.feed(self.program.initial_puts, source="<init>")
+            session.settle()
+        return session.result

@@ -75,6 +75,24 @@ class EngineError(JStarError):
     incorrectly (e.g. ``run`` called twice)."""
 
 
+class EngineWarning(UserWarning):
+    """The engine adjusted an execution option the caller asked for
+    (e.g. ``metering="off"`` forced back on by a virtual-time strategy,
+    or ``coalesce_steps`` disabled by retention hints).  Always recorded
+    as a note on the run's statistics; additionally *warned* when
+    ``causality_check="strict"`` so strict runs never silently diverge
+    from their requested configuration."""
+
+
+class AdmissionWarning(EngineWarning):
+    """A tuple fed into an open session carried a timestamp strictly
+    below the completed high-water mark and was quarantined instead of
+    admitted (``ExecOptions.admission="warn"``; strict mode raises
+    :class:`CausalityError` instead).  Admitting it would violate the
+    causality law: negative/aggregate answers already computed for
+    regions below the high-water mark could be invalidated (§4)."""
+
+
 class UnsafeOperationError(JStarError):
     """Side-effecting operation attempted outside an ``unsafe`` rule.
 

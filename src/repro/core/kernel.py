@@ -1,0 +1,789 @@
+"""The step kernel: pure step machinery of the pseudo-naive engine.
+
+This module is the mechanism half of the §3/§5 run loop, split out of
+the old monolithic ``Engine.run`` so that *lifecycle* (open / feed /
+settle / checkpoint / close — :class:`repro.core.session.EngineSession`)
+and *stepping* (pop the minimal class, fire, apply effects — this
+module) evolve independently.  The tuple lifecycle is exactly Fig 3:
+
+1. a rule (or an externally fed ``put``) creates a tuple, which enters
+   the **Delta** tree to await processing — unless its table is in the
+   ``-noDelta`` set, in which case it goes straight to Gamma and fires
+   its rules immediately inside the producing task (§5.1);
+2. each step removes the minimal *equivalence class* from Delta,
+   inserts those tuples into **Gamma** (unless ``-noGamma``), and fires
+   every rule they trigger — one task per tuple, all tasks of the class
+   conceptually in parallel (the all-minimums strategy, §5);
+3. rules query Gamma; batch effects (new puts) are buffered per task
+   and applied in deterministic task order after the batch joins;
+4. lifetime hints may discard tuples (``Database.discard``).
+
+Determinism: batches leave the Delta tree in a deterministic order,
+effects are applied in task order, so program output is identical under
+every strategy and thread count (§1.3) — asserted by the test suite.
+
+Incrementality: :meth:`StepKernel.feed` admits external tuples against
+the **high-water mark** — the timestamp of the last popped equivalence
+class.  Everything at or above the mark is sound to admit (the engine
+has made no commitments there); a tuple strictly below it could
+invalidate negative/aggregate answers already computed (§4), so it is
+rejected (``admission="strict"``) or quarantined (``"warn"``).
+
+Cost attribution: each task's meter is charged for the Gamma insertion
+of its trigger, the rules it fires, the queries they make, and the
+Delta insertions of the tuples it put — the *producer* pays for shared
+Delta traffic, which is what makes the Delta tree Dijkstra's
+scalability bottleneck in Fig 12.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import ContextManager, Iterable
+
+from repro.core.database import Database, InsertOutcome
+from repro.core.delta import DeltaTree
+from repro.core.errors import (
+    AdmissionWarning,
+    CausalityError,
+    EngineError,
+    EngineWarning,
+    UnknownTableError,
+)
+from repro.core.ordering import Timestamp, compare_timestamps
+from repro.core.program import ExecOptions, Program
+from repro.core.rules import Rule, RuleContext
+from repro.core.tuples import JTuple
+from repro.exec.base import EngineTask, Strategy, TaskResult
+from repro.exec.chaos import ChaosStrategy
+from repro.exec.forkjoin import ForkJoinStrategy
+from repro.exec.metering import DEFAULT_WEIGHTS, NULL_METER, CostMeter
+from repro.exec.sequential import SequentialStrategy
+from repro.exec.threads import ThreadStrategy
+from repro.gamma.base import StoreRegistry
+from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
+from repro.plan.cache import PlanCache
+from repro.simcore.machine import MachineReport
+from repro.stats.collector import StatsCollector
+from repro.trace.recorder import TraceRecorder, output_hash
+
+__all__ = ["RunResult", "FeedReport", "StepKernel"]
+
+
+@dataclass
+class RunResult:
+    """Everything a run (or one settled increment of a session) produced."""
+
+    program: str
+    strategy: str
+    threads: int
+    output: list[str]
+    wall_time: float
+    report: MachineReport | None
+    stats: StatsCollector
+    table_sizes: dict[str, int]
+    meter: CostMeter
+    steps: int
+    options: ExecOptions
+    #: None when the caller dropped it (e.g. a serialised result); use
+    #: :meth:`require_database` for the advisor/report paths that need it
+    database: Database | None = field(repr=False, default=None)
+    #: the run's event trace (only when ``ExecOptions.trace`` was set)
+    trace: TraceRecorder | None = field(repr=False, default=None)
+
+    def require_database(self) -> Database:
+        """The run's database, or a clear error when it was dropped."""
+        if self.database is None:
+            raise EngineError(
+                "this RunResult carries no database (it was dropped or the "
+                "result was deserialised); re-run with the database retained"
+            )
+        return self.database
+
+    @property
+    def virtual_time(self) -> float:
+        """Elapsed virtual time (work units); falls back to total cost
+        for strategies without a machine."""
+        if self.report is not None:
+            return self.report.elapsed
+        return self.meter.total_cost
+
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+
+@dataclass
+class FeedReport:
+    """What one :meth:`StepKernel.feed` call did with its tuples."""
+
+    source: str
+    admitted: int
+    #: tuples rejected by the high-water-mark admission check under
+    #: ``admission="warn"`` (strict mode raises instead of quarantining)
+    quarantined: list[JTuple] = field(default_factory=list)
+
+
+class StepKernel:
+    """Step machinery for one program under one set of options.
+
+    Owns the Delta tree, the Gamma database, the strategy, and all the
+    deferred tallies; exposes :meth:`feed` (admission-checked external
+    puts), :meth:`drain` (run all-minimums steps until Delta is empty),
+    and :meth:`flush_stats` (fold deferred tallies into the collector).
+    Lifecycle — when to feed, settle, snapshot, or release the strategy
+    — belongs to :class:`repro.core.session.EngineSession`; the
+    compatibility shim :class:`repro.core.engine.Engine` drives a whole
+    run through a private session.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        options: ExecOptions,
+        strategy: Strategy | None = None,
+    ):
+        program.freeze()
+        self.program = program
+        self.options = options
+        # an injected strategy overrides options.strategy — the trace
+        # replayer uses this to run a *scripted* ChaosStrategy, and the
+        # chaos test harness to run an intentionally-broken variant
+        self.strategy = strategy if strategy is not None else self._make_strategy(options)
+        registry = self._make_registry(options, self.strategy, program)
+        self.db = Database(program.schemas(), registry, program.decls)
+        self.delta = DeltaTree()
+        self.stats = StatsCollector()
+        self.tracer = TraceRecorder() if options.trace else None
+        self.strategy.bind(tracer=self.tracer, stats=self.stats)
+        self.output: list[str] = []
+        self.meter = CostMeter()  # whole-run aggregate
+        self.steps = 0
+        #: timestamp of the last popped equivalence class — the feed
+        #: admission boundary.  None until the first step completes
+        #: (everything is admissible before any commitment is made).
+        self.high_water: Timestamp | None = None
+        #: tuples rejected by admission under ``admission="warn"``, kept
+        #: for inspection (and carried through snapshots)
+        self.quarantined: list[JTuple] = []
+        self._no_delta = options.no_delta
+        self._no_gamma = options.no_gamma
+        self._check_mode = options.causality_check
+        self._delta_serial = options.calib.delta_serial_fraction
+        self._per_rule_tasks = options.task_granularity == "rule"
+        # ``metering="off"`` replaces per-task meters with the shared
+        # no-op meter — unless the strategy's virtual-time machine
+        # consumes meters, in which case metering is forced back on
+        self._metered = options.metering == "on" or self.strategy.requires_metering
+        if options.metering == "off" and self.strategy.requires_metering:
+            self._note(
+                f"metering='off' overridden: the {self.strategy.name!r} "
+                "strategy's virtual-time machine consumes per-task meters, "
+                "so metering was forced back on"
+            )
+        # compiled query plans, warmed from the program's static access
+        # patterns; None -> RuleContext uses the generic build_query path
+        self._plans = PlanCache(self.db, program) if options.plan_cache else None
+        # deferred stats tallies: (table, rule) -> firings and
+        # (rule, table) -> puts, folded into the collector at settle time
+        # — totals identical to per-event on_fire/on_put, without paying
+        # three hash-structure updates on every firing and put
+        self._fire_tallies: dict[tuple[str, str], int] = {}
+        self._put_tallies: dict[tuple[str, str], int] = {}
+        # same deferral for the per-table Gamma/Delta counters:
+        # name -> [delta_bypass, duplicates, gamma_inserts,
+        # gamma_skipped, delta_inserts]
+        self._table_tallies: dict[str, list[int]] = {}
+        # retention hints: table -> mutable
+        # [field position, keep_last, max seen, max at last prune];
+        # max-seen is maintained incrementally at insert time (NEW
+        # outcomes only), so pruning never needs a discovery scan
+        self._retention: dict[str, list] = {}
+        for name, hint in options.retention.items():
+            schema = program.schemas().get(name)
+            if schema is None:
+                raise EngineError(f"retention hint for unknown table {name!r}")
+            self._retention[name] = [schema.field_position(hint.field), hint.keep_last, None, None]
+        # step coalescing merges trigger-less minimal classes into the
+        # following step; retention prunes per step, so hints keep the
+        # one-class-per-step cadence
+        self._coalesce = options.coalesce_steps and not self._retention
+        if options.coalesce_steps and self._retention:
+            self._note(
+                "coalesce_steps disabled: retention hints prune Gamma per "
+                "step and require the one-class-per-step cadence"
+            )
+        self._silent_tables: dict[str, bool] = {}
+        self._lock: ContextManager | None = None
+        if self.strategy.needs_locks:
+            import threading
+
+            self._lock = threading.Lock()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        """Record a knob-override note; under strict causality checking
+        the adjustment is also warned, so strict runs never silently
+        diverge from their requested configuration."""
+        self.stats.note(message)
+        if self.options.causality_check == "strict":
+            warnings.warn(message, EngineWarning, stacklevel=4)
+
+    @staticmethod
+    def _make_strategy(options: ExecOptions) -> Strategy:
+        if options.strategy == "sequential":
+            return SequentialStrategy(gc=options.gc_model)
+        if options.strategy == "forkjoin":
+            return ForkJoinStrategy(
+                options.threads, calib=options.calib, gc=options.gc_model
+            )
+        if options.strategy == "chaos":
+            return ChaosStrategy(
+                seed=options.chaos_seed or 0, fault_plan=options.fault_plan
+            )
+        if options.strategy == "threads":
+            return ThreadStrategy(options.threads)
+        raise EngineError(
+            f"unknown strategy {options.strategy!r}; valid strategies: "
+            "sequential, forkjoin, threads, chaos"
+        )
+
+    @staticmethod
+    def _make_registry(
+        options: ExecOptions, strategy: Strategy, program: Program | None = None
+    ) -> StoreRegistry:
+        if strategy.concurrent_stores:
+            default = lambda schema: ConcurrentSkipListStore(schema)  # noqa: E731
+        else:
+            default = lambda schema: TreeSetStore(schema)  # noqa: E731
+        registry = StoreRegistry(default)
+        for name, factory in options.store_overrides.items():
+            registry.override(name, factory)
+        plan = StepKernel._index_plan(options, program)
+        if plan:
+            from repro.gamma.indexed import IndexingRegistry
+
+            return IndexingRegistry(registry, plan)
+        return registry
+
+    @staticmethod
+    def _index_plan(options: ExecOptions, program: Program | None) -> dict:
+        """The effective index plan for this run: empty when indexing is
+        off, the static planner's output merged with explicit specs in
+        ``auto`` mode, the explicit specs alone in ``explicit`` mode.
+        -noGamma tables never get indexes (they are never stored), and
+        auto mode leaves tables with a hand-chosen ``store_overrides``
+        representation alone — an explicit §1.4 commitment beats the
+        planner (explicit ``indexes`` entries still apply)."""
+        if options.index_mode == "off":
+            return {}
+        plan: dict[str, tuple] = {}
+        if options.index_mode == "auto" and program is not None:
+            from repro.gamma.indexplan import plan_indexes
+
+            plan.update(
+                (name, specs)
+                for name, specs in plan_indexes(program).items()
+                if name not in options.store_overrides
+            )
+        for name, specs in options.indexes.items():
+            plan[name] = tuple(specs)
+        return {
+            name: specs
+            for name, specs in plan.items()
+            if specs and name not in options.no_gamma
+        }
+
+    def _guarded(self) -> ContextManager:
+        return self._lock if self._lock is not None else nullcontext()
+
+    def _tt(self, name: str) -> list[int]:
+        t = self._table_tallies.get(name)
+        if t is None:
+            t = self._table_tallies[name] = [0, 0, 0, 0, 0]
+        return t
+
+    # -- put routing -------------------------------------------------------------
+
+    def _handle_puts(self, ctx_puts: list[JTuple], result: TaskResult, rule_name: str) -> None:
+        """Route a rule's puts.  -noDelta tables cascade immediately
+        inside the producing task (§5.1); everything else is buffered on
+        the task result and enters Delta after the batch joins — which
+        keeps Delta mutation out of the parallel phase and effect order
+        deterministic."""
+        tallies = self._put_tallies
+        for tup in ctx_puts:
+            name = tup.schema.name
+            key = (rule_name, name)
+            tallies[key] = tallies.get(key, 0) + 1
+            if name in self._no_delta:
+                self._tt(name)[0] += 1
+                self._immediate(tup, result)
+            else:
+                result.puts.append(tup)
+
+    def _immediate(self, tup: JTuple, result: TaskResult) -> None:
+        """-noDelta path: straight into Gamma and fire now, inside the
+        producing task."""
+        name = tup.schema.name
+        if name not in self._no_gamma:
+            store = self.db.store(name)
+            if self._lock is None:
+                outcome = self.db.insert(tup)
+            else:
+                with self._lock:
+                    outcome = self.db.insert(tup)
+            result.meter.charge_store_op("insert", store)
+            if outcome is InsertOutcome.DUPLICATE:
+                self._tt(name)[1] += 1
+                return
+            self._tt(name)[2] += 1
+            if self._retention:
+                self._note_retained(name, tup)
+        else:
+            self._tt(name)[3] += 1
+        self._fire_rules(tup, result)
+
+    def _note_retained(self, name: str, tup: JTuple) -> None:
+        """Advance a retained table's incrementally-tracked max on a NEW
+        Gamma insert (satellite of §5 step 4: pruning reads this instead
+        of rediscovering the max with a full scan every step)."""
+        ent = self._retention.get(name)
+        if ent is not None:
+            v = tup.values[ent[0]]
+            if ent[2] is None or v > ent[2]:
+                ent[2] = v
+
+    def _enqueue_delta_batch(
+        self, pending: list[tuple[JTuple, CostMeter]]
+    ) -> list[bool]:
+        """Post-batch (sequential) insertion of a step's deferred puts
+        into the Delta tree, each charged to its producing task's meter.
+        One :meth:`~repro.core.delta.DeltaTree.insert_batch` call covers
+        the whole step; per-put semantics (Gamma-duplicate precheck,
+        then Delta dedup) are exactly the former one-at-a-time loop —
+        phase C never mutates Gamma, so prechecking all puts up front
+        observes the same store state as interleaving would."""
+        flags = [False] * len(pending)
+        items: list[tuple[JTuple, object]] = []
+        idx: list[int] = []
+        ng = self._no_gamma
+        db = self.db
+        tt = self._tt
+        for i, (tup, _meter) in enumerate(pending):
+            name = tup.schema.name
+            if name not in ng and tup in db:
+                tt(name)[1] += 1
+                continue
+            items.append((tup, db.timestamp(tup)))
+            idx.append(i)
+        if not items:
+            return flags
+        accepted = self.delta.insert_batch(items)
+        delta_serial = self._delta_serial
+        shared_cost = DEFAULT_WEIGHTS["delta_insert"] * delta_serial
+        for k, ok in enumerate(accepted):
+            i = idx[k]
+            tup, meter = pending[i]
+            name = tup.schema.name
+            if ok:
+                flags[i] = True
+                tt(name)[4] += 1
+                meter.charge("delta_insert")
+                if delta_serial > 0.0:
+                    meter.charge_shared("delta", shared_cost)
+            else:
+                tt(name)[1] += 1
+        return flags
+
+    # -- rule firing -------------------------------------------------------------
+
+    def _fire_rules(self, tup: JTuple, result: TaskResult) -> None:
+        for rule in self.program.rules_for(tup.schema.name):
+            self._fire_one(rule, tup, result)
+
+    def _fire_one(self, rule: Rule, tup: JTuple, result: TaskResult) -> None:
+        tallies = self._fire_tallies
+        key = (tup.schema.name, rule.name)
+        tallies[key] = tallies.get(key, 0) + 1
+        result.meter.charge("rule_fire")
+        ctx = RuleContext(
+            self.db,
+            self.program.decls,
+            result.meter,
+            rule,
+            tup,
+            self.db.timestamp(tup),
+            self._check_mode,
+            self.stats,
+            self._lock,
+            self.strategy.yield_point,
+            result.events if self.tracer is not None else None,
+            self._plans,
+        )
+        rule.body(ctx, tup)
+        ctx.finish()
+        result.fired_rules.append(rule.name)
+        if ctx.output:
+            result.output.extend(ctx.output)
+            self.stats.rule(rule.name).output_lines += len(ctx.output)
+        self._handle_puts(ctx.puts, result, rule.name)
+
+    # -- step machinery -------------------------------------------------------------
+
+    def _new_result(self, trigger: JTuple) -> TaskResult:
+        """A task result with a private meter, or — metering off — the
+        shared no-op meter (every charge on it is a no-op, so sharing
+        the singleton is safe)."""
+        if self._metered:
+            return TaskResult(trigger=trigger)
+        return TaskResult(trigger=trigger, meter=NULL_METER)
+
+    def _make_task(self, tup: JTuple, outcome: InsertOutcome | None) -> EngineTask:
+        """Task closure for one popped tuple.  ``outcome`` is the Gamma
+        insertion result decided in the sequential prepare phase; the
+        task charges for it and fires the triggered rules."""
+
+        def run() -> TaskResult:
+            result = self._new_result(tup)
+            result.meter.charge("delta_pop")
+            name = tup.schema.name
+            if outcome is None:  # -noGamma table
+                self._tt(name)[3] += 1
+            else:
+                result.meter.charge_store_op("insert", self.db.store(name))
+                if outcome is InsertOutcome.DUPLICATE:
+                    result.duplicate = True
+                    self._tt(name)[1] += 1
+                    return result
+                self._tt(name)[2] += 1
+            self._fire_rules(tup, result)
+            return result
+
+        return EngineTask(trigger=tup, run=run)
+
+    def _make_rule_task(
+        self,
+        tup: JTuple,
+        rule: Rule,
+        outcome: InsertOutcome | None,
+        charge_insert: bool,
+    ) -> EngineTask:
+        """§5.2's first extension: "we could create one task per rule
+        that is triggered".  The first rule task of a tuple also pays
+        its Delta-pop and Gamma-insert costs."""
+
+        def run() -> TaskResult:
+            result = self._new_result(tup)
+            name = tup.schema.name
+            if charge_insert:
+                result.meter.charge("delta_pop")
+                if outcome is None:
+                    self._tt(name)[3] += 1
+                else:
+                    result.meter.charge_store_op("insert", self.db.store(name))
+                    self._tt(name)[2] += 1
+            self._fire_one(rule, tup, result)
+            return result
+
+        return EngineTask(trigger=tup, run=run)
+
+    def _build_tasks(
+        self, prepared: list[tuple[JTuple, InsertOutcome | None]]
+    ) -> list[EngineTask]:
+        if not self._per_rule_tasks:
+            return [self._make_task(tup, outcome) for tup, outcome in prepared]
+        tasks: list[EngineTask] = []
+        for tup, outcome in prepared:
+            if outcome is InsertOutcome.DUPLICATE:
+                tasks.append(self._make_task(tup, outcome))  # dup bookkeeping
+                continue
+            rules = self.program.rules_for(tup.schema.name)
+            if not rules:
+                tasks.append(self._make_task(tup, outcome))
+                continue
+            for i, rule in enumerate(rules):
+                tasks.append(self._make_rule_task(tup, rule, outcome, charge_insert=i == 0))
+        return tasks
+
+    def _apply_retention(self) -> None:
+        """Prune Gamma generations per the lifetime hints (§5 step 4).
+        The per-table max is tracked incrementally at insert time
+        (:meth:`_note_retained`), so a table is scanned exactly once —
+        to collect the doomed generation — and only on the steps where
+        its max actually advanced."""
+        for name, ent in self._retention.items():
+            pos, keep, max_seen, pruned_max = ent
+            if max_seen is None or max_seen == pruned_max:
+                continue
+            store = self.db.store(name)
+            cutoff = max_seen - keep + 1
+            doomed = [t for t in store.scan() if t.values[pos] < cutoff]
+            for t in doomed:
+                store.discard(t)
+            if doomed:
+                self.stats.table(name).gamma_discarded += len(doomed)
+            ent[3] = max_seen
+
+    def _class_silent(self, batch: list[JTuple]) -> bool:
+        """True iff no tuple of this class triggers any rule — its whole
+        effect is the phase-A Gamma insert."""
+        silent = self._silent_tables
+        for tup in batch:
+            name = tup.schema.name
+            s = silent.get(name)
+            if s is None:
+                s = silent[name] = not self.program.rules_for(name)
+            if not s:
+                return False
+        return True
+
+    def _pop_super_batch(self) -> list[JTuple]:
+        """Step coalescing (``coalesce_steps``): pop consecutive
+        trigger-less minimal classes together with the first triggering
+        class as one super-step.  Sound because a silent class fires
+        nothing — its tuples only need to be in Gamma before any *later*
+        class fires, and phase A inserts the merged batch in pop order
+        before phase B runs."""
+        batch = self.delta.pop_min_class()
+        if not self.delta or not self._class_silent(batch):
+            return batch
+        out = list(batch)
+        while self.delta:
+            cls = self.delta.pop_min_class()
+            out.extend(cls)
+            if not self._class_silent(cls):
+                break
+        return out
+
+    def _flush_task_events(self, results: list[TaskResult]) -> None:
+        """Emit each task's buffered micro events plus a per-task
+        summary, in submission order — the only order that is stable
+        across strategies."""
+        assert self.tracer is not None
+        for r in results:
+            for kind, data in r.events:
+                self.tracer.emit(kind, data)
+            self.tracer.emit(
+                "task",
+                {
+                    "trigger": repr(r.trigger),
+                    "duplicate": r.duplicate,
+                    "fired": list(r.fired_rules),
+                    "n_puts": len(r.puts),
+                    "n_output": len(r.output),
+                    "cost": r.meter.total_cost,
+                },
+            )
+
+    def _run_step(self, batch: list[JTuple]) -> None:
+        self.stats.on_step(len(batch))
+        if self.tracer is not None:
+            self.tracer.step = self.steps
+            self.tracer.emit(
+                "step",
+                {
+                    "step": self.steps,
+                    "width": len(batch),
+                    "frontier": [repr(t) for t in batch],
+                },
+            )
+        # Phase A (sequential): move the whole class into Gamma, so the
+        # rules fired in phase B see every tuple of the class ("positive
+        # queries with timestamps <= T", §4) and Gamma stays read-only
+        # while the batch fires.  One batched insert resolves each store
+        # once per same-table run instead of once per tuple.
+        prepared = list(zip(batch, self.db.insert_batch(batch, self._no_gamma)))
+        if self._retention:
+            for tup, outcome in prepared:
+                if outcome is InsertOutcome.NEW:
+                    self._note_retained(tup.schema.name, tup)
+        # Phase B: fire (possibly genuinely threaded).
+        tasks = self._build_tasks(prepared)
+        results = self.strategy.run_batch(tasks)
+        if self.tracer is not None:
+            self._flush_task_events(results)
+        # Phase C (sequential, deterministic order): apply buffered puts
+        # as one Delta batch.
+        pending = [(put, r.meter) for r in results for put in r.puts]
+        if pending:
+            flags = self._enqueue_delta_batch(pending)
+            if self.tracer is not None:
+                for (put, _meter), accepted in zip(pending, flags):
+                    self.tracer.emit(
+                        "effect", {"tuple": repr(put), "accepted": accepted}
+                    )
+        if self._retention:
+            self._apply_retention()
+        if self._metered:
+            allocations = 0.0
+            for r in results:
+                self.output.extend(r.output)
+                allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
+                self.meter.merge(r.meter)
+            retained = float(self.db.heap_tuples())
+            self.strategy.account_step(results, allocations=allocations, retained=retained)
+        else:
+            for r in results:
+                self.output.extend(r.output)
+
+    # -- incremental surface: feed / drain / flush -----------------------------
+
+    def feed(self, tuples: Iterable[JTuple], source: str = "<feed>") -> FeedReport:
+        """Admit external tuples into the engine.
+
+        Admission is checked **before** any mutation: a tuple whose
+        timestamp is strictly below the high-water mark is rejected
+        (``admission="strict"`` raises :class:`CausalityError`; ``"warn"``
+        quarantines it with an :class:`AdmissionWarning`), so a strict
+        rejection leaves the kernel untouched.  Admitted tuples run as
+        one synthetic sequential task — exactly like the old engine's
+        initial puts — so -noDelta cascades work during feeding too.
+        """
+        schemas = self.program.schemas()
+        admitted: list[JTuple] = []
+        quarantined: list[JTuple] = []
+        hwm = self.high_water
+        mode = self.options.admission
+        for tup in tuples:
+            name = tup.schema.name
+            if schemas.get(name) is not tup.schema:
+                raise UnknownTableError(
+                    f"fed tuple {tup!r} belongs to no table of program "
+                    f"{self.program.name!r}"
+                )
+            if hwm is not None:
+                ts = self.db.timestamp(tup)
+                if compare_timestamps(ts, hwm) < 0:
+                    if mode == "strict":
+                        raise CausalityError(
+                            f"cannot feed {tup!r}: its timestamp is below the "
+                            "completed high-water mark, so admitting it would "
+                            "invalidate negative/aggregate answers already "
+                            "computed below the mark (§4).  Feed tuples at or "
+                            "above the mark, or use "
+                            "ExecOptions(admission='warn') to quarantine late "
+                            "arrivals"
+                        )
+                    warnings.warn(
+                        f"quarantined late tuple {tup!r}: timestamp below the "
+                        "completed high-water mark",
+                        AdmissionWarning,
+                        stacklevel=3,
+                    )
+                    quarantined.append(tup)
+                    continue
+            admitted.append(tup)
+        self.quarantined.extend(quarantined)
+        result = self._new_result(None)  # type: ignore[arg-type]
+        for tup in admitted:
+            result.meter.charge("tuple_put")
+            self.stats.on_put(source, tup.schema.name)
+            if tup.schema.name in self._no_delta:
+                self.stats.table(tup.schema.name).delta_bypass += 1
+                self._immediate(tup, result)
+            else:
+                result.puts.append(tup)
+        if result.puts:
+            pending = [(put, result.meter) for put in result.puts]
+            flags = self._enqueue_delta_batch(pending)
+            if self.tracer is not None:
+                for (put, _meter), accepted in zip(pending, flags):
+                    self.tracer.emit("admit", {"tuple": repr(put), "accepted": accepted})
+        if self.tracer is not None and result.events:
+            for kind, data in result.events:
+                self.tracer.emit(kind, data)
+        self.output.extend(result.output)
+        if self._metered:
+            self.meter.merge(result.meter)
+            self.strategy.account_serial(result.meter.total_cost)
+        if self._retention:
+            # -noDelta cascades can run entirely inside a feed (zero
+            # engine steps); lifetime hints still apply
+            self._apply_retention()
+        return FeedReport(source=source, admitted=len(admitted), quarantined=quarantined)
+
+    def drain(self) -> int:
+        """Run all-minimums steps until Delta is empty; returns the
+        number of steps taken.  Advances the high-water mark to the
+        timestamp of each popped class."""
+        before = self.steps
+        max_steps = self.options.max_steps
+        while self.delta:
+            if max_steps is not None and self.steps >= max_steps:
+                raise EngineError(
+                    f"program exceeded max_steps={max_steps}; "
+                    f"{len(self.delta)} tuples still pending"
+                )
+            self.steps += 1
+            batch = self._pop_super_batch() if self._coalesce else self.delta.pop_min_class()
+            self.high_water = self.db.timestamp(batch[-1])
+            self._run_step(batch)
+        return self.steps - before
+
+    def flush_stats(self) -> None:
+        """Fold all deferred tallies into the collector and reset them,
+        so the collector is settle-consistent (and snapshot-complete)."""
+        self.stats.absorb_tallies(self._fire_tallies, self._put_tallies)
+        self.stats.absorb_table_tallies(self._table_tallies)
+        self._fire_tallies.clear()
+        self._put_tallies.clear()
+        self._table_tallies.clear()
+        if self._plans is not None:
+            self.stats.absorb_planned(self._plans.plans())
+            for plan in self._plans.plans():
+                plan.rule_hits.clear()
+
+    # -- trace bookends ---------------------------------------------------------
+
+    def emit_run_start(self) -> None:
+        if self.tracer is None:
+            return
+        fp = self.options.fault_plan
+        self.tracer.emit(
+            "run-start",
+            {
+                "program": self.program.name,
+                "strategy": self.strategy.name,
+                "threads": self.strategy.n_threads,
+                "chaos_seed": self.options.chaos_seed,
+                "fault_plan": fp.to_dict() if fp is not None else None,
+                "task_granularity": self.options.task_granularity,
+            },
+            meta=True,
+        )
+
+    def emit_run_end(self) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.step = self.steps
+        self.tracer.emit(
+            "run-end",
+            {
+                "steps": self.steps,
+                "output": output_hash(self.output),
+                "n_output": len(self.output),
+                "table_sizes": dict(sorted(self.db.table_sizes().items())),
+            },
+        )
+
+    # -- results ----------------------------------------------------------------
+
+    def build_result(self, output: list[str], steps: int, wall: float) -> RunResult:
+        return RunResult(
+            program=self.program.name,
+            strategy=self.strategy.name,
+            threads=self.strategy.n_threads,
+            output=output,
+            wall_time=wall,
+            report=self.strategy.report(),
+            stats=self.stats,
+            table_sizes=self.db.table_sizes(),
+            meter=self.meter,
+            steps=steps,
+            options=self.options,
+            database=self.db,
+            trace=self.tracer,
+        )

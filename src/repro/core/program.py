@@ -130,6 +130,13 @@ class ExecOptions:
     #: trace's step events) differ from uncoalesced runs, so this is
     #: off by default and disabled under retention hints.
     coalesce_steps: bool = False
+    #: session feed admission, mirroring ``causality_check``: a tuple
+    #: fed below the completed high-water mark is rejected with a
+    #: :class:`~repro.core.errors.CausalityError` (``"strict"``) or
+    #: quarantined with an :class:`~repro.core.errors.AdmissionWarning`
+    #: (``"warn"``).  Irrelevant to one-shot ``Engine.run`` (everything
+    #: is fed before the first step).
+    admission: str = "strict"
 
     def with_(self, **kw: Any) -> "ExecOptions":
         """Functional update, e.g. ``opts.with_(threads=8)``."""
@@ -151,6 +158,8 @@ class ExecOptions:
             raise EngineError(f"unknown index_mode {self.index_mode!r}")
         if self.metering not in ("on", "off"):
             raise EngineError(f"unknown metering mode {self.metering!r}")
+        if self.admission not in ("strict", "warn"):
+            raise EngineError(f"unknown admission mode {self.admission!r}")
         if self.index_mode == "off" and self.indexes:
             raise EngineError("indexes given but index_mode is 'off'")
         if self.strategy != "chaos" and (
@@ -314,6 +323,19 @@ class Program:
         if kw:
             opts = opts.with_(**kw)
         return Engine(self, opts).run()
+
+    def session(self, options: ExecOptions | None = None, **kw: Any):
+        """Open-ended execution: an
+        :class:`repro.core.session.EngineSession` over this program,
+        *not yet opened* — drive it with ``open``/``feed``/``settle``/
+        ``close`` (or a ``with`` block).  Unlike :meth:`run`, no initial
+        puts are fed automatically; the caller owns the input stream."""
+        from repro.core.session import EngineSession  # local: session imports us
+
+        opts = options if options is not None else ExecOptions()
+        if kw:
+            opts = opts.with_(**kw)
+        return EngineSession(self, opts)
 
     def check_causality(self, strict: bool = False):
         """Run the static causality prover over every rule that carries

@@ -1,0 +1,208 @@
+"""Versioned on-disk checkpoints of an engine session.
+
+A snapshot is one JSON document carrying everything an
+:class:`~repro.core.session.EngineSession` needs to resume mid-stream:
+the Gamma tables (row-for-row, in scan order), the pending Delta set
+(in causal walk order, so re-insertion reproduces the deterministic pop
+order), the high-water mark, the run output so far, the statistics
+collector, the aggregate cost meter, the strategy's replayable state
+(chaos RNG, machine accounts), and the trace events when tracing is on.
+
+What is **not** serialised — by design:
+
+* rule bodies and store factories: they are code.  ``restore`` takes
+  the same :class:`~repro.core.program.Program` (and options) the
+  snapshot was taken under, and refuses to proceed when the program
+  name or any table schema disagrees with the snapshot;
+* stores that opt out (``supports_checkpoint() -> False``, e.g. the
+  ring-semantics two-iteration array store): their contents are
+  arrival-order dependent in ways a row dump cannot reproduce, so
+  ``snapshot`` raises :class:`~repro.core.errors.SchemaError` rather
+  than silently writing an unsound checkpoint.
+
+Version policy: ``version`` is bumped on any change to the document
+layout; ``restore`` accepts exactly the version it was built with and
+raises :class:`~repro.core.errors.EngineError` otherwise — snapshots
+are resume points, not an archival format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.core.errors import EngineError
+from repro.core.ordering import Timestamp
+from repro.core.tuples import JTuple
+from repro.trace.events import TraceEvent
+
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "build_snapshot", "restore_session"]
+
+SNAPSHOT_FORMAT = "jstar-session-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe form of a value: numpy scalars become Python scalars,
+    tuples become lists (restore re-tuples where structure demands it)."""
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+def _encode_timestamp(ts: Timestamp | None) -> dict | None:
+    if ts is None:
+        return None
+    return {"key": _plain(ts.key), "display": _plain(ts.display)}
+
+
+def _decode_timestamp(d: dict | None) -> Timestamp | None:
+    if d is None:
+        return None
+    key = tuple(tuple(comp) for comp in d["key"])
+    return Timestamp(key=key, display=tuple(d["display"]))
+
+
+def build_snapshot(session) -> dict:
+    """The snapshot document for one open session (pure read)."""
+    k = session.kernel
+    schemas = k.program.schemas()
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "program": k.program.name,
+        "schemas": {name: list(s.field_names) for name, s in schemas.items()},
+        "strategy": k.strategy.name,
+        "threads": k.strategy.n_threads,
+        "steps": k.steps,
+        "high_water": _encode_timestamp(k.high_water),
+        "output": list(k.output),
+        "tables": _plain(k.db.dump_tables()),
+        "delta": [[t.schema.name, _plain(list(t.values))] for t in k.delta.dump()],
+        "quarantined": [
+            [t.schema.name, _plain(list(t.values))] for t in k.quarantined
+        ],
+        "retention": {name: _plain(ent[2:4]) for name, ent in k._retention.items()},
+        "fire_tallies": [[a, b, n] for (a, b), n in k._fire_tallies.items()],
+        "put_tallies": [[a, b, n] for (a, b), n in k._put_tallies.items()],
+        "table_tallies": {n: list(t) for n, t in k._table_tallies.items()},
+        "stats": k.stats.to_state(),
+        "meter": k.meter.to_state(),
+        "strategy_state": k.strategy.state_dict(),
+        "trace": (
+            None
+            if k.tracer is None
+            else {"step": k.tracer.step, "events": [e.to_json() for e in k.tracer.events]}
+        ),
+        "session": {
+            "settles": session._settles,
+            "out_cursor": session._out_cursor,
+            "step_cursor": session._step_cursor,
+            "fed_since_settle": session._fed_since_settle,
+            "wall": session._wall,
+        },
+    }
+
+
+def _load_payload(source) -> dict:
+    if isinstance(source, dict):
+        return source
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return json.load(source)
+
+
+def restore_session(cls, source, program, options=None, strategy=None):
+    """Rebuild a live session from a snapshot (see
+    :meth:`EngineSession.restore`)."""
+    payload = _load_payload(source)
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise EngineError(
+            f"not a session snapshot (format tag {payload.get('format')!r}, "
+            f"expected {SNAPSHOT_FORMAT!r})"
+        )
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise EngineError(
+            f"snapshot version {payload.get('version')!r} is not the "
+            f"supported version {SNAPSHOT_VERSION}; snapshots are resume "
+            "points, not an archival format — re-run the producer with a "
+            "matching build"
+        )
+    if payload.get("program") != program.name:
+        raise EngineError(
+            f"snapshot was taken from program {payload.get('program')!r}, "
+            f"not {program.name!r}"
+        )
+    schemas = program.schemas()
+    snap_schemas = payload.get("schemas", {})
+    live_schemas = {name: list(s.field_names) for name, s in schemas.items()}
+    if snap_schemas != live_schemas:
+        raise EngineError(
+            "snapshot table schemas disagree with the supplied program; "
+            "restore needs the exact program the snapshot was taken from"
+        )
+
+    session = cls(program, options, strategy)
+    k = session.kernel
+    if k.strategy.name != payload.get("strategy") or k.strategy.n_threads != payload.get(
+        "threads"
+    ):
+        raise EngineError(
+            f"snapshot was taken under strategy "
+            f"{payload.get('strategy')!r} with {payload.get('threads')} "
+            f"thread(s); restore built {k.strategy.name!r} with "
+            f"{k.strategy.n_threads} — pass matching options"
+        )
+
+    k.db.load_tables(payload.get("tables", {}))
+    for name, values in payload.get("delta", []):
+        tup = JTuple(schemas[name], tuple(values))
+        k.delta.insert(tup, k.db.timestamp(tup))
+    k.quarantined = [
+        JTuple(schemas[name], tuple(values))
+        for name, values in payload.get("quarantined", [])
+    ]
+    for name, tail in payload.get("retention", {}).items():
+        ent = k._retention.get(name)
+        if ent is not None:
+            ent[2], ent[3] = tail[0], tail[1]
+    k._fire_tallies = {(a, b): int(n) for a, b, n in payload.get("fire_tallies", [])}
+    k._put_tallies = {(a, b): int(n) for a, b, n in payload.get("put_tallies", [])}
+    k._table_tallies = {
+        n: [int(x) for x in t] for n, t in payload.get("table_tallies", {}).items()
+    }
+    k.stats.load_state(payload.get("stats", {}))
+    k.meter.load_state(payload.get("meter", {}))
+    k.strategy.load_state(payload.get("strategy_state", {}))
+    k.steps = int(payload.get("steps", 0))
+    k.high_water = _decode_timestamp(payload.get("high_water"))
+    k.output[:] = [str(line) for line in payload.get("output", [])]
+    trace = payload.get("trace")
+    if k.tracer is not None:
+        if trace is not None:
+            k.tracer.events = [TraceEvent.from_json(e) for e in trace["events"]]
+            k.tracer.step = int(trace["step"])
+        else:
+            k.stats.note(
+                "restored with tracing on from a snapshot taken without a "
+                "trace; the restored trace starts at the snapshot point"
+            )
+            k.emit_run_start()
+            k.tracer.step = int(payload.get("steps", 0))
+
+    sess_state = payload.get("session", {})
+    session._settles = int(sess_state.get("settles", 0))
+    session._out_cursor = int(sess_state.get("out_cursor", 0))
+    session._step_cursor = int(sess_state.get("step_cursor", 0))
+    session._fed_since_settle = int(sess_state.get("fed_since_settle", 0))
+    session._wall = float(sess_state.get("wall", 0.0))
+    # the run-start event (when traced) is already in the restored
+    # trace; mark the session live without re-emitting it
+    session._opened = True
+    return session

@@ -108,4 +108,24 @@ class Strategy(ABC):
         return None
 
     def close(self) -> None:
-        """Release pools/threads."""
+        """Release pools/threads.  Must be idempotent: sessions close
+        strategies through try/finally paths that can run twice."""
+
+    # -- context-manager protocol -------------------------------------------
+
+    def __enter__(self) -> "Strategy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- checkpoint hooks ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable resumable state (RNG cursors, virtual-time
+        accounts).  Strategies without such state return ``{}``."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore what :meth:`state_dict` captured.  Default no-op."""

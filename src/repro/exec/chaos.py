@@ -234,6 +234,27 @@ class ChaosStrategy(Strategy):
         self._tracer = tracer
         self._stats = stats
 
+    def state_dict(self) -> dict:
+        """Checkpoint the schedule RNG mid-stream so a restored session
+        draws the *continuation* of this run's decision sequence — the
+        same decisions an uninterrupted run would have drawn."""
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "batch_no": self._batch_no,
+            "fault_counts": dict(self.fault_counts),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if not state:
+            return
+        version, internal, gauss = state["rng"]
+        self._rng.setstate((version, tuple(int(x) for x in internal), gauss))
+        self._batch_no = int(state["batch_no"])
+        self.fault_counts.update(
+            {str(k): int(v) for k, v in state.get("fault_counts", {}).items()}
+        )
+
     def _count_fault(self, kind: str, task_index: int) -> None:
         self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
         if self._stats is not None:

@@ -87,6 +87,17 @@ class ForkJoinStrategy(Strategy):
     def report(self) -> MachineReport:
         return self._machine.report
 
+    def state_dict(self) -> dict:
+        from repro.exec.sequential import _report_state
+
+        return {"machine": _report_state(self._machine.report)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.exec.sequential import _load_report_state
+
+        if state:
+            _load_report_state(self._machine.report, state.get("machine", {}))
+
     @property
     def machine(self) -> Machine:
         return self._machine

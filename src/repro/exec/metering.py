@@ -173,6 +173,27 @@ class CostMeter:
         self.splittable.clear()
         self.total_cost = 0.0
 
+    # -- checkpointing --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serialisable form, for session snapshots."""
+        return {
+            "counters": dict(self.counters),
+            "costs": dict(self.costs),
+            "shared": dict(self.shared),
+            "total_cost": self.total_cost,
+            "splittable": [[c, n] for c, n in self.splittable],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.counters = {str(k): int(v) for k, v in state.get("counters", {}).items()}
+        self.costs = {str(k): float(v) for k, v in state.get("costs", {}).items()}
+        self.shared = {str(k): float(v) for k, v in state.get("shared", {}).items()}
+        self.total_cost = float(state.get("total_cost", 0.0))
+        self.splittable = [
+            (float(c), int(n)) for c, n in state.get("splittable", [])
+        ]
+
     # -- reporting ----------------------------------------------------------
 
     def cost_by_prefix(self, prefix: str) -> float:

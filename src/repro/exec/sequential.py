@@ -49,3 +49,34 @@ class SequentialStrategy(Strategy):
 
     def report(self) -> MachineReport:
         return self._machine.report
+
+    def state_dict(self) -> dict:
+        return {"machine": _report_state(self._machine.report)}
+
+    def load_state(self, state: dict) -> None:
+        if state:
+            _load_report_state(self._machine.report, state.get("machine", {}))
+
+
+def _report_state(report: MachineReport) -> dict:
+    """The resumable fields of a virtual-time account (``n_cores`` is
+    structural and rebuilt from the options, not restored)."""
+    return {
+        "elapsed": report.elapsed,
+        "busy": report.busy,
+        "gc_time": report.gc_time,
+        "contention": report.contention,
+        "overhead": report.overhead,
+        "steps": report.steps,
+        "tasks": report.tasks,
+        "max_batch": report.max_batch,
+    }
+
+
+def _load_report_state(report: MachineReport, state: dict) -> None:
+    for name in (
+        "elapsed", "busy", "gc_time", "contention", "overhead"
+    ):
+        setattr(report, name, float(state.get(name, 0.0)))
+    for name in ("steps", "tasks", "max_batch"):
+        setattr(report, name, int(state.get(name, 0)))

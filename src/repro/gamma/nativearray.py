@@ -236,6 +236,12 @@ class TwoIterationArrayStore(TableStore):
         self._counts[it % 2] = max(self._counts[it % 2], idx + 1)
         return True  # ring semantics: overwrite, no dedup bookkeeping
 
+    def supports_checkpoint(self) -> bool:
+        # ring semantics break the scan→insert round-trip contract
+        # (inserts always overwrite, plane recycling depends on arrival
+        # order); sessions over this store refuse to snapshot
+        return False
+
     def __contains__(self, tup: JTuple) -> bool:
         it = tup.values[self._iter_pos]
         if self._plane_iter[it % 2] != it:

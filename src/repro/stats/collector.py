@@ -72,6 +72,13 @@ class StatsCollector:
     frontier_widths: list[int] = field(default_factory=list)
     #: injected-fault counters (chaos strategy): kind -> count
     faults: dict[str, int] = field(default_factory=dict)
+    #: engine configuration notes: options the engine adjusted (e.g.
+    #: metering forced on by a virtual-time strategy) — surfaced in
+    #: ``run_report`` so knob overrides are never silent
+    notes: list[str] = field(default_factory=list)
+    #: per-settle deltas of an incremental session: one record per
+    #: ``settle()`` call with the steps/fires/puts/output it added
+    settles: list[dict] = field(default_factory=list)
 
     def table(self, name: str) -> TableStats:
         s = self.tables.get(name)
@@ -94,6 +101,15 @@ class StatsCollector:
 
     def on_fault(self, kind: str) -> None:
         self.faults[kind] = self.faults.get(kind, 0) + 1
+
+    def note(self, message: str) -> None:
+        """Record a configuration note (knob override, restore caveat)."""
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def on_settle(self, record: dict) -> None:
+        """Record one settle's frontier/fire deltas (incremental runs)."""
+        self.settles.append(record)
 
     def on_fire(self, table: str, rule: str) -> None:
         self.table(table).triggers += 1
@@ -210,3 +226,53 @@ class StatsCollector:
             "tables": {n: vars(s) for n, s in self.tables.items()},
             "rules": {n: vars(s) for n, s in self.rules.items()},
         }
+
+    # -- checkpointing --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serialisable form for session snapshots (tuple-keyed
+        edge dicts are encoded as lists)."""
+        return {
+            "tables": {n: vars(s).copy() for n, s in self.tables.items()},
+            "rules": {n: vars(s).copy() for n, s in self.rules.items()},
+            "trigger_edges": [[a, b, n] for (a, b), n in self.trigger_edges.items()],
+            "put_edges": [[a, b, n] for (a, b), n in self.put_edges.items()],
+            "query_edges": [[a, b, n] for (a, b), n in self.query_edges.items()],
+            "query_shapes": [
+                [t, list(eq), list(rng), n]
+                for (t, eq, rng), n in self.query_shapes.items()
+            ],
+            "steps": self.steps,
+            "max_batch": self.max_batch,
+            "frontier_widths": list(self.frontier_widths),
+            "faults": dict(self.faults),
+            "notes": list(self.notes),
+            "settles": [dict(s) for s in self.settles],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore in place (the engine's strategies hold references to
+        this collector, so the instance must not be replaced)."""
+        self.tables = {
+            n: TableStats(**{k: int(v) for k, v in d.items()})
+            for n, d in state.get("tables", {}).items()
+        }
+        self.rules = {
+            n: RuleStats(**{k: int(v) for k, v in d.items()})
+            for n, d in state.get("rules", {}).items()
+        }
+        self.trigger_edges = {
+            (a, b): int(n) for a, b, n in state.get("trigger_edges", [])
+        }
+        self.put_edges = {(a, b): int(n) for a, b, n in state.get("put_edges", [])}
+        self.query_edges = {(a, b): int(n) for a, b, n in state.get("query_edges", [])}
+        self.query_shapes = {
+            (t, tuple(eq), tuple(rng)): int(n)
+            for t, eq, rng, n in state.get("query_shapes", [])
+        }
+        self.steps = int(state.get("steps", 0))
+        self.max_batch = int(state.get("max_batch", 0))
+        self.frontier_widths = [int(w) for w in state.get("frontier_widths", [])]
+        self.faults = {str(k): int(v) for k, v in state.get("faults", {}).items()}
+        self.notes = [str(n) for n in state.get("notes", [])]
+        self.settles = [dict(s) for s in state.get("settles", [])]

@@ -16,7 +16,13 @@ from repro.stats.collector import StatsCollector
 if TYPE_CHECKING:  # pragma: no cover — avoids a circular import with the engine
     from repro.core.engine import RunResult
 
-__all__ = ["format_table_stats", "format_rule_stats", "format_machine", "run_report"]
+__all__ = [
+    "format_table_stats",
+    "format_rule_stats",
+    "format_machine",
+    "format_settles",
+    "run_report",
+]
 
 
 def _table_text(headers: list[str], rows: list[list[str]]) -> str:
@@ -70,6 +76,24 @@ def format_machine(report: MachineReport) -> str:
     )
 
 
+def format_settles(settles: list[dict]) -> str:
+    """Per-settle frontier/fire deltas of an incremental session run."""
+    headers = ["settle", "fed", "steps", "fires", "puts", "output", "max width"]
+    rows = [
+        [
+            str(s.get("settle", i + 1)),
+            str(s.get("fed", 0)),
+            str(s.get("steps", 0)),
+            str(s.get("fires", 0)),
+            str(s.get("puts", 0)),
+            str(s.get("output_lines", 0)),
+            str(s.get("max_width", 0)),
+        ]
+        for i, s in enumerate(settles)
+    ]
+    return _table_text(headers, rows)
+
+
 def run_report(result: "RunResult") -> str:
     """Full post-run report (the paper's per-run log)."""
     parts = [
@@ -77,12 +101,18 @@ def run_report(result: "RunResult") -> str:
         f"(threads={result.threads}): {result.steps} steps, "
         f"wall {result.wall_time * 1e3:.1f} ms",
     ]
+    if result.stats.notes:
+        parts.append(
+            "notes:\n" + "\n".join(f"  - {n}" for n in result.stats.notes)
+        )
     fp = result.stats.frontier_profile()
     if fp["steps"]:
         parts.append(
             f"frontier: mean width {fp['mean']:.2f}, max {fp['max']}, "
             f"{fp['singletons']}/{fp['steps']} singleton steps"
         )
+    if len(result.stats.settles) > 1:
+        parts.append(format_settles(result.stats.settles))
     if result.stats.faults:
         counts = ", ".join(
             f"{k}={n}" for k, n in sorted(result.stats.faults.items())

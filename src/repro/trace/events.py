@@ -20,6 +20,11 @@ Event kinds
 ``query``      (semantic)  one Gamma query: table, kind, result count
 ``put``        (semantic)  one ``ctx.put``: rule, table, tuple
 ``effect``     (semantic)  one deferred put applied to Delta (phase C)
+``admit``      (semantic)  one externally fed tuple entering Delta
+                           (initial puts and session ``feed`` calls);
+                           carried at the feed's current step, so
+                           chunked-feed comparisons treat admits as a
+                           step-independent multiset
 ``sched``      (meta)      one batch's chaos schedule: order/picks/faults
 ``fault``      (meta)      one injected fault that actually triggered
 ``run-end``    (semantic)  run summary: steps, output hash, table sizes

@@ -87,6 +87,16 @@ class TraceRecorder:
         return buf.getvalue()
 
     @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "TraceRecorder":
+        """Rebuild a recorder from stored events (session snapshot
+        restore); the step cursor resumes from the last event."""
+        rec = cls()
+        rec.events = list(events)
+        if rec.events:
+            rec.step = rec.events[-1].step
+        return rec
+
+    @classmethod
     def from_jsonl(cls, src: str | Path | IO[str]) -> "TraceRecorder":
         rec = cls()
         close, fh = _open_for_read(src)

@@ -1,0 +1,37 @@
+"""Crash-recovery producer: feed the first chunk of the sensor stream,
+settle, snapshot, then die hard (``os._exit``) without closing the
+session — simulating a process killed mid-run.  The parent test (and
+the CI crash-recovery smoke job) restores from the snapshot and checks
+the finished run against single-shot output.
+
+Usage: python _crash_child.py <snapshot-path> <n_chunks>
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.apps.sensors import build_sensor_stream
+from repro.core import causal_chunks
+
+N_TICKS = 12
+N_SENSORS = 4
+
+CRASH_EXIT_CODE = 3
+
+
+def main() -> None:
+    dest, n_chunks = sys.argv[1], int(sys.argv[2])
+    handles, events = build_sensor_stream(n_ticks=N_TICKS, n_sensors=N_SENSORS)
+    session = handles.program.session().open()
+    chunks = causal_chunks(session.database, events, n_chunks)
+    session.feed(chunks[0])
+    session.settle()
+    session.snapshot(dest)
+    sys.stdout.flush()
+    os._exit(CRASH_EXIT_CODE)  # no close(), no atexit: a real crash
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""Snapshot/restore mechanics: roundtrip fidelity, the refusal matrix
+(wrong version / program / schema / strategy), pending-Delta capture,
+quarantine persistence, and the checkpoint opt-out for ring stores."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineError,
+    EngineSession,
+    ExecOptions,
+    Program,
+    SchemaError,
+)
+from repro.core.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION, build_snapshot
+
+
+def chain_program(limit: int = 6):
+    p = Program("chain")
+    T = p.table("T", "int t, int v", orderby=("Int", "seq t"))
+
+    @p.foreach(T)
+    def extend(ctx, t):
+        ctx.println(f"t={t.t} v={t.v}")
+        if t.t < limit:
+            ctx.put(T.new(t.t + 1, t.v + t.t))
+
+    return p, T
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_run_state(self, tmp_path):
+        p, T = chain_program()
+        path = tmp_path / "snap.json"
+        s = p.session(trace=True).open()
+        s.feed([T.new(0, 1)])
+        s.settle()
+        s.snapshot(path)
+        expected = s.close()
+
+        r = EngineSession.restore(path, p, ExecOptions(trace=True))
+        assert r.steps == expected.steps
+        assert list(r.output) == list(expected.output)
+        assert r.high_water is not None
+        got = r.close()
+        assert got.output_text() == expected.output_text()
+        assert got.table_sizes == expected.table_sizes
+
+    def test_snapshot_captures_pending_delta(self, tmp_path):
+        """A feed without a settle leaves work in Delta; the snapshot
+        carries it and the restored session settles it."""
+        p, T = chain_program()
+        path = tmp_path / "snap.json"
+        s = p.session().open()
+        s.feed([T.new(0, 1)])  # no settle: 1 tuple pending
+        payload = s.snapshot(path)
+        assert payload["delta"] == [["T", [0, 1]]]
+        s.close()
+
+        p2, _ = chain_program()
+        r = EngineSession.restore(path, p2)
+        inc = r.settle()
+        assert inc.steps == 7
+        r.close()
+
+    def test_snapshot_returns_document_without_dest(self):
+        p, T = chain_program()
+        with p.session() as s:
+            s.feed([T.new(0, 1)])
+            s.settle()
+            doc = s.snapshot()
+        assert doc["format"] == SNAPSHOT_FORMAT
+        assert doc["version"] == SNAPSHOT_VERSION
+        assert doc["program"] == "chain"
+        json.dumps(doc)  # the document is JSON-serialisable as-is
+
+    def test_quarantine_survives_roundtrip(self, tmp_path):
+        p, T = chain_program(limit=0)
+        path = tmp_path / "snap.json"
+        s = p.session(admission="warn").open()
+        s.feed([T.new(5, 1)])
+        s.settle()
+        with pytest.warns(Warning):
+            s.feed([T.new(2, 99)])
+        s.snapshot(path)
+        s.close()
+
+        r = EngineSession.restore(path, p, ExecOptions(admission="warn"))
+        assert [t.values for t in r.quarantined] == [(2, 99)]
+        r.close()
+
+    def test_high_water_enforced_after_restore(self, tmp_path):
+        p, T = chain_program(limit=0)
+        path = tmp_path / "snap.json"
+        s = p.session().open()
+        s.feed([T.new(5, 1)])
+        s.settle()
+        s.snapshot(path)
+        s.close()
+
+        from repro.core import CausalityError
+
+        r = EngineSession.restore(path, p)
+        with pytest.raises(CausalityError, match="high-water"):
+            r.feed([T.new(2, 99)])
+        r.close()
+
+
+class TestRefusals:
+    def _snapshot(self, tmp_path):
+        p, T = chain_program()
+        path = tmp_path / "snap.json"
+        with p.session() as s:
+            s.feed([T.new(0, 1)])
+            s.settle()
+            s.snapshot(path)
+        return p, path
+
+    def _rewrite(self, path, **patch):
+        doc = json.loads(path.read_text())
+        doc.update(patch)
+        path.write_text(json.dumps(doc))
+
+    def test_wrong_format_tag(self, tmp_path):
+        p, path = self._snapshot(tmp_path)
+        self._rewrite(path, format="something-else")
+        with pytest.raises(EngineError, match="format"):
+            EngineSession.restore(path, p)
+
+    def test_wrong_version(self, tmp_path):
+        p, path = self._snapshot(tmp_path)
+        self._rewrite(path, version=SNAPSHOT_VERSION + 1)
+        with pytest.raises(EngineError, match="version"):
+            EngineSession.restore(path, p)
+
+    def test_wrong_program(self, tmp_path):
+        _, path = self._snapshot(tmp_path)
+        other = Program("other")
+        other.table("T", "int t, int v", orderby=("Int", "seq t"))
+        with pytest.raises(EngineError, match="program"):
+            EngineSession.restore(path, other)
+
+    def test_wrong_schema(self, tmp_path):
+        _, path = self._snapshot(tmp_path)
+        twin = Program("chain")  # same name, different fields
+        twin.table("T", "int t, int w", orderby=("Int", "seq t"))
+        with pytest.raises(EngineError, match="schema"):
+            EngineSession.restore(path, twin)
+
+    def test_wrong_strategy(self, tmp_path):
+        p, path = self._snapshot(tmp_path)
+        with pytest.raises(EngineError, match="strategy"):
+            EngineSession.restore(path, p, ExecOptions(strategy="forkjoin", threads=2))
+
+
+class TestCheckpointOptOut:
+    def test_ring_store_refuses_snapshot(self):
+        """The two-iteration array store's contents are arrival-order
+        dependent; snapshotting it would be unsound, so it opts out."""
+        from repro.apps.median import build_median_program
+        from repro.gamma.nativearray import TwoIterationArrayStore
+
+        vals = np.random.default_rng(1).random(40)
+        h = build_median_program(vals, n_regions=2)
+        opts = ExecOptions(
+            store_overrides={
+                "Data": lambda schema: TwoIterationArrayStore(schema, len(vals))
+            }
+        )
+        puts = list(h.program.initial_puts)
+        h.program.initial_puts.clear()
+        with h.program.session(opts) as s:
+            s.feed(puts)
+            s.settle()
+            with pytest.raises(SchemaError, match="checkpoint"):
+                build_snapshot(s)
