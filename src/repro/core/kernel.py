@@ -92,6 +92,9 @@ class RunResult:
     database: Database | None = field(repr=False, default=None)
     #: the run's event trace (only when ``ExecOptions.trace`` was set)
     trace: TraceRecorder | None = field(repr=False, default=None)
+    #: per-node compute/traffic summaries of a multiprocess sharded run
+    #: (:mod:`repro.dist.procrun`); None for single-process runs
+    nodes: list[dict] | None = None
 
     def require_database(self) -> Database:
         """The run's database, or a clear error when it was dropped."""
@@ -245,9 +248,17 @@ class StepKernel:
             )
         if options.strategy == "threads":
             return ThreadStrategy(options.threads)
+        if options.strategy == "processes":
+            raise EngineError(
+                "'processes' is a whole-engine runtime, not a step strategy: "
+                "it owns its own supersteps and worker processes, so it "
+                "cannot drive a StepKernel (sessions/checkpoints are "
+                "unsupported).  Use Program.run(strategy='processes') or "
+                "repro.dist.procrun.run_sharded directly"
+            )
         raise EngineError(
             f"unknown strategy {options.strategy!r}; valid strategies: "
-            "sequential, forkjoin, threads, chaos"
+            "sequential, forkjoin, threads, chaos, processes"
         )
 
     @staticmethod

@@ -71,8 +71,11 @@ class ExecOptions:
     ``strategy`` is ``"sequential"`` (the ``-sequential`` flag),
     ``"forkjoin"`` (simulated all-minimums parallelism; ``threads`` is
     the pool size, the paper's ``--threads=N``), ``"threads"`` (real
-    CPython threads, functional validation only) or ``"chaos"`` (seeded
-    adversarial scheduling, see :mod:`repro.exec.chaos`).
+    CPython threads, functional validation only), ``"chaos"`` (seeded
+    adversarial scheduling, see :mod:`repro.exec.chaos`) or
+    ``"processes"`` (real multiprocess shard execution, one OS worker
+    process per node — ``threads`` is the worker count; see
+    :mod:`repro.dist.procrun`).
     """
 
     strategy: str = "sequential"
@@ -143,10 +146,16 @@ class ExecOptions:
         return replace(self, **kw)
 
     def __post_init__(self) -> None:
-        if self.strategy not in ("sequential", "forkjoin", "threads", "chaos"):
+        if self.strategy not in (
+            "sequential",
+            "forkjoin",
+            "threads",
+            "chaos",
+            "processes",
+        ):
             raise EngineError(
                 f"unknown strategy {self.strategy!r}; valid strategies: "
-                "sequential, forkjoin, threads, chaos"
+                "sequential, forkjoin, threads, chaos, processes"
             )
         if self.causality_check not in ("off", "warn", "strict"):
             raise EngineError(f"unknown causality_check {self.causality_check!r}")
@@ -322,6 +331,12 @@ class Program:
         opts = options if options is not None else ExecOptions()
         if kw:
             opts = opts.with_(**kw)
+        if opts.strategy == "processes":
+            # real multiprocess shard execution is a whole-engine
+            # runtime, not a step strategy — it owns its own supersteps
+            from repro.dist.procrun import run_sharded  # local: dist imports us
+
+            return run_sharded(self, opts)
         return Engine(self, opts).run()
 
     def session(self, options: ExecOptions | None = None, **kw: Any):

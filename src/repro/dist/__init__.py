@@ -1,0 +1,31 @@
+"""Distributed execution substrate (§2 stage 3: partitioned /
+duplicated / shared tuples across computers, with explicit
+communication costs).  Two runtimes share one placement vocabulary:
+`repro.dist.engine` *simulates* a cluster in-process (modelled network
+costs), `repro.dist.procrun` runs real OS worker processes — the latter
+is also reachable as ``ExecOptions(strategy="processes")``."""
+
+from repro.dist.check import QueryLocality, check_locality
+from repro.dist.engine import DistEngine, DistOptions, DistRunResult, run_distributed
+from repro.dist.network import NetModel, StepTraffic, WireStats
+from repro.dist.placement import OnNode, Partitioned, Placement, PlacementMap, Replicated
+from repro.dist.procrun import ProcessShardRuntime, run_sharded
+
+__all__ = [
+    "DistEngine",
+    "DistOptions",
+    "DistRunResult",
+    "run_distributed",
+    "ProcessShardRuntime",
+    "run_sharded",
+    "Partitioned",
+    "Replicated",
+    "OnNode",
+    "Placement",
+    "PlacementMap",
+    "NetModel",
+    "StepTraffic",
+    "WireStats",
+    "QueryLocality",
+    "check_locality",
+]

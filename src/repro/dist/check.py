@@ -1,0 +1,149 @@
+"""Static locality analysis of a placement (§2 stage 3's design aid).
+
+Before committing to a distribution, the programmer wants to know which
+queries stay on-node, which route to a single remote owner, and which
+degenerate into broadcast gathers — the same way the paper's stage 2/3
+tooling surfaces dependency structure before benchmarking.  Rule
+metadata (hand-written or extracted from textual rules) makes this
+static: for every symbolic query under a placement,
+
+* ``local``      — replicated table, or the bound partition value
+  provably equals the trigger's partition value (co-located);
+* ``routed``     — partition field bound: exactly one owner answers;
+* ``broadcast``  — partition field unbound: every node is asked;
+* ``unknown``    — the rule carries no metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.program import Program
+from repro.dist.placement import OnNode, PlacementMap, Partitioned, Replicated
+from repro.solver.obligations import RuleMeta
+
+__all__ = ["QueryLocality", "check_locality"]
+
+
+@dataclass(frozen=True)
+class QueryLocality:
+    rule: str
+    table: str
+    verdict: str  # local | routed | broadcast | unknown
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"<{self.rule} -> {self.table}: {self.verdict} ({self.detail})>"
+
+
+def _classify_observed(
+    rule: str, pm: PlacementMap, shapes: list[tuple[str, tuple[str, ...]]]
+) -> list[QueryLocality]:
+    """Classify a meta-less rule's *observed* query shapes (gathered by
+    :class:`~repro.stats.collector.StatsCollector` during a profiling
+    run) — one finding per query, with the real table name."""
+    findings = []
+    for table, eq_fields in shapes:
+        placement = pm[table]
+        if isinstance(placement, Replicated):
+            verdict, detail = "local", "replicated (observed query)"
+        elif isinstance(placement, OnNode):
+            verdict = "routed"
+            detail = f"pinned to node {placement.node} (observed query)"
+        elif placement.field in eq_fields:
+            verdict = "routed"
+            detail = f"binds partition field {placement.field!r} (observed query)"
+        else:
+            verdict = "broadcast"
+            detail = (
+                f"partition field {placement.field!r} unbound (observed query)"
+            )
+        findings.append(QueryLocality(rule, table, verdict, detail))
+    return findings
+
+
+def check_locality(
+    program: Program,
+    placements: PlacementMap | dict | None = None,
+    observed=None,
+) -> list[QueryLocality]:
+    """Classify every statically-known query under a placement.
+
+    Rules without symbolic metadata cannot be classified statically;
+    pass ``observed`` (a :class:`~repro.stats.collector.StatsCollector`
+    from a profiling run, or its ``rule_query_shapes`` mapping) to
+    classify the queries such rules actually performed — one finding
+    per observed query shape, with the real table name."""
+    program.freeze()
+    pm = (
+        placements
+        if isinstance(placements, PlacementMap)
+        else PlacementMap(program.schemas(), placements)
+    )
+    observed_shapes = getattr(observed, "rule_query_shapes", observed) or {}
+    by_rule: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+    for (rule_name, table, eq_fields, _rng) in observed_shapes:
+        by_rule.setdefault(rule_name, []).append((table, eq_fields))
+    findings: list[QueryLocality] = []
+    for rule in program.rules:
+        meta = rule.meta
+        if not isinstance(meta, RuleMeta):
+            shapes = by_rule.get(rule.name)
+            if shapes:
+                findings.extend(_classify_observed(rule.name, pm, shapes))
+            else:
+                findings.append(
+                    QueryLocality(
+                        rule.name,
+                        rule.trigger.schema.name,
+                        "unknown",
+                        "rule has no metadata; pass observed= run stats "
+                        "to classify its queries",
+                    )
+                )
+            continue
+        trig_schema = meta.trigger_schema
+        trig_placement = pm[trig_schema.name]
+        trig_part_term = None
+        if isinstance(trig_placement, Partitioned):
+            trig_part_term = meta.trigger.get(trig_placement.field)
+        for branch in meta.branches:
+            for q in branch.queries:
+                placement = pm[q.schema.name]
+                if isinstance(placement, Replicated):
+                    findings.append(
+                        QueryLocality(rule.name, q.schema.name, "local", "replicated")
+                    )
+                    continue
+                if isinstance(placement, OnNode):
+                    findings.append(
+                        QueryLocality(
+                            rule.name, q.schema.name, "routed",
+                            f"pinned to node {placement.node}",
+                        )
+                    )
+                    continue
+                bound = q.bound.get(placement.field)
+                if bound is None:
+                    findings.append(
+                        QueryLocality(
+                            rule.name, q.schema.name, "broadcast",
+                            f"partition field {placement.field!r} unbound",
+                        )
+                    )
+                    continue
+                if trig_part_term is not None and bound == trig_part_term:
+                    findings.append(
+                        QueryLocality(
+                            rule.name, q.schema.name, "local",
+                            f"co-partitioned on {placement.field!r} with the trigger",
+                        )
+                    )
+                else:
+                    findings.append(
+                        QueryLocality(
+                            rule.name, q.schema.name, "routed",
+                            f"binds partition field {placement.field!r}",
+                        )
+                    )
+    return findings

@@ -1,0 +1,714 @@
+"""Real multiprocess shard execution — ``ExecOptions(strategy="processes")``.
+
+Where :class:`~repro.dist.engine.DistEngine` *simulates* a cluster (N
+shard views, one process, modelled network costs), this module runs the
+real thing: N OS worker processes (:mod:`repro.dist.worker`), each
+owning the Gamma shards its :class:`~repro.dist.placement.PlacementMap`
+assigns it, driven in causal supersteps by a coordinator over pipes.
+
+The superstep protocol mirrors the single-node
+:class:`~repro.core.kernel.StepKernel` phase for phase:
+
+* the coordinator owns the global Delta tree and a full **control
+  replica** of Gamma; each superstep pops the minimal equivalence
+  class, exactly like ``drain()``;
+* **phase A**: each worker receives and inserts the slice of the class
+  its placement assigns it (replicated tuples go everywhere);
+* **phase B**: each non-duplicate tuple fires on exactly one node — its
+  partition home, or a stable-hash spread for replicated triggers (the
+  same rule as the simulated engine) — via the unmodified
+  :class:`~repro.core.rules.RuleContext` machinery; remote queries are
+  relayed through the coordinator and answered from the owning shards
+  (verdicts follow :func:`~repro.dist.check.check_locality`: local /
+  routed / broadcast);
+* **phase C**: the coordinator merges every worker's buffered put-set
+  in global (batch index, rule declaration) order — the single-node
+  task order — and applies it to Delta with the exact
+  ``_enqueue_delta_batch`` semantics.
+
+Because the merge order is deterministic and Gamma is read-only while
+a class fires, output, table sizes, and the semantic trace are
+byte-identical to a sequential run (§1.3 across *machines*, not just
+strategies).
+
+Crash recovery: the control replica commits each superstep only after
+every worker reported it.  When a worker dies mid-step, the coordinator
+aborts the step on the survivors, re-forks the lost node, bootstraps it
+from the owned slice of the last committed superstep, and re-broadcasts
+the step under a new attempt epoch; workers replay completed steps from
+a reply cache, so rule execution stays at-most-once per completed step.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from multiprocessing import get_context
+from multiprocessing.connection import wait as conn_wait
+
+from repro.core.database import Database
+from repro.core.delta import DeltaTree
+from repro.core.errors import EngineError
+from repro.core.kernel import RunResult
+from repro.core.program import ExecOptions, Program
+from repro.core.tuples import JTuple
+from repro.dist.check import check_locality
+from repro.dist.engine import surface_exec_knobs
+from repro.dist.network import WireStats
+from repro.dist.placement import OnNode, PlacementMap, Partitioned, _stable_hash
+from repro.dist.worker import program_fingerprint, worker_entry
+from repro.exec.metering import CostMeter
+from repro.gamma.base import StoreRegistry
+from repro.gamma.treeset import TreeSetStore
+from repro.stats.collector import StatsCollector
+from repro.trace.recorder import TraceRecorder, output_hash
+
+__all__ = ["ProcessShardRuntime", "run_sharded"]
+
+#: ExecOptions knobs the process runtime honours; everything else is
+#: surfaced as a stats note / EngineWarning, same convention as the
+#: simulated engine
+_SUPPORTED_KNOBS = frozenset(
+    {"strategy", "threads", "trace", "metering", "plan_cache", "admission"}
+)
+
+
+class _WorkerDied(Exception):
+    """A worker process went away mid-protocol (EOF / broken pipe)."""
+
+    def __init__(self, node: int):
+        super().__init__(f"worker {node} died")
+        self.node = node
+
+
+class _Worker:
+    """Coordinator-side handle for one worker process."""
+
+    __slots__ = ("node", "proc", "conn", "wire")
+
+    def __init__(self, node: int, proc, conn):
+        self.node = node
+        self.proc = proc
+        self.conn = conn
+        self.wire = WireStats()
+
+
+class ProcessShardRuntime:
+    """Coordinator of one multiprocess sharded run."""
+
+    def __init__(
+        self,
+        program: Program,
+        options: ExecOptions | None = None,
+        *,
+        n_workers: int | None = None,
+        placements: dict | PlacementMap | None = None,
+        fault_kill: tuple[int, int] | None = None,
+    ):
+        program.freeze()
+        self.program = program
+        self.options = options if options is not None else ExecOptions()
+        self.n_nodes = n_workers if n_workers is not None else self.options.threads
+        if self.n_nodes < 1:
+            raise EngineError("the process runtime needs at least one worker")
+        if self.options.store_overrides:
+            raise EngineError(
+                "the process runtime cannot shard tables with store_overrides: "
+                "native/array stores are whole-table structures accessed "
+                "through ctx.native, which has no meaning across processes; "
+                "run such programs single-node"
+            )
+        self.placements = (
+            placements
+            if isinstance(placements, PlacementMap)
+            else PlacementMap(program.schemas(), placements, n_nodes=self.n_nodes)
+        )
+        self.schemas = program.schemas()
+        # control replica: the coordinator's authoritative copy of Gamma,
+        # committed one superstep behind the workers so a lost node can
+        # always be rebuilt from the last *completed* step
+        registry = StoreRegistry(lambda schema: TreeSetStore(schema))
+        self.db = Database(self.schemas, registry, program.decls)
+        self.delta = DeltaTree()
+        self.stats = StatsCollector()
+        self.tracer = TraceRecorder() if self.options.trace else None
+        self.output: list[str] = []
+        self.steps = 0
+        self._check_mode = self.options.causality_check
+        surface_exec_knobs(
+            self.options,
+            self.stats.note,
+            strict=self._check_mode == "strict",
+            runtime="the multiprocess runtime",
+            supported=_SUPPORTED_KNOBS,
+        )
+        if self.options.metering == "on":
+            self.stats.note(
+                "the multiprocess runtime measures real wire traffic instead "
+                "of virtual time; cost metering is off in the workers"
+            )
+        self._fingerprint = program_fingerprint(program)
+        self._fault_kill = fault_kill
+        self._killed = False
+        self._epoch = 1
+        self._recoveries: dict[int, int] = {}
+        self._node_fires: dict[int, int] = {}
+        self._node_puts: dict[int, int] = {}
+        self.workers: list[_Worker] = []
+        self._by_conn: dict = {}
+        self._ctx = get_context("fork")
+        # co-located queries proved by the static locality checker skip
+        # placement routing in the workers (reuse of the check_locality
+        # verdicts at runtime).  The set is keyed (rule, table), so a
+        # pair qualifies only when EVERY query that rule makes on that
+        # table is local — one routed query among locals must still route
+        verdicts: dict[tuple[str, str], bool] = {}
+        for f in check_locality(program, self.placements):
+            key = (f.rule, f.table)
+            verdicts[key] = verdicts.get(key, True) and f.verdict == "local"
+        self._conf = {
+            "check_mode": self._check_mode,
+            "traced": self.tracer is not None,
+            "static_local": frozenset(k for k, ok in verdicts.items() if ok),
+        }
+
+    # -- worker management ---------------------------------------------------
+
+    def _spawn(self, node: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_entry,
+            args=(node, self.n_nodes, child_conn, self.program, self.placements, self._conf),
+            daemon=True,
+        )
+        proc.start()
+        # the child's end must live only in the child, or its death
+        # would never read as EOF on our side
+        child_conn.close()
+        w = _Worker(node, proc, parent_conn)
+        hello = self._recv(w)
+        if hello.get("t") != "hello" or hello.get("node") != node:
+            raise EngineError(f"worker {node}: bad handshake {hello!r}")
+        if hello.get("fingerprint") != self._fingerprint:
+            raise EngineError(
+                f"worker {node} is running a different program "
+                "(fingerprint mismatch in the bootstrap handshake)"
+            )
+        return w
+
+    def _start_workers(self) -> None:
+        self.workers = [self._spawn(node) for node in range(self.n_nodes)]
+        self._by_conn = {w.conn: w for w in self.workers}
+
+    def _replace_worker(self, node: int) -> None:
+        w = self.workers[node]
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+        if w.proc.is_alive():
+            w.proc.terminate()
+        w.proc.join(timeout=10)
+        fresh = self._spawn(node)
+        fresh.wire.merge(w.wire)  # traffic to the node, across incarnations
+        self.workers[node] = fresh
+        self._by_conn = {v.conn: v for v in self.workers}
+        tables: dict[str, list] = {}
+        for name, store in self.db.stores.items():
+            rows = []
+            for t in store.scan():
+                home = self.placements.home_of(t, self.n_nodes)
+                if home is None or home == node:
+                    rows.append(list(t.values))
+            if rows:
+                tables[name] = rows
+        self._send(fresh, {"t": "bootstrap", "tables": tables})
+
+    def _terminate_all(self) -> None:
+        for w in self.workers:
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+            if w.proc.is_alive():
+                w.proc.terminate()
+            w.proc.join(timeout=5)
+
+    # -- framing --------------------------------------------------------------
+
+    def _send(self, w: _Worker, msg: dict) -> None:
+        data = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            w.conn.send_bytes(data)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            raise _WorkerDied(w.node) from None
+        w.wire.on_send(len(data))
+
+    def _recv(self, w: _Worker) -> dict:
+        try:
+            data = w.conn.recv_bytes()
+        except (EOFError, ConnectionResetError, OSError):
+            raise _WorkerDied(w.node) from None
+        w.wire.on_recv(len(data))
+        return pickle.loads(data)
+
+    def _tuple(self, table: str, values) -> JTuple:
+        return JTuple(self.schemas[table], tuple(values))
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        t0 = time.perf_counter()
+        self._start_workers()
+        try:
+            self._emit_run_start()
+            self._feed_initial()
+            self._drain()
+            nodes = self._finish()
+        except BaseException:
+            self._terminate_all()
+            raise
+        wall = time.perf_counter() - t0
+        self._emit_run_end()
+        return RunResult(
+            program=self.program.name,
+            strategy="processes",
+            threads=self.n_nodes,
+            output=self.output,
+            wall_time=wall,
+            report=None,
+            stats=self.stats,
+            table_sizes=self.db.table_sizes(),
+            meter=CostMeter(),
+            steps=self.steps,
+            options=self.options,
+            database=self.db,
+            trace=self.tracer,
+            nodes=nodes,
+        )
+
+    def _feed_initial(self) -> None:
+        """Initial puts, exactly like the kernel's ``<init>`` feed (no
+        admission boundary exists before the first step)."""
+        puts = list(self.program.initial_puts)
+        for tup in puts:
+            self.stats.on_put("<init>", tup.schema.name)
+        if not puts:
+            return
+        flags = self._enqueue(puts)
+        if self.tracer is not None:
+            for tup, accepted in zip(puts, flags):
+                self.tracer.emit("admit", {"tuple": repr(tup), "accepted": accepted})
+
+    def _enqueue(self, puts: list[JTuple]) -> list[bool]:
+        """Phase C against the control replica — per-put semantics are
+        exactly ``StepKernel._enqueue_delta_batch`` (Gamma-duplicate
+        precheck, then Delta dedup), minus the cost metering."""
+        flags = [False] * len(puts)
+        items: list[tuple[JTuple, object]] = []
+        idx: list[int] = []
+        db = self.db
+        for i, tup in enumerate(puts):
+            if tup in db:
+                self.stats.table(tup.schema.name).duplicates += 1
+                continue
+            items.append((tup, db.timestamp(tup)))
+            idx.append(i)
+        if not items:
+            return flags
+        accepted = self.delta.insert_batch(items)
+        for k, ok in enumerate(accepted):
+            i = idx[k]
+            name = puts[i].schema.name
+            if ok:
+                flags[i] = True
+                self.stats.table(name).delta_inserts += 1
+            else:
+                self.stats.table(name).duplicates += 1
+        return flags
+
+    def _drain(self) -> None:
+        max_steps = self.options.max_steps
+        while self.delta:
+            if max_steps is not None and self.steps >= max_steps:
+                raise EngineError(
+                    f"program exceeded max_steps={max_steps}; "
+                    f"{len(self.delta)} tuples still pending"
+                )
+            self.steps += 1
+            batch = self.delta.pop_min_class()
+            self._superstep(batch)
+
+    def _fire_home(self, tup: JTuple) -> int:
+        """Node that fires this tuple's rules — the simulated engine's
+        rule: partition home, or a stable-hash spread for replicated
+        triggers."""
+        home = self.placements.home_of(tup, self.n_nodes)
+        if home is not None:
+            return home
+        acc = 0
+        for v in tup.values:
+            acc = (acc * 31 + _stable_hash(v)) & 0x7FFFFFFF
+        return acc % self.n_nodes
+
+    def _superstep(self, batch: list[JTuple]) -> None:
+        step = self.steps
+        self.stats.on_step(len(batch))
+        if self.tracer is not None:
+            self.tracer.step = step
+            self.tracer.emit(
+                "step",
+                {"step": step, "width": len(batch), "frontier": [repr(t) for t in batch]},
+            )
+        if (
+            self._fault_kill is not None
+            and not self._killed
+            and self._fault_kill[1] == step
+        ):
+            # injected failure (tests): SIGKILL the target at superstep
+            # start, reap it so the broadcast hits a closed pipe
+            self._killed = True
+            victim = self.workers[self._fault_kill[0]]
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            victim.proc.join(timeout=10)
+        # plan: duplicate verdicts against the pre-step control Gamma,
+        # and one fire node per fresh tuple
+        plan: list[tuple[JTuple, bool, int]] = []
+        inserts: list[list] = [[] for _ in range(self.n_nodes)]
+        fires: list[list] = [[] for _ in range(self.n_nodes)]
+        for idx, tup in enumerate(batch):
+            dup = tup in self.db
+            node = self._fire_home(tup)
+            plan.append((tup, dup, node))
+            name = tup.schema.name
+            row = (name, tuple(tup.values))
+            home = self.placements.home_of(tup, self.n_nodes)
+            if home is None:
+                for lst in inserts:
+                    lst.append(row)
+            else:
+                inserts[home].append(row)
+            if not dup:
+                fires[node].append((idx, row))
+        records = self._execute(step, inserts, fires)
+        # commit phase A to the control replica only now: a worker lost
+        # mid-step re-bootstraps from the last *completed* superstep
+        self.db.insert_batch(batch, frozenset())
+        pending: list[tuple[JTuple, int]] = []
+        for idx, (tup, dup, node) in enumerate(plan):
+            name = tup.schema.name
+            if dup:
+                self.stats.table(name).duplicates += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "task",
+                        {
+                            "trigger": repr(tup),
+                            "duplicate": True,
+                            "fired": [],
+                            "n_puts": 0,
+                            "n_output": 0,
+                            "cost": 0.0,
+                            "node": node,
+                        },
+                    )
+                continue
+            self.stats.table(name).gamma_inserts += 1
+            entries = records.get(idx, [])
+            fired: list[str] = []
+            n_puts = 0
+            n_output = 0
+            for entry in entries:
+                rule = entry["rule"]
+                fired.append(rule)
+                self.stats.on_fire(name, rule)
+                self._node_fires[node] = self._node_fires.get(node, 0) + 1
+                if self.tracer is not None:
+                    for kind, data in entry["events"]:
+                        data = dict(data)
+                        data["node"] = node
+                        self.tracer.emit(kind, data)
+                out = entry["output"]
+                if out:
+                    self.output.extend(out)
+                    self.stats.rule(rule).output_lines += len(out)
+                    n_output += len(out)
+                for tname, vals in entry["puts"]:
+                    self.stats.on_put(rule, tname)
+                    self._node_puts[node] = self._node_puts.get(node, 0) + 1
+                    pending.append((self._tuple(tname, vals), node))
+                    n_puts += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "task",
+                    {
+                        "trigger": repr(tup),
+                        "duplicate": False,
+                        "fired": fired,
+                        "n_puts": n_puts,
+                        "n_output": n_output,
+                        "cost": 0.0,
+                        "node": node,
+                    },
+                )
+        if pending:
+            flags = self._enqueue([tup for tup, _node in pending])
+            if self.tracer is not None:
+                for (tup, node), accepted in zip(pending, flags):
+                    self.tracer.emit(
+                        "effect",
+                        {"tuple": repr(tup), "accepted": accepted, "node": node},
+                    )
+
+    # -- superstep execution with crash recovery ------------------------------
+
+    def _execute(self, step: int, inserts: list[list], fires: list[list]) -> dict:
+        deaths = 0
+        while True:
+            try:
+                return self._attempt(step, inserts, fires)
+            except _WorkerDied as exc:
+                deaths += 1
+                if deaths > 2 * self.n_nodes:
+                    raise EngineError(
+                        f"step {step} could not complete: workers kept dying "
+                        f"({deaths} deaths); last lost node {exc.node}"
+                    ) from exc
+                self._recover(exc.node)
+
+    def _attempt(self, step: int, inserts: list[list], fires: list[list]) -> dict:
+        epoch = self._epoch
+        for w in self.workers:
+            self._send(
+                w,
+                {
+                    "t": "step",
+                    "step": step,
+                    "attempt": epoch,
+                    "insert": inserts[w.node],
+                    "fire": fires[w.node],
+                },
+            )
+        records: dict[int, list] = {}
+        done: set[int] = set()
+        # in-flight relayed queries: qid -> [requester node, awaited answers, rows]
+        pending_q: dict[str, list] = {}
+        conns = [w.conn for w in self.workers]
+        while len(done) < self.n_nodes:
+            for conn in conn_wait(conns):
+                w = self._by_conn[conn]
+                msg = self._recv(w)
+                t = msg["t"]
+                if t == "done":
+                    if msg["attempt"] != epoch:
+                        continue  # stale reply from before a recovery
+                    done.add(w.node)
+                    for idx, entries in msg["records"]:
+                        records[idx] = entries
+                elif t == "query":
+                    if msg["attempt"] != epoch:
+                        continue  # requester will see the abort next
+                    homes = msg["homes"]
+                    pending_q[msg["qid"]] = [w.node, len(homes), []]
+                    for h in homes:
+                        self._send(
+                            self.workers[h],
+                            {
+                                "t": "serve",
+                                "qid": msg["qid"],
+                                "attempt": epoch,
+                                "table": msg["table"],
+                                "eq": msg["eq"],
+                                "ranges": msg["ranges"],
+                            },
+                        )
+                elif t == "answer":
+                    if msg["attempt"] != epoch:
+                        continue
+                    ent = pending_q.get(msg["qid"])
+                    if ent is None:
+                        continue
+                    ent[1] -= 1
+                    ent[2].extend(msg["rows"])
+                    if ent[1] == 0:
+                        del pending_q[msg["qid"]]
+                        self._send(
+                            self.workers[ent[0]],
+                            {"t": "result", "qid": msg["qid"], "rows": ent[2]},
+                        )
+                elif t == "error":
+                    # a deterministic failure inside a rule: re-raise
+                    # here instead of looping through crash recovery
+                    raise EngineError(
+                        f"worker {w.node} failed: {msg['error']}\n{msg['traceback']}"
+                    )
+        return records
+
+    def _recover(self, node: int) -> None:
+        """Bring a lost node back from the last committed superstep and
+        abort the in-flight attempt on the survivors."""
+        self._epoch += 1
+        self._recoveries[node] = self._recoveries.get(node, 0) + 1
+        self.stats.note(
+            f"worker {node} died during step {self.steps}; restarted from "
+            "the last committed superstep snapshot"
+        )
+        dead = [node]
+        aborted: set[int] = set()
+        while dead:
+            n = dead.pop()
+            aborted.discard(n)
+            self._replace_worker(n)
+            for w in self.workers:
+                if w.node == n or w.node in aborted:
+                    continue
+                try:
+                    self._send(
+                        w, {"t": "abort", "step": self.steps, "attempt": self._epoch}
+                    )
+                    aborted.add(w.node)
+                except _WorkerDied:
+                    self._epoch += 1
+                    self._recoveries[w.node] = self._recoveries.get(w.node, 0) + 1
+                    dead.append(w.node)
+
+    # -- teardown --------------------------------------------------------------
+
+    def _finish(self) -> list[dict]:
+        for w in self.workers:
+            self._send(w, {"t": "finish"})
+        nodes: list[dict] = []
+        control_sizes = self.db.table_sizes()
+        shard_sizes: dict[str, list[int]] = {
+            name: [0] * self.n_nodes for name in control_sizes
+        }
+        for w in self.workers:
+            msg = self._recv(w)
+            while msg.get("t") != "bye":  # drain stragglers (stale answers)
+                msg = self._recv(w)
+            for name, size in msg["table_sizes"].items():
+                shard_sizes[name][w.node] = size
+            self._merge_worker_stats(msg["stats"])
+            wire = msg["wire"]
+            nodes.append(
+                {
+                    "node": w.node,
+                    "fires": self._node_fires.get(w.node, 0),
+                    "puts": self._node_puts.get(w.node, 0),
+                    "queries_served": msg["queries_served"],
+                    "remote_queries": msg["remote_queries"],
+                    "msgs": wire["msgs_sent"] + wire["msgs_recv"],
+                    "bytes_sent": wire["bytes_sent"],
+                    "bytes_recv": wire["bytes_recv"],
+                    "recovered": self._recoveries.get(w.node, 0),
+                }
+            )
+            w.proc.join(timeout=10)
+        self._check_integrity(control_sizes, shard_sizes)
+        return nodes
+
+    def _check_integrity(
+        self, control: dict[str, int], shards: dict[str, list[int]]
+    ) -> None:
+        """The distributed shards must jointly equal the control replica:
+        replicated tables everywhere in full, partitioned/pinned tables
+        exactly once across the cluster."""
+        for name, total in control.items():
+            per_node = shards[name]
+            placement = self.placements[name]
+            if isinstance(placement, Partitioned):
+                ok = sum(per_node) == total
+                detail = f"shards sum to {sum(per_node)}"
+            elif isinstance(placement, OnNode):
+                ok = per_node[placement.node] == total and sum(per_node) == total
+                detail = f"pinned shard holds {per_node[placement.node]}"
+            else:  # replicated
+                ok = all(s == total for s in per_node)
+                detail = f"replica sizes {per_node}"
+            if not ok:
+                raise EngineError(
+                    f"shard integrity check failed for table {name!r}: "
+                    f"control replica has {total} tuples, {detail}"
+                )
+
+    def _merge_worker_stats(self, state: dict) -> None:
+        """Fold one worker's query-side statistics into the coordinator
+        collector (fires/puts/output are counted coordinator-side from
+        the merged records; workers only observe queries)."""
+        for name, d in state.get("tables", {}).items():
+            t = self.stats.table(name)
+            for k, v in d.items():
+                setattr(t, k, getattr(t, k) + int(v))
+        for name, d in state.get("rules", {}).items():
+            r = self.stats.rule(name)
+            for k, v in d.items():
+                setattr(r, k, getattr(r, k) + int(v))
+        for a, b, n in state.get("query_edges", []):
+            self.stats.query_edges[(a, b)] = self.stats.query_edges.get((a, b), 0) + n
+        for t, eq, rng, n in state.get("query_shapes", []):
+            shape = (t, tuple(eq), tuple(rng))
+            self.stats.query_shapes[shape] = self.stats.query_shapes.get(shape, 0) + n
+        for r, t, eq, rng, n in state.get("rule_query_shapes", []):
+            rshape = (r, t, tuple(eq), tuple(rng))
+            self.stats.rule_query_shapes[rshape] = (
+                self.stats.rule_query_shapes.get(rshape, 0) + n
+            )
+
+    # -- trace bookends ---------------------------------------------------------
+
+    def _emit_run_start(self) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(
+            "run-start",
+            {
+                "program": self.program.name,
+                "strategy": "processes",
+                "threads": self.n_nodes,
+                "nodes": self.n_nodes,
+                "chaos_seed": None,
+                "fault_plan": None,
+                "task_granularity": "tuple",
+            },
+            meta=True,
+        )
+
+    def _emit_run_end(self) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.step = self.steps
+        self.tracer.emit(
+            "run-end",
+            {
+                "steps": self.steps,
+                "output": output_hash(self.output),
+                "n_output": len(self.output),
+                "table_sizes": dict(sorted(self.db.table_sizes().items())),
+            },
+        )
+
+
+def run_sharded(
+    program: Program,
+    options: ExecOptions | None = None,
+    *,
+    n_workers: int | None = None,
+    placements: dict | PlacementMap | None = None,
+    fault_kill: tuple[int, int] | None = None,
+) -> RunResult:
+    """Run ``program`` on real worker processes and return the merged
+    :class:`~repro.core.kernel.RunResult` (its ``nodes`` field carries
+    the per-node compute/traffic summaries).
+
+    ``fault_kill=(node, step)`` SIGKILLs one worker at the start of one
+    superstep — the crash-recovery test hook.
+    """
+    return ProcessShardRuntime(
+        program,
+        options,
+        n_workers=n_workers,
+        placements=placements,
+        fault_kill=fault_kill,
+    ).run()

@@ -1,0 +1,401 @@
+"""The shard worker process of :class:`~repro.dist.procrun.ProcessShardRuntime`.
+
+One worker = one OS process owning the Gamma shards its
+:class:`~repro.dist.placement.PlacementMap` assigns it.  The worker is
+a thin loop around the existing single-node machinery:
+
+* its Gamma shard is a :class:`~repro.core.kernel.StepKernel` database
+  (same registry construction, same insert/select semantics);
+* firing reuses :class:`~repro.core.rules.RuleContext` verbatim, except
+  that queries route across the cluster (:class:`_ShardRuleContext`),
+  the exact override point the simulated
+  :class:`~repro.dist.engine.DistEngine` uses;
+* the coordinator drives it in causal supersteps: ``bootstrap`` (load
+  the owned slice of the last committed snapshot), ``step`` (phase-A
+  insert the owned part of the minimal Delta class, fire the tuples
+  whose fire-home is this node, reply with the per-rule put/output
+  records), ``serve`` (answer a remote query against the local shard),
+  ``abort`` (another worker died mid-step: unwind and await the retry),
+  ``finish`` (report shard sizes + stats and exit).
+
+Determinism: a worker never mutates anything but its own shard, all
+effects (puts, output) travel back as records the coordinator merges in
+global batch order, and remote query results are value-sorted on the
+requesting side — so the merged run is byte-identical to the
+single-node engine.
+
+Idempotency: the reply to each executed step is cached; a retried step
+(after another worker's crash) replays the cached records without
+re-executing, giving at-most-once rule execution per worker per step —
+which is what keeps ``unsafe`` I/O rules safe under crash recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import traceback
+from typing import Any
+
+from repro.core.errors import EngineError
+from repro.core.kernel import StepKernel
+from repro.core.program import ExecOptions, Program
+from repro.core.query import Query, QueryKind
+from repro.core.rules import RuleContext
+from repro.core.tuples import JTuple
+from repro.dist.network import WireStats
+from repro.dist.placement import OnNode, PlacementMap, Partitioned, Replicated
+from repro.exec.metering import NULL_METER
+
+__all__ = ["ShardWorker", "program_fingerprint", "worker_entry"]
+
+
+def program_fingerprint(program: Program) -> str:
+    """Stable digest of a program's schemas + rule set, used in the
+    coordinator/worker handshake: a forked worker must be running the
+    very program the coordinator is stepping."""
+    h = hashlib.sha1()
+    for name in sorted(program.schemas()):
+        schema = program.schemas()[name]
+        h.update(name.encode())
+        for f in schema.fields:
+            h.update(f"{f.name}:{f.type}".encode())
+    for rule in program.rules:
+        h.update(rule.name.encode())
+        h.update(rule.trigger.schema.name.encode())
+    return h.hexdigest()
+
+
+class _StepAborted(Exception):
+    """Raised out of a firing when the coordinator aborts the step
+    (another worker died); the step will be re-broadcast."""
+
+
+class _ShardRuleContext(RuleContext):
+    """Rule context whose queries route across the cluster, through the
+    coordinator's relay.  Same override point as the simulated
+    engine's ``_DistRuleContext``; verdicts follow ``check_locality``:
+    local (replicated / co-partitioned / pinned here), routed (one
+    remote owner), or broadcast (partition field unbound)."""
+
+    __slots__ = ("_worker",)
+
+    def __init__(self, worker: "ShardWorker", *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._worker = worker
+
+    def _run_query(self, query: Query) -> list[JTuple]:
+        w = self._worker
+        name = query.schema.name
+        local = True
+        remote: list[int] = []
+        if (self._rule.name, name) in w.static_local:
+            pass  # check_locality proved this query co-located
+        else:
+            placement = w.placements[name]
+            if isinstance(placement, Replicated):
+                pass
+            elif isinstance(placement, OnNode):
+                if placement.node != w.node:
+                    local = False
+                    remote = [placement.node]
+            else:  # Partitioned
+                pos = query.schema.field_position(placement.field)
+                if pos in query.eq:
+                    home = placement.home_for_value(query.eq[pos], w.n_nodes)
+                    if home != w.node:
+                        local = False
+                        remote = [home]
+                else:
+                    remote = [h for h in range(w.n_nodes) if h != w.node]
+        results = w.db.select(query) if local else []
+        if remote:
+            rows = w.remote_query(query, remote)
+            fetched = [w.make_tuple(name, vals) for vals in rows]
+            results = results + [t for t in fetched if query.matches(t)]
+            # per-shard result sets are value-sorted (TreeSetStore scan
+            # order); re-sorting the merged set by value reproduces the
+            # single-node global order exactly
+            results.sort(key=lambda t: t.values)
+        if self._collector is not None:
+            names = query.schema.field_names
+            self._collector.on_query(
+                self._rule.name,
+                name,
+                len(results),
+                eq_fields=tuple(sorted(names[i] for i in query.eq)),
+                range_fields=tuple(sorted(names[i] for i in query.ranges)),
+            )
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "query",
+                    {
+                        "rule": self._rule.name,
+                        "table": name,
+                        "kind": query.kind.value,
+                        "n_results": len(results),
+                    },
+                )
+            )
+        return results
+
+
+class ShardWorker:
+    """One worker process: a shard of Gamma plus the firing loop."""
+
+    def __init__(
+        self,
+        node: int,
+        n_nodes: int,
+        conn,
+        program: Program,
+        placements: PlacementMap,
+        conf: dict,
+    ):
+        self.node = node
+        self.n_nodes = n_nodes
+        self.conn = conn
+        self.program = program
+        self.placements = placements
+        self.check_mode: str = conf["check_mode"]
+        self.traced: bool = conf["traced"]
+        self.static_local: frozenset = conf["static_local"]
+        # the worker's shard rides on the existing step kernel: same
+        # registry construction, database, and timestamp machinery as a
+        # single-node sequential run (plans off — queries must route)
+        self.kernel = StepKernel(
+            program,
+            ExecOptions(
+                strategy="sequential",
+                causality_check=self.check_mode,
+                plan_cache=False,
+                metering="off",
+            ),
+        )
+        self.db = self.kernel.db
+        self.stats = self.kernel.stats
+        self.schemas = program.schemas()
+        self.wire = WireStats()
+        self.queries_served = 0
+        self.remote_queries = 0
+        self._qid = 0
+        self._attempt = 0
+        #: (step number, cached reply) of the last executed step — the
+        #: at-most-once replay buffer for crash-recovery retries
+        self._cache: tuple[int, dict] | None = None
+
+    # -- framing (real byte counts, not simulated ones) ---------------------
+
+    def _send(self, msg: dict) -> None:
+        data = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(data)
+        self.wire.on_send(len(data))
+
+    def _recv(self) -> dict:
+        data = self.conn.recv_bytes()
+        self.wire.on_recv(len(data))
+        return pickle.loads(data)
+
+    def make_tuple(self, table: str, values) -> JTuple:
+        """Rebuild a wire tuple against this process's schema objects
+        (tuple identity/hashing is schema-identity based)."""
+        return JTuple(self.schemas[table], tuple(values))
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> None:
+        self._send(
+            {
+                "t": "hello",
+                "node": self.node,
+                "pid": os.getpid(),
+                "fingerprint": program_fingerprint(self.program),
+            }
+        )
+        while True:
+            msg = self._recv()
+            t = msg["t"]
+            if t == "step":
+                self._step(msg)
+            elif t == "serve":
+                self._serve(msg)
+            elif t == "bootstrap":
+                self.db.load_tables(msg["tables"])
+            elif t == "abort":
+                pass  # nothing in flight at the main loop
+            elif t == "finish":
+                self._finish()
+                return
+            else:
+                raise EngineError(f"worker {self.node}: unknown message {t!r}")
+
+    # -- superstep -----------------------------------------------------------
+
+    def _step(self, msg: dict) -> None:
+        step = msg["step"]
+        self._attempt = msg["attempt"]
+        if self._cache is not None and self._cache[0] == step:
+            # crash-recovery retry of a step this worker already ran:
+            # replay the cached records, do not re-execute (rules with
+            # unsafe I/O must run at most once per worker per step)
+            payload = dict(self._cache[1])
+            payload["attempt"] = self._attempt
+            self._send(payload)
+            return
+        owned = [self.make_tuple(name, vals) for name, vals in msg["insert"]]
+        if owned:
+            # phase A: land this shard's slice of the minimal class;
+            # duplicate outcomes are fine (retried steps re-insert)
+            self.db.insert_batch(owned, frozenset())
+        records: list[tuple[int, list[dict]]] = []
+        try:
+            for idx, (name, vals) in msg["fire"]:
+                tup = self.make_tuple(name, vals)
+                records.append((idx, self._fire(tup)))
+        except _StepAborted:
+            return  # partial work discarded; the retry re-executes
+        payload = {
+            "t": "done",
+            "step": step,
+            "attempt": self._attempt,
+            "records": records,
+        }
+        self._cache = (step, payload)
+        self._send(payload)
+
+    def _fire(self, tup: JTuple) -> list[dict]:
+        """Fire every rule the tuple triggers, one record per rule in
+        declaration order — the coordinator merges them in global
+        (batch index, rule) order, which is the single-node task
+        order."""
+        entries: list[dict] = []
+        ts = self.db.timestamp(tup)
+        for rule in self.program.rules_for(tup.schema.name):
+            events: list | None = [] if self.traced else None
+            ctx = _ShardRuleContext(
+                self,
+                self.db,
+                self.program.decls,
+                NULL_METER,
+                rule,
+                tup,
+                ts,
+                self.check_mode,
+                self.stats,
+                None,
+                None,
+                events,
+                None,
+            )
+            rule.body(ctx, tup)
+            ctx.finish()
+            entries.append(
+                {
+                    "rule": rule.name,
+                    "puts": [(p.schema.name, tuple(p.values)) for p in ctx.puts],
+                    "output": list(ctx.output),
+                    "events": events or [],
+                }
+            )
+        return entries
+
+    # -- remote queries ------------------------------------------------------
+
+    def remote_query(self, query: Query, homes: list[int]) -> list:
+        """Ask the coordinator to gather a query's rows from the owning
+        shard(s).  Only the shippable parts travel (table, eq, ranges) —
+        residual ``where`` lambdas are applied requester-side.  While
+        blocked on the answer, the worker keeps serving incoming remote
+        queries, which is what makes the single-pipe relay deadlock-free."""
+        self._qid += 1
+        qid = f"{self.node}:{self._qid}"
+        self.remote_queries += 1
+        self._send(
+            {
+                "t": "query",
+                "qid": qid,
+                "attempt": self._attempt,
+                "table": query.schema.name,
+                "eq": dict(query.eq),
+                "ranges": {i: tuple(r) for i, r in query.ranges.items()},
+                "homes": homes,
+            }
+        )
+        while True:
+            msg = self._recv()
+            t = msg["t"]
+            if t == "serve":
+                self._serve(msg)
+            elif t == "result" and msg["qid"] == qid:
+                return msg["rows"]
+            elif t == "abort":
+                raise _StepAborted()
+            else:
+                raise EngineError(
+                    f"worker {self.node}: unexpected {t!r} while awaiting "
+                    f"query {qid}"
+                )
+
+    def _serve(self, msg: dict) -> None:
+        schema = self.schemas[msg["table"]]
+        q = Query(schema, dict(msg["eq"]), dict(msg["ranges"]), None, QueryKind.POSITIVE)
+        rows = [tuple(t.values) for t in self.db.select(q)]
+        self.queries_served += 1
+        self._send(
+            {"t": "answer", "qid": msg["qid"], "attempt": msg["attempt"], "rows": rows}
+        )
+
+    # -- teardown ------------------------------------------------------------
+
+    def _finish(self) -> None:
+        self._send(
+            {
+                "t": "bye",
+                "node": self.node,
+                "table_sizes": self.db.table_sizes(),
+                "stats": self.stats.to_state(),
+                "wire": vars(self.wire).copy(),
+                "queries_served": self.queries_served,
+                "remote_queries": self.remote_queries,
+            }
+        )
+        self.conn.close()
+
+
+def worker_entry(
+    node: int,
+    n_nodes: int,
+    conn,
+    program: Program,
+    placements: PlacementMap,
+    conf: dict,
+) -> None:
+    """Process entry point (fork start method: everything is inherited,
+    nothing is pickled).  A failing rule is reported to the coordinator
+    as an ``error`` message so deterministic failures surface once
+    instead of looping through crash recovery."""
+    try:
+        ShardWorker(node, n_nodes, conn, program, placements, conf).run()
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass  # coordinator went away; just exit
+    except BaseException as exc:  # noqa: BLE001 — must cross the pipe
+        try:
+            conn.send_bytes(
+                pickle.dumps(
+                    {
+                        "t": "error",
+                        "node": node,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    }
+                )
+            )
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -65,6 +65,13 @@ class StatsCollector:
     query_shapes: dict[tuple[str, tuple[str, ...], tuple[str, ...]], int] = field(
         default_factory=dict
     )
+    #: the same shapes keyed by the querying rule:
+    #: (rule, table, eq-bound fields, range fields) -> count.  This is
+    #: what lets the locality checker classify *observed* queries of
+    #: rules that carry no symbolic metadata (opaque Python bodies).
+    rule_query_shapes: dict[
+        tuple[str, str, tuple[str, ...], tuple[str, ...]], int
+    ] = field(default_factory=dict)
     steps: int = 0
     max_batch: int = 0
     #: per-step frontier widths, in step order — the all-minimums
@@ -138,6 +145,8 @@ class StatsCollector:
         self.query_edges[key] = self.query_edges.get(key, 0) + 1
         shape = (table, eq_fields, range_fields)
         self.query_shapes[shape] = self.query_shapes.get(shape, 0) + 1
+        rshape = (rule, table, eq_fields, range_fields)
+        self.rule_query_shapes[rshape] = self.rule_query_shapes.get(rshape, 0) + 1
 
     def absorb_planned(self, plans) -> None:
         """Fold the per-plan query tallies (see
@@ -155,6 +164,10 @@ class StatsCollector:
                 t.results += n_results
                 key = (rule, table)
                 self.query_edges[key] = self.query_edges.get(key, 0) + n_queries
+                rshape = (rule, *shape)
+                self.rule_query_shapes[rshape] = (
+                    self.rule_query_shapes.get(rshape, 0) + n_queries
+                )
             self.query_shapes[shape] = (
                 self.query_shapes.get(shape, 0)
                 + sum(h[0] for h in plan.rule_hits.values())
@@ -242,6 +255,10 @@ class StatsCollector:
                 [t, list(eq), list(rng), n]
                 for (t, eq, rng), n in self.query_shapes.items()
             ],
+            "rule_query_shapes": [
+                [r, t, list(eq), list(rng), n]
+                for (r, t, eq, rng), n in self.rule_query_shapes.items()
+            ],
             "steps": self.steps,
             "max_batch": self.max_batch,
             "frontier_widths": list(self.frontier_widths),
@@ -269,6 +286,10 @@ class StatsCollector:
         self.query_shapes = {
             (t, tuple(eq), tuple(rng)): int(n)
             for t, eq, rng, n in state.get("query_shapes", [])
+        }
+        self.rule_query_shapes = {
+            (r, t, tuple(eq), tuple(rng)): int(n)
+            for r, t, eq, rng, n in state.get("rule_query_shapes", [])
         }
         self.steps = int(state.get("steps", 0))
         self.max_batch = int(state.get("max_batch", 0))

@@ -21,6 +21,7 @@ __all__ = [
     "format_rule_stats",
     "format_machine",
     "format_settles",
+    "format_nodes",
     "run_report",
 ]
 
@@ -94,6 +95,37 @@ def format_settles(settles: list[dict]) -> str:
     return _table_text(headers, rows)
 
 
+def format_nodes(nodes: list[dict]) -> str:
+    """Per-node compute and measured wire traffic of a multiprocess
+    sharded run (:mod:`repro.dist.procrun`)."""
+    headers = [
+        "node",
+        "fires",
+        "puts",
+        "served",
+        "remote q",
+        "msgs",
+        "sent B",
+        "recv B",
+        "recovered",
+    ]
+    rows = [
+        [
+            str(n.get("node", i)),
+            str(n.get("fires", 0)),
+            str(n.get("puts", 0)),
+            str(n.get("queries_served", 0)),
+            str(n.get("remote_queries", 0)),
+            str(n.get("msgs", 0)),
+            str(n.get("bytes_sent", 0)),
+            str(n.get("bytes_recv", 0)),
+            str(n.get("recovered", 0)),
+        ]
+        for i, n in enumerate(nodes)
+    ]
+    return _table_text(headers, rows)
+
+
 def run_report(result: "RunResult") -> str:
     """Full post-run report (the paper's per-run log)."""
     parts = [
@@ -120,6 +152,8 @@ def run_report(result: "RunResult") -> str:
         parts.append(f"injected faults: {counts}")
     if result.report is not None:
         parts.append(format_machine(result.report))
+    if getattr(result, "nodes", None):
+        parts.append(format_nodes(result.nodes))
     parts.append(format_table_stats(result.stats))
     if result.stats.rules:
         parts.append(format_rule_stats(result.stats))

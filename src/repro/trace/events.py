@@ -28,6 +28,13 @@ Event kinds
 ``sched``      (meta)      one batch's chaos schedule: order/picks/faults
 ``fault``      (meta)      one injected fault that actually triggered
 ``run-end``    (semantic)  run summary: steps, output hash, table sizes
+
+Distributed runs (:class:`repro.dist.procrun.ProcessShardRuntime`) tag
+their ``step``/``task``/``query``/``put``/``effect`` events with the
+worker ``node`` that produced them, merged into one causal trace in the
+coordinator's deterministic step order.  ``node`` is placement, not
+semantics — it lives in ``VOLATILE_KEYS`` so a sharded trace still
+compares equal to the single-node trace of the same program.
 """
 
 from __future__ import annotations
@@ -38,8 +45,9 @@ from typing import Any
 __all__ = ["TraceEvent", "VOLATILE_KEYS", "semantic_key"]
 
 #: data keys excluded from event comparison: they vary with strategy,
-#: host load, or store representation, never with program semantics.
-VOLATILE_KEYS = frozenset({"cost", "wall_time"})
+#: host load, store representation, or tuple placement, never with
+#: program semantics.
+VOLATILE_KEYS = frozenset({"cost", "wall_time", "node"})
 
 
 @dataclass(slots=True)
