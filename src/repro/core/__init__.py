@@ -18,7 +18,7 @@ Public API::
 """
 
 from repro.core.database import Database, InsertOutcome
-from repro.core.delta import DeltaTree
+from repro.core.delta import Delete, DeltaTree, Insert
 from repro.core.engine import Engine, FeedReport, RunResult
 from repro.core.errors import (
     AdmissionWarning,
@@ -28,6 +28,7 @@ from repro.core.errors import (
     JStarError,
     KeyInvariantError,
     OrderingError,
+    RetractionError,
     RuleError,
     SchemaError,
     StratificationError,
@@ -86,6 +87,8 @@ __all__ = [
     "Database",
     "InsertOutcome",
     "DeltaTree",
+    "Insert",
+    "Delete",
     "Lit",
     "Seq",
     "Par",
@@ -110,6 +113,7 @@ __all__ = [
     "OrderingError",
     "KeyInvariantError",
     "CausalityError",
+    "RetractionError",
     "StratificationError",
     "StratificationWarning",
     "RuleError",

@@ -27,6 +27,7 @@ in parallel each step.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.errors import OrderingError
@@ -34,7 +35,25 @@ from repro.core.ordering import KIND_LIT, KIND_PAR, KIND_SEQ, Timestamp
 from repro.core.tuples import JTuple
 from repro.gamma.skiplist import SkipListMap
 
-__all__ = ["DeltaTree"]
+__all__ = ["DeltaTree", "Insert", "Delete"]
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    """A feed event asserting a base fact.  Plain tuples passed to
+    ``EngineSession.feed`` are sugar for ``Insert(tuple)``."""
+
+    tuple: JTuple
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    """A feed event retracting a previously inserted base fact.  Only
+    honoured when the session runs with ``ExecOptions(retraction=True)``;
+    derived consequences are repaired incrementally (counting +
+    DRed-style over-delete/rederive)."""
+
+    tuple: JTuple
 
 
 class _Node:
@@ -153,6 +172,42 @@ class DeltaTree:
         node.here[tup] = None
         for n in path:
             n.count += 1
+
+    # -- removal ---------------------------------------------------------------
+
+    def remove(self, tup: JTuple, ts: Timestamp) -> bool:
+        """Remove one pending tuple placed at ``ts`` (retraction of a
+        not-yet-popped fact).  False if the tuple is not pending.
+        Counts along the path are decremented; empty-node pruning is
+        left to the pop side (counts are authoritative, pruning is
+        best-effort)."""
+        if tup not in self._members:
+            return False
+        node = self._root
+        path: list[_Node] = [node]
+        for comp in ts.key:
+            kind = comp[0]
+            if node.kind != kind:
+                return False
+            if kind == KIND_PAR:
+                child = node.par_child
+            elif kind == KIND_LIT:
+                assert isinstance(node.children, dict)
+                child = node.children.get(comp[1])
+            else:  # KIND_SEQ
+                assert isinstance(node.children, SkipListMap)
+                child = node.children.get(comp[1])
+            if child is None:
+                return False
+            node = child
+            path.append(node)
+        if tup not in node.here:
+            return False
+        del node.here[tup]
+        for n in path:
+            n.count -= 1
+        self._members.discard(tup)
+        return True
 
     # -- extraction -----------------------------------------------------------
 

@@ -75,6 +75,13 @@ class EngineError(JStarError):
     incorrectly (e.g. ``run`` called twice)."""
 
 
+class RetractionError(EngineError):
+    """A ``Delete`` event could not be honoured: the tuple was never
+    inserted as a base fact, names a derived tuple, or retraction was
+    not enabled (``ExecOptions(retraction=True)``).  The session stays
+    open and usable after the error."""
+
+
 class EngineWarning(UserWarning):
     """The engine adjusted an execution option the caller asked for
     (e.g. ``metering="off"`` forced back on by a virtual-time strategy,

@@ -39,22 +39,26 @@ scalability bottleneck in Fig 12.
 from __future__ import annotations
 
 import warnings
+from bisect import bisect_left, bisect_right
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import ContextManager, Iterable
 
 from repro.core.database import Database, InsertOutcome
-from repro.core.delta import DeltaTree
+from repro.core.delta import Delete, DeltaTree, Insert
 from repro.core.errors import (
     AdmissionWarning,
     CausalityError,
     EngineError,
     EngineWarning,
+    KeyInvariantError,
+    RetractionError,
     UnknownTableError,
 )
 from repro.core.ordering import Timestamp, compare_timestamps
 from repro.core.program import ExecOptions, Program
 from repro.core.rules import Rule, RuleContext
+from repro.core.support import FiringRecord, SupportIndex
 from repro.core.tuples import JTuple
 from repro.exec.base import EngineTask, Strategy, TaskResult
 from repro.exec.chaos import ChaosStrategy
@@ -217,6 +221,31 @@ class StepKernel:
                 "coalesce_steps disabled: retention hints prune Gamma per "
                 "step and require the one-class-per-step cadence"
             )
+        # retraction mode: the support index is the whole switch — when
+        # None, no hot-path branch below does anything beyond one
+        # is-None check, so insert-only runs are byte-identical to the
+        # non-retraction build
+        self._support: SupportIndex | None = None
+        #: triggers re-enqueued by DRed rederivation: fire their rules
+        #: again even though the Gamma insert is a duplicate
+        self._refire: set[JTuple] = set()
+        #: tuples killed by a repair cascade *during the current step's*
+        #: phase A — their already-built tasks must no-op (None between
+        #: steps; only mutated in the sequential phases)
+        self._dead_step: set[JTuple] | None = None
+        self._rule_index: dict[int, int] = {}
+        #: sort keys parallel to ``self.output`` (retraction mode keys
+        #: every line so retracted lines can be removed exactly)
+        self._out_keys: list[tuple] = []
+        if options.retraction:
+            self._support = SupportIndex()
+            self._rule_index = {id(r): i for i, r in enumerate(program.rules)}
+            if self._coalesce:
+                self._coalesce = False
+                self._note(
+                    "coalesce_steps disabled: retraction repair re-enqueues "
+                    "triggers and requires the one-class-per-step cadence"
+                )
         self._silent_tables: dict[str, bool] = {}
         self._lock: ContextManager | None = None
         if self.strategy.needs_locks:
@@ -412,7 +441,18 @@ class StepKernel:
     # -- rule firing -------------------------------------------------------------
 
     def _fire_rules(self, tup: JTuple, result: TaskResult) -> None:
+        sup = self._support
+        if sup is None:
+            for rule in self.program.rules_for(tup.schema.name):
+                self._fire_one(rule, tup, result)
+            return
         for rule in self.program.rules_for(tup.schema.name):
+            # a rederived trigger re-fires only the rules whose firing
+            # died; surviving (rule, trigger) firings stay indexed and
+            # must not run twice (set semantics).  sup.live is frozen
+            # during phase B, so this read is thread-safe.
+            if (self._rule_index[id(rule)], tup) in sup.live:
+                continue
             self._fire_one(rule, tup, result)
 
     def _fire_one(self, rule: Rule, tup: JTuple, result: TaskResult) -> None:
@@ -420,6 +460,11 @@ class StepKernel:
         key = (tup.schema.name, rule.name)
         tallies[key] = tallies.get(key, 0) + 1
         result.meter.charge("rule_fire")
+        rec = (
+            FiringRecord(rule.name, self._rule_index[id(rule)], tup)
+            if self._support is not None
+            else None
+        )
         ctx = RuleContext(
             self.db,
             self.program.decls,
@@ -433,6 +478,7 @@ class StepKernel:
             self.strategy.yield_point,
             result.events if self.tracer is not None else None,
             self._plans,
+            rec,
         )
         rule.body(ctx, tup)
         ctx.finish()
@@ -440,6 +486,10 @@ class StepKernel:
         if ctx.output:
             result.output.extend(ctx.output)
             self.stats.rule(rule.name).output_lines += len(ctx.output)
+        if rec is not None:
+            rec.puts = tuple(ctx.puts)
+            rec.lines = tuple(ctx.output)
+            result.firings.append(rec)
         self._handle_puts(ctx.puts, result, rule.name)
 
     # -- step machinery -------------------------------------------------------------
@@ -452,24 +502,43 @@ class StepKernel:
             return TaskResult(trigger=trigger)
         return TaskResult(trigger=trigger, meter=NULL_METER)
 
-    def _make_task(self, tup: JTuple, outcome: InsertOutcome | None) -> EngineTask:
+    def _make_task(
+        self,
+        tup: JTuple,
+        outcome: InsertOutcome | None,
+        refire: bool = False,
+        dead: bool = False,
+    ) -> EngineTask:
         """Task closure for one popped tuple.  ``outcome`` is the Gamma
         insertion result decided in the sequential prepare phase; the
-        task charges for it and fires the triggered rules."""
+        task charges for it and fires the triggered rules.  Retraction
+        mode adds ``refire`` (fire even though the Gamma insert is a
+        duplicate — DRed rederivation) and ``dead`` (the tuple was
+        killed by a repair cascade after it was popped — behave like a
+        duplicate, trace-stable)."""
 
         def run() -> TaskResult:
             result = self._new_result(tup)
             result.meter.charge("delta_pop")
             name = tup.schema.name
+            dead_now = dead or (
+                self._dead_step is not None and tup in self._dead_step
+            )
+            if dead_now:
+                result.duplicate = True
+                self._tt(name)[1] += 1
+                return result
             if outcome is None:  # -noGamma table
                 self._tt(name)[3] += 1
             else:
                 result.meter.charge_store_op("insert", self.db.store(name))
                 if outcome is InsertOutcome.DUPLICATE:
-                    result.duplicate = True
                     self._tt(name)[1] += 1
-                    return result
-                self._tt(name)[2] += 1
+                    if not refire:
+                        result.duplicate = True
+                        return result
+                else:
+                    self._tt(name)[2] += 1
             self._fire_rules(tup, result)
             return result
 
@@ -518,6 +587,320 @@ class StepKernel:
             for i, rule in enumerate(rules):
                 tasks.append(self._make_rule_task(tup, rule, outcome, charge_insert=i == 0))
         return tasks
+
+    # -- retraction machinery ---------------------------------------------------
+    #
+    # Classic incremental Datalog maintenance, specialised to the
+    # all-minimums engine: counting for the non-recursive case (a
+    # derived tuple lives while any firing supports it), DRed-style
+    # over-delete/rederive for the recursive case, plus one engine
+    # -specific repair — *grown-result invalidation* — for rederivations
+    # that descend below an already-fired frontier.  All repair runs in
+    # the sequential phases (feed, phase A), so it is deterministic and
+    # identical under every strategy.
+
+    def _prepare_retraction_batch(
+        self, batch: list[JTuple]
+    ) -> list[tuple[JTuple, InsertOutcome, bool, bool]]:
+        """Phase A under retraction: per-tuple (outcome, refire, dead),
+        with grown-result invalidation and stale-key repair interleaved
+        — all sequential, so cascades triggered by one tuple are visible
+        to every later tuple of the same class."""
+        sup = self._support
+        assert sup is not None
+        db = self.db
+        self._dead_step = set()
+        prepared: list[tuple[JTuple, InsertOutcome, bool, bool]] = []
+        for tup in batch:
+            refire = tup in self._refire
+            if refire:
+                self._refire.discard(tup)
+            if tup in self._dead_step:
+                prepared.append((tup, InsertOutcome.DUPLICATE, False, True))
+                continue
+            if tup in db:
+                prepared.append((tup, InsertOutcome.DUPLICATE, refire, False))
+                continue
+            self._invalidate_grown(tup, db.timestamp(tup))
+            if tup in self._dead_step:
+                prepared.append((tup, InsertOutcome.DUPLICATE, False, True))
+                continue
+            forced = False
+            try:
+                outcome = db.insert(tup)
+            except KeyInvariantError:
+                # a rederivation replacing a key's binding: the old
+                # binding must be stale *derived* state — kill its
+                # supporters and retry.  A conflict with a live base
+                # fact is a genuine invariant violation.
+                store = db.store(tup.schema.name)
+                existing = store.lookup_key(tup.key())
+                fids = sup.support.get(existing) if existing is not None else None
+                if existing is None or existing in sup.base or not fids:
+                    raise
+                self._over_delete([], seed_fids=sorted(fids))
+                if store.lookup_key(tup.key()) is not None:
+                    raise
+                forced = True
+            if forced:
+                if tup in self._dead_step:
+                    prepared.append((tup, InsertOutcome.DUPLICATE, False, True))
+                    continue
+                outcome = db.insert(tup)
+            prepared.append((tup, outcome, refire, False))
+        return prepared
+
+    def _invalidate_grown(self, tup: JTuple, ts: Timestamp) -> None:
+        """A NEW tuple whose timestamp lies strictly below an already
+        -fired trigger means that trigger's firing queried a region that
+        has since *grown* — only possible during repair (forward insert
+        -only runs never descend below the frontier).  Any firing whose
+        recorded query on this table would have matched the newcomer
+        computed its result from incomplete data: kill it so it refires
+        against the repaired state.  Equal-timestamp firings are safe —
+        phase A inserts the whole class before phase B fires it."""
+        sup = self._support
+        assert sup is not None
+        per_table = sup.queries_by_table.get(tup.schema.name)
+        if not per_table:
+            return
+        db = self.db
+        doomed: list[int] = []
+        for fid in sorted(per_table):
+            rec = sup.firings.get(fid)
+            if rec is None or tup in rec.reads or tup == rec.trigger:
+                continue
+            if compare_timestamps(ts, db.timestamp(rec.trigger)) >= 0:
+                continue
+            if any(q.matches(tup) for q in per_table[fid]):
+                doomed.append(fid)
+        if doomed:
+            self._over_delete([], seed_fids=doomed)
+
+    def _over_delete(
+        self, seed_tuples: list[JTuple], seed_fids: Iterable[int] = ()
+    ) -> None:
+        """DRed over-delete + rederive.  Kills the seed firings and the
+        dependent cone of the seed tuples (everything whose support or
+        read set transitively touches them), removes the dead tuples
+        from Gamma/Delta, retracts their output lines, then re-enqueues
+        every surviving trigger of a dead firing so the engine rederives
+        what is still justified."""
+        sup = self._support
+        assert sup is not None
+        db = self.db
+        dead_fids: dict[int, None] = {}
+        dead_tuples: dict[JTuple, None] = {}
+        cleared_tables: dict[str, None] = {}
+        work: list[JTuple] = []
+
+        def kill(fid: int) -> None:
+            if fid in dead_fids or fid not in sup.firings:
+                return
+            dead_fids[fid] = None
+            rec = sup.firings[fid]
+            for name in sorted(rec.native):
+                if name in cleared_tables:
+                    continue
+                # a native bulk write is untracked below table level:
+                # the whole table is tainted, so every firing that wrote
+                # or read it goes down with this one
+                cleared_tables[name] = None
+                tainted = set(sup.native_users.get(name, ()))
+                tainted.update(sup.queries_by_table.get(name, {}))
+                for ofid in sorted(tainted):
+                    kill(ofid)
+            for t in rec.puts:
+                fids = sup.support.get(t)
+                if fids is None:
+                    continue
+                fids.discard(fid)
+                if not fids and t not in sup.base and t not in dead_tuples:
+                    work.append(t)
+
+        for fid in seed_fids:
+            kill(fid)
+        work.extend(seed_tuples)
+        while work:
+            t = work.pop()
+            if t in dead_tuples or t in sup.base:
+                continue
+            if sup.support.get(t):
+                continue  # re-supported: counting keeps it alive
+            dead_tuples[t] = None
+            dependents = set(sup.triggered.get(t, ()))
+            dependents.update(sup.readers.get(t, ()))
+            for fid in sorted(dependents):
+                kill(fid)
+
+        # apply: drop dead firings (and their printed lines), collect
+        # surviving triggers for rederivation
+        refire: dict[JTuple, None] = {}
+        for fid in dead_fids:
+            rec = sup.unregister(fid)
+            if rec is None:
+                continue
+            for key, line in rec.out_lines:
+                self._remove_output(key, line)
+            if (
+                rec.trigger not in dead_tuples
+                and rec.trigger not in sup.retracted_base
+            ):
+                refire[rec.trigger] = None
+        for name in cleared_tables:
+            db.store(name).clear()
+        for t in dead_tuples:
+            store = db.store(t.schema.name)
+            if t in store:
+                store.remove(t)
+            if t in self.delta:
+                self.delta.remove(t, db.timestamp(t))
+            self._refire.discard(t)
+            if self._dead_step is not None:
+                self._dead_step.add(t)
+            if self.tracer is not None:
+                self.tracer.emit("retract", {"tuple": repr(t)})
+            self.stats.retractions += 1
+
+        # rederive: every surviving trigger re-enters Delta at its own
+        # timestamp; its next delivery re-fires exactly the rules whose
+        # firings died (see _fire_rules' live-skip)
+        for trig in refire:
+            if trig in dead_tuples or trig not in db:
+                continue
+            ts = db.timestamp(trig)
+            if self.delta.insert(trig, ts):
+                self._refire.add(trig)
+                self.stats.rederivations += 1
+                if self.high_water is not None and (
+                    compare_timestamps(ts, self.high_water) < 0
+                ):
+                    # the repair legitimately travels below the old
+                    # frontier; drain() re-advances the mark as the
+                    # rederived region settles again
+                    self.high_water = ts
+
+    # -- retraction: keyed output ----------------------------------------------
+
+    def _output_key(self, rec: FiringRecord, j: int) -> tuple:
+        """Deterministic sort key of one printed line: trigger timestamp
+        key, then a trigger tie-break, then rule position, then line
+        position within the firing.  Sorting by this key reproduces the
+        causal append order whenever at most one firing per equivalence
+        class prints (true of every example app: output goes through
+        dedicated println tables with singleton classes)."""
+        trig = rec.trigger
+        ts = self.db.timestamp(trig)
+        tie = (trig.schema.name, tuple(repr(v) for v in trig.values))
+        return (ts.key, tie, rec.rule_index, j)
+
+    def _insert_output(self, key: tuple, line: str) -> None:
+        i = bisect_right(self._out_keys, key)
+        self._out_keys.insert(i, key)
+        self.output.insert(i, line)
+
+    def _remove_output(self, key: tuple, line: str) -> None:
+        i = bisect_left(self._out_keys, key)
+        while i < len(self._out_keys) and self._out_keys[i] == key:
+            if self.output[i] == line:
+                del self._out_keys[i]
+                del self.output[i]
+                return
+            i += 1
+
+    def _register_firing(self, rec: FiringRecord) -> None:
+        """Index one firing after its batch joined (submission order, so
+        fids are deterministic).  A live (rule, trigger) entry means a
+        duplicate delivery already registered this firing — skip."""
+        sup = self._support
+        assert sup is not None
+        if (rec.rule_index, rec.trigger) in sup.live:
+            return
+        sup.register(rec)
+        if rec.lines:
+            out = []
+            for j, line in enumerate(rec.lines):
+                key = self._output_key(rec, j)
+                self._insert_output(key, line)
+                out.append((key, line))
+            rec.out_lines = tuple(out)
+
+    # -- retraction: feed-side event processing ---------------------------------
+
+    def _process_delete(self, tup: JTuple) -> None:
+        """Retract one base fact.  Raises :class:`RetractionError` —
+        before any mutation — when the tuple is not a retractable base
+        fact; duplicate deletes of an already-retracted fact are no-ops
+        (chaos duplicate-delivery tolerance)."""
+        sup = self._support
+        assert sup is not None
+        if tup not in sup.base:
+            if tup in sup.retracted_base:
+                return  # idempotent duplicate delete
+            if tup in sup.support or tup in self.db or tup in self.delta:
+                raise RetractionError(
+                    f"cannot delete {tup!r}: it is a derived tuple, not a "
+                    "base fact — only externally fed facts can be retracted"
+                )
+            raise RetractionError(
+                f"cannot delete {tup!r}: it was never inserted as a base fact"
+            )
+        sup.base.discard(tup)
+        sup.retracted_base.add(tup)
+        if sup.support.get(tup):
+            # counting: live firings still derive it; the fact stays
+            # until its last supporter dies
+            return
+        if tup in self.db:
+            self._over_delete([tup])
+        elif tup in self.delta:
+            self.delta.remove(tup, self.db.timestamp(tup))
+            if self.tracer is not None:
+                self.tracer.emit("retract", {"tuple": repr(tup), "pending": True})
+            self.stats.retractions += 1
+
+    def _feed_events(self, events: Iterable, source: str) -> FeedReport:
+        """Retraction-mode feed: events are processed strictly in order
+        (an insert after a delete of the same fact re-asserts it).
+
+        The §4 high-water admission gate does not apply here: support
+        tracking *subsumes* it.  A tuple below the mark would invalidate
+        negative/aggregate answers already computed — which is exactly
+        what grown-result invalidation detects and repairs when the
+        tuple's class is popped (:meth:`_invalidate_grown`), so every
+        insert is admissible and ``admission="strict"/"warn"`` never
+        fires on a retraction session.  The price is repair work
+        proportional to the firings that observed the late tuple's
+        absence — the cost the admission law exists to refuse."""
+        sup = self._support
+        assert sup is not None
+        schemas = self.program.schemas()
+        admitted = 0
+        result = self._new_result(None)  # type: ignore[arg-type]
+        for ev in events:
+            is_delete = isinstance(ev, Delete)
+            tup = ev.tuple if isinstance(ev, (Insert, Delete)) else ev
+            name = tup.schema.name
+            if schemas.get(name) is not tup.schema:
+                raise UnknownTableError(
+                    f"fed tuple {tup!r} belongs to no table of program "
+                    f"{self.program.name!r}"
+                )
+            if is_delete:
+                self._process_delete(tup)
+                continue
+            admitted += 1
+            result.meter.charge("tuple_put")
+            self.stats.on_put(source, name)
+            sup.base.add(tup)
+            sup.retracted_base.discard(tup)
+            flags = self._enqueue_delta_batch([(tup, result.meter)])
+            if self.tracer is not None:
+                self.tracer.emit("admit", {"tuple": repr(tup), "accepted": flags[0]})
+        if self._metered:
+            self.meter.merge(result.meter)
+            self.strategy.account_serial(result.meter.total_cost)
+        return FeedReport(source=source, admitted=admitted, quarantined=[])
 
     def _apply_retention(self) -> None:
         """Prune Gamma generations per the lifetime hints (§5 step 4).
@@ -606,16 +989,31 @@ class StepKernel:
         # queries with timestamps <= T", §4) and Gamma stays read-only
         # while the batch fires.  One batched insert resolves each store
         # once per same-table run instead of once per tuple.
-        prepared = list(zip(batch, self.db.insert_batch(batch, self._no_gamma)))
-        if self._retention:
-            for tup, outcome in prepared:
-                if outcome is InsertOutcome.NEW:
-                    self._note_retained(tup.schema.name, tup)
+        if self._support is not None:
+            rprepared = self._prepare_retraction_batch(batch)
+            tasks = [
+                self._make_task(t, o, refire=rf, dead=dd)
+                for t, o, rf, dd in rprepared
+            ]
+        else:
+            prepared = list(zip(batch, self.db.insert_batch(batch, self._no_gamma)))
+            if self._retention:
+                for tup, outcome in prepared:
+                    if outcome is InsertOutcome.NEW:
+                        self._note_retained(tup.schema.name, tup)
+            tasks = self._build_tasks(prepared)
         # Phase B: fire (possibly genuinely threaded).
-        tasks = self._build_tasks(prepared)
         results = self.strategy.run_batch(tasks)
         if self.tracer is not None:
             self._flush_task_events(results)
+        if self._support is not None:
+            # register this step's firings in submission order (fids —
+            # and thus repair order — are deterministic across
+            # strategies); output lines enter self.output keyed, here,
+            # instead of via the per-result extends below
+            for r in results:
+                for rec in r.firings:
+                    self._register_firing(rec)
         # Phase C (sequential, deterministic order): apply buffered puts
         # as one Delta batch.
         pending = [(put, r.meter) for r in results for put in r.puts]
@@ -628,17 +1026,20 @@ class StepKernel:
                     )
         if self._retention:
             self._apply_retention()
+        keyed_output = self._support is not None
         if self._metered:
             allocations = 0.0
             for r in results:
-                self.output.extend(r.output)
+                if not keyed_output:
+                    self.output.extend(r.output)
                 allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
                 self.meter.merge(r.meter)
             retained = float(self.db.heap_tuples())
             self.strategy.account_step(results, allocations=allocations, retained=retained)
-        else:
+        elif not keyed_output:
             for r in results:
                 self.output.extend(r.output)
+        self._dead_step = None
 
     # -- incremental surface: feed / drain / flush -----------------------------
 
@@ -652,13 +1053,26 @@ class StepKernel:
         rejection leaves the kernel untouched.  Admitted tuples run as
         one synthetic sequential task — exactly like the old engine's
         initial puts — so -noDelta cascades work during feeding too.
+
+        Under ``ExecOptions(retraction=True)`` the iterable may also
+        contain :class:`~repro.core.delta.Insert` / ``Delete`` events
+        (plain tuples remain sugar for inserts); see :meth:`_feed_events`.
         """
+        if self._support is not None:
+            return self._feed_events(tuples, source)
         schemas = self.program.schemas()
         admitted: list[JTuple] = []
         quarantined: list[JTuple] = []
         hwm = self.high_water
         mode = self.options.admission
         for tup in tuples:
+            if isinstance(tup, Insert):
+                tup = tup.tuple
+            elif isinstance(tup, Delete):
+                raise EngineError(
+                    "feed received a Delete event but retraction is not "
+                    "enabled; run with ExecOptions(retraction=True)"
+                )
             name = tup.schema.name
             if schemas.get(name) is not tup.schema:
                 raise UnknownTableError(

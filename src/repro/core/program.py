@@ -140,6 +140,13 @@ class ExecOptions:
     #: (``"warn"``).  Irrelevant to one-shot ``Engine.run`` (everything
     #: is fed before the first step).
     admission: str = "strict"
+    #: opt-in incremental view maintenance: ``feed`` accepts
+    #: :class:`~repro.core.delta.Delete` events and the kernel maintains
+    #: derived state incrementally (counting-based support tracking with
+    #: DRed-style over-delete/rederive repair).  Off by default: the
+    #: insert-only path carries zero support-tracking overhead and is
+    #: byte-identical to previous releases.
+    retraction: bool = False
 
     def with_(self, **kw: Any) -> "ExecOptions":
         """Functional update, e.g. ``opts.with_(threads=8)``."""
@@ -192,6 +199,30 @@ class ExecOptions:
                 raise EngineError(
                     "fault_plan.raise_prob requires delta-buffered effects; "
                     "-noDelta tables make tasks non-redeliverable"
+                )
+        if self.retraction:
+            # support tracking records every firing's Gamma footprint;
+            # the bypass modes below either hide tuples from the tracker
+            # or discard them behind its back, so repair would be wrong
+            if self.no_delta or self.no_gamma:
+                raise EngineError(
+                    "retraction requires fully tracked state; "
+                    "-noDelta/-noGamma tables are incompatible with it"
+                )
+            if self.retention:
+                raise EngineError(
+                    "retraction is incompatible with retention hints: "
+                    "GC-discarded tuples cannot be counted for support"
+                )
+            if self.task_granularity != "tuple":
+                raise EngineError(
+                    "retraction requires task_granularity='tuple' "
+                    "(support records are keyed per (rule, trigger) firing)"
+                )
+            if self.strategy == "processes":
+                raise EngineError(
+                    "retraction is not supported by the multiprocess shard "
+                    "runtime yet; use sequential/forkjoin/threads/chaos"
                 )
 
 

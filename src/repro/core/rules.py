@@ -182,6 +182,7 @@ class RuleContext:
         "_sched",
         "_trace",
         "_plans",
+        "_record",
     )
 
     def __init__(
@@ -198,6 +199,7 @@ class RuleContext:
         scheduler: Any = None,
         trace: list | None = None,
         plans: "PlanCache | None" = None,
+        record: Any = None,
     ):
         self._db = db
         self._decls = decls
@@ -230,6 +232,9 @@ class RuleContext:
         # compiled query plans shared across all firings of this run;
         # None -> every query rebuilds through build_query (legacy path)
         self._plans = plans
+        # retraction mode: FiringRecord accumulating this firing's
+        # Gamma footprint (reads, query shapes, native tables)
+        self._record = record
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -320,6 +325,10 @@ class RuleContext:
         regions), which is the invariant the Median program maintains."""
         self._guard()
         self.io_allowed()
+        if self._record is not None:
+            # bulk writes are invisible to per-tuple support tracking:
+            # remember the table so retraction can taint-clear it
+            self._record.native.add(table.schema.name)
         return self._db.store(table)
 
     # -- queries ------------------------------------------------------------
@@ -359,6 +368,8 @@ class RuleContext:
                     },
                 )
             )
+        if self._record is not None:
+            self._record.note_query(query, results)
         return results
 
     def _run_planned(self, plan: "CompiledQueryPlan", query: Query) -> list[JTuple]:
@@ -395,6 +406,8 @@ class RuleContext:
                     },
                 )
             )
+        if self._record is not None:
+            self._record.note_query(query, results)
         return results
 
     def _check_negative(self, query: Query) -> None:

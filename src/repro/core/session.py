@@ -217,7 +217,14 @@ class EngineSession:
         k.flush_stats()
         steps_delta = k.steps - self._step_cursor
         widths = k.stats.frontier_widths[self._step_cursor :]
-        new_output = k.output[self._out_cursor :]
+        if k.options.retraction:
+            # retraction repair can insert/remove lines *below* the
+            # cursor (output is causally keyed, not append-only), so the
+            # increment view is unsound — each settle returns the full
+            # cumulative output instead
+            new_output = list(k.output)
+        else:
+            new_output = k.output[self._out_cursor :]
         wall = time.perf_counter() - t0
         self._wall += wall
         self._settles += 1

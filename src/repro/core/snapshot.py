@@ -34,13 +34,18 @@ from typing import IO, Any
 
 from repro.core.errors import EngineError
 from repro.core.ordering import Timestamp
+from repro.core.query import Query, QueryKind
+from repro.core.support import FiringRecord
 from repro.core.tuples import JTuple
 from repro.trace.events import TraceEvent
 
 __all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "build_snapshot", "restore_session"]
 
 SNAPSHOT_FORMAT = "jstar-session-snapshot"
-SNAPSHOT_VERSION = 1
+#: version 2 added the ``support`` section (retraction mode); v1
+#: snapshots predate support tracking and are refused like any other
+#: version mismatch
+SNAPSHOT_VERSION = 2
 
 
 def _plain(value: Any) -> Any:
@@ -68,6 +73,113 @@ def _decode_timestamp(d: dict | None) -> Timestamp | None:
     return Timestamp(key=key, display=tuple(d["display"]))
 
 
+def _encode_tuple(t: JTuple) -> list:
+    return [t.schema.name, _plain(list(t.values))]
+
+
+def _encode_support(k) -> dict | None:
+    """The retraction support index, or None when the session does not
+    track support.  Query ``where`` closures are code and cannot be
+    serialised; they are flagged ``opaque`` and restored as ``None``,
+    which makes the restored query match a superset — conservative for
+    grown-result invalidation (it can only kill *more* firings, never
+    miss one)."""
+    sup = k._support
+    if sup is None:
+        return None
+    firings = []
+    for fid in sorted(sup.firings):
+        rec = sup.firings[fid]
+        firings.append(
+            {
+                "fid": fid,
+                "rule": rec.rule_name,
+                "rule_index": rec.rule_index,
+                "trigger": _encode_tuple(rec.trigger),
+                "reads": [_encode_tuple(t) for t in rec.reads],
+                "puts": [_encode_tuple(t) for t in rec.puts],
+                "lines": list(rec.lines),
+                "native": sorted(rec.native),
+                "queries": [
+                    {
+                        "table": q.schema.name,
+                        "kind": q.kind.value,
+                        "eq": [[i, _plain(v)] for i, v in sorted(q.eq.items())],
+                        "ranges": [
+                            [i, [_plain(lo), _plain(hi), li, hi2]]
+                            for i, (lo, hi, li, hi2) in sorted(q.ranges.items())
+                        ],
+                        "opaque": q.where is not None,
+                    }
+                    for q in rec.queries
+                ],
+            }
+        )
+    return {
+        "next_fid": sup.next_fid,
+        "base": [_encode_tuple(t) for t in sorted(sup.base, key=repr)],
+        "retracted_base": [
+            _encode_tuple(t) for t in sorted(sup.retracted_base, key=repr)
+        ],
+        "refire": [_encode_tuple(t) for t in sorted(k._refire, key=repr)],
+        "firings": firings,
+    }
+
+
+def _restore_support(k, data: dict, schemas) -> None:
+    """Rebuild the support index and the keyed output from the snapshot.
+    Output keys are *recomputed* (they derive from trigger timestamps,
+    which the restored database reproduces), so the keyed output list is
+    rebuilt from the firings rather than trusted from the document."""
+    sup = k._support
+    tup = lambda enc: JTuple(schemas[enc[0]], tuple(enc[1]))  # noqa: E731
+    sup.base = {tup(e) for e in data.get("base", [])}
+    sup.retracted_base = {tup(e) for e in data.get("retracted_base", [])}
+    k._refire = {tup(e) for e in data.get("refire", [])}
+    opaque_restored = False
+    entries: list[tuple[tuple, str, FiringRecord, int]] = []
+    for f in data.get("firings", []):
+        rec = FiringRecord(f["rule"], int(f["rule_index"]), tup(f["trigger"]))
+        rec.fid = int(f["fid"])
+        rec.reads = {tup(e): None for e in f.get("reads", [])}
+        rec.puts = tuple(tup(e) for e in f.get("puts", []))
+        rec.lines = tuple(str(s) for s in f.get("lines", []))
+        rec.native = set(f.get("native", []))
+        for q in f.get("queries", []):
+            if q.get("opaque"):
+                opaque_restored = True
+            rec.queries.append(
+                Query(
+                    schemas[q["table"]],
+                    {int(i): v for i, v in q.get("eq", [])},
+                    {
+                        int(i): (lo, hi, bool(li), bool(hi2))
+                        for i, (lo, hi, li, hi2) in q.get("ranges", [])
+                    },
+                    None,
+                    QueryKind(q.get("kind", "positive")),
+                )
+            )
+        sup.register_restored(rec)
+        for j, line in enumerate(rec.lines):
+            entries.append((k._output_key(rec, j), line, rec, j))
+    sup.next_fid = int(data.get("next_fid", 0))
+    entries.sort(key=lambda e: e[0])
+    k._out_keys = [key for key, _line, _rec, _j in entries]
+    k.output[:] = [line for _key, line, _rec, _j in entries]
+    per_rec: dict[int, list] = {}
+    for key, line, rec, _j in entries:
+        per_rec.setdefault(rec.fid, []).append((key, line))
+    for fid, pairs in per_rec.items():
+        sup.firings[fid].out_lines = tuple(pairs)
+    if opaque_restored:
+        k.stats.note(
+            "restored support records carry opaque where-clauses "
+            "(code cannot be serialised); grown-result invalidation will "
+            "conservatively over-invalidate their firings"
+        )
+
+
 def build_snapshot(session) -> dict:
     """The snapshot document for one open session (pure read)."""
     k = session.kernel
@@ -91,6 +203,7 @@ def build_snapshot(session) -> dict:
         "fire_tallies": [[a, b, n] for (a, b), n in k._fire_tallies.items()],
         "put_tallies": [[a, b, n] for (a, b), n in k._put_tallies.items()],
         "table_tallies": {n: list(t) for n, t in k._table_tallies.items()},
+        "support": _encode_support(k),
         "stats": k.stats.to_state(),
         "meter": k.meter.to_state(),
         "strategy_state": k.strategy.state_dict(),
@@ -183,6 +296,20 @@ def restore_session(cls, source, program, options=None, strategy=None):
     k.steps = int(payload.get("steps", 0))
     k.high_water = _decode_timestamp(payload.get("high_water"))
     k.output[:] = [str(line) for line in payload.get("output", [])]
+    support = payload.get("support")
+    if (support is not None) != (k._support is not None):
+        raise EngineError(
+            "snapshot retraction state disagrees with the restore options: "
+            + (
+                "the snapshot carries a support index but "
+                "ExecOptions(retraction=True) was not passed"
+                if support is not None
+                else "ExecOptions(retraction=True) was passed but the "
+                "snapshot has no support index"
+            )
+        )
+    if support is not None:
+        _restore_support(k, support, schemas)
     trace = payload.get("trace")
     if k.tracer is not None:
         if trace is not None:

@@ -1,0 +1,200 @@
+"""Support tracking for incremental view maintenance (retraction).
+
+When a session runs with ``ExecOptions(retraction=True)``, the kernel
+records one :class:`FiringRecord` per rule firing: the trigger, every
+Gamma tuple the firing read, the structural shape of every query it
+ran, the tuples it put and the output lines it printed.  The
+:class:`SupportIndex` aggregates those records into the counting-based
+support relation of classic incremental Datalog maintenance:
+
+* ``support[t]`` — the set of firings that derived tuple ``t``.  A
+  derived tuple stays in Gamma while at least one live firing supports
+  it (counting); when the last supporting firing dies the tuple is
+  over-deleted and its own dependents are visited in turn.
+* ``readers[t]`` / ``triggered[t]`` — the firings whose *inputs*
+  include ``t``, used to find the dependent cone of a deleted fact.
+* ``queries_by_table`` — recorded query footprints per table, used for
+  grown-result invalidation: when a *new* tuple with a smaller
+  timestamp appears (a DRed rederivation descending below an already
+  -fired frontier), any earlier firing whose recorded query would have
+  matched it computed its result from incomplete data and must be
+  re-run.
+
+The repair loop itself (over-delete, rederive) lives in the kernel;
+this module is pure bookkeeping, which is also what serialises into a
+session snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Query
+from repro.core.tuples import JTuple
+
+__all__ = ["FiringRecord", "SupportIndex"]
+
+
+class FiringRecord:
+    """The Gamma footprint of one rule firing.
+
+    ``reads`` is an insertion-ordered set of every tuple any query
+    returned; ``queries`` keeps a structural copy of each query shape
+    (negative/aggregate shapes matter even with no results: they define
+    what *absence* the firing observed).  ``out_lines`` pairs each
+    printed line with its deterministic output key, assigned at
+    registration time.
+    """
+
+    __slots__ = (
+        "rule_name",
+        "rule_index",
+        "trigger",
+        "reads",
+        "queries",
+        "puts",
+        "lines",
+        "native",
+        "fid",
+        "out_lines",
+    )
+
+    def __init__(self, rule_name: str, rule_index: int, trigger: JTuple):
+        self.rule_name = rule_name
+        self.rule_index = rule_index
+        self.trigger = trigger
+        self.reads: dict[JTuple, None] = {}
+        self.queries: list[Query] = []
+        self.puts: tuple[JTuple, ...] = ()
+        self.lines: tuple[str, ...] = ()
+        self.native: set[str] = set()
+        self.fid: int = -1
+        self.out_lines: tuple[tuple[tuple, str], ...] = ()
+
+    def note_query(self, q: Query, results: list[JTuple]) -> None:
+        """Record one query's shape and results.  The query is copied
+        structurally (eq/ranges dicts) because plan-cache queries may be
+        reused across firings."""
+        self.queries.append(Query(q.schema, dict(q.eq), dict(q.ranges), q.where, q.kind))
+        for t in results:
+            self.reads[t] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<firing #{self.fid} {self.rule_name} on {self.trigger!r}: "
+            f"{len(self.reads)} reads, {len(self.puts)} puts>"
+        )
+
+
+class SupportIndex:
+    """All live firings plus the inverted indexes the repair loop needs."""
+
+    __slots__ = (
+        "next_fid",
+        "firings",
+        "base",
+        "retracted_base",
+        "support",
+        "readers",
+        "triggered",
+        "live",
+        "queries_by_table",
+        "native_users",
+    )
+
+    def __init__(self) -> None:
+        self.next_fid = 0
+        #: fid -> FiringRecord, every live firing
+        self.firings: dict[int, FiringRecord] = {}
+        #: externally asserted facts (never need support)
+        self.base: set[JTuple] = set()
+        #: base facts that were deleted — duplicate deletes are no-ops
+        self.retracted_base: set[JTuple] = set()
+        #: derived tuple -> fids of the firings that put it
+        self.support: dict[JTuple, set[int]] = {}
+        #: tuple -> fids whose queries returned it
+        self.readers: dict[JTuple, set[int]] = {}
+        #: tuple -> fids it triggered
+        self.triggered: dict[JTuple, set[int]] = {}
+        #: (rule_index, trigger) -> fid — at most one live firing per
+        #: rule/trigger pair (set semantics); doubles as the
+        #: duplicate-delivery defence
+        self.live: dict[tuple[int, JTuple], int] = {}
+        #: table name -> {fid: [recorded queries on that table]}
+        self.queries_by_table: dict[str, dict[int, list[Query]]] = {}
+        #: table name -> fids that touched it through ctx.native()
+        self.native_users: dict[str, set[int]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, rec: FiringRecord) -> int:
+        """Index a fresh firing; assigns its fid."""
+        rec.fid = self.next_fid
+        self.next_fid += 1
+        self.register_restored(rec)
+        return rec.fid
+
+    def register_restored(self, rec: FiringRecord) -> None:
+        """Index a firing that already carries its fid (snapshot restore
+        path; also the tail of :meth:`register`)."""
+        fid = rec.fid
+        self.firings[fid] = rec
+        self.live[(rec.rule_index, rec.trigger)] = fid
+        self.triggered.setdefault(rec.trigger, set()).add(fid)
+        for t in rec.reads:
+            self.readers.setdefault(t, set()).add(fid)
+        for t in rec.puts:
+            self.support.setdefault(t, set()).add(fid)
+        for q in rec.queries:
+            self.queries_by_table.setdefault(q.schema.name, {}).setdefault(
+                fid, []
+            ).append(q)
+        for name in rec.native:
+            self.native_users.setdefault(name, set()).add(fid)
+
+    def unregister(self, fid: int) -> FiringRecord | None:
+        """Drop a dead firing from every index (empty entries are
+        cleaned up so the maps do not accrete)."""
+        rec = self.firings.pop(fid, None)
+        if rec is None:
+            return None
+        key = (rec.rule_index, rec.trigger)
+        if self.live.get(key) == fid:
+            del self.live[key]
+        trig = self.triggered.get(rec.trigger)
+        if trig is not None:
+            trig.discard(fid)
+            if not trig:
+                del self.triggered[rec.trigger]
+        for t in rec.reads:
+            rd = self.readers.get(t)
+            if rd is not None:
+                rd.discard(fid)
+                if not rd:
+                    del self.readers[t]
+        for t in rec.puts:
+            sup = self.support.get(t)
+            if sup is not None:
+                sup.discard(fid)
+                if not sup:
+                    del self.support[t]
+        for q in rec.queries:
+            per_table = self.queries_by_table.get(q.schema.name)
+            if per_table is not None:
+                per_table.pop(fid, None)
+                if not per_table:
+                    del self.queries_by_table[q.schema.name]
+        for name in rec.native:
+            users = self.native_users.get(name)
+            if users is not None:
+                users.discard(fid)
+                if not users:
+                    del self.native_users[name]
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.firings)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SupportIndex {len(self.firings)} firings, "
+            f"{len(self.base)} base facts, {len(self.support)} derived>"
+        )

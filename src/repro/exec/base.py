@@ -48,6 +48,11 @@ class TaskResult:
     #: engine can flush them in submission order — a globally shared
     #: recorder would interleave nondeterministically under real threads
     events: list[tuple[str, dict]] = field(default_factory=list)
+    #: per-task firing records (retraction mode only): one
+    #: :class:`~repro.core.support.FiringRecord` per rule fired, buffered
+    #: like ``events`` so registration happens in submission order — and
+    #: so records of faulted/duplicate results are discarded with them
+    firings: list = field(default_factory=list)
 
 
 @dataclass(slots=True)

@@ -157,6 +157,13 @@ class TableStore(ABC):
         Stores that cannot delete raise."""
         raise SchemaError(f"{self.kind} store cannot discard tuples")
 
+    def remove(self, tup: JTuple) -> bool:
+        """Remove a tuple for *retraction* (incremental maintenance).
+        Semantically identical to :meth:`discard`; a separate entry
+        point so stores can keep GC-only deletion cheap while making
+        retraction exact (e.g. also unwinding secondary indexes)."""
+        return self.discard(tup)
+
     def lookup_cost_for(self, query: Query) -> tuple[float, str]:
         """Virtual-time cost of serving one select, plus the metering
         tag it is charged under.  The default is the flat profile cost;

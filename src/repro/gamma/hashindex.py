@@ -96,6 +96,10 @@ class HashKeyStore(TableStore):
             return True
         return False
 
+    def remove(self, tup: JTuple) -> bool:
+        # retraction-exact: the key map is the whole representation
+        return self.discard(tup)
+
     def prepare(self, query: Query) -> PreparedSelect:
         """Fully-bound key shapes become a single dict probe; when the
         shape binds *exactly* the key (no ranges), every hit matches by
@@ -196,6 +200,10 @@ class HashIndexStore(TableStore):
             self._size -= 1
             return True
         return False
+
+    def remove(self, tup: JTuple) -> bool:
+        # retraction-exact: bucket membership and size stay consistent
+        return self.discard(tup)
 
     def select(self, query: Query) -> Iterator[JTuple]:
         bound = query.eq_on(self.index_fields)

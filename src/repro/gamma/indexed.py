@@ -220,6 +220,15 @@ class IndexedStore(TableStore):
                 ix.remove(tup)
         return removed
 
+    def remove(self, tup: JTuple) -> bool:
+        # retraction-exact: delegate to the base store's *remove* (it
+        # may be stricter than its GC discard), then unwind the indexes
+        removed = self.base.remove(tup)
+        if removed:
+            for ix in self.indexes:
+                ix.remove(tup)
+        return removed
+
     def clear(self) -> None:
         self.base.clear()
         for ix in self.indexes:

@@ -77,6 +77,10 @@ class TreeSetStore(TableStore):
             self._by_key.delete(tup.key())
         return removed
 
+    def remove(self, tup: JTuple) -> bool:
+        # retraction-exact: discard already unwinds the key index too
+        return self.discard(tup)
+
     def select(self, query: Query) -> Iterator[JTuple]:
         key = query.key_if_fully_bound()
         if key is not None:

@@ -79,6 +79,11 @@ class StatsCollector:
     frontier_widths: list[int] = field(default_factory=list)
     #: injected-fault counters (chaos strategy): kind -> count
     faults: dict[str, int] = field(default_factory=dict)
+    #: retraction mode: tuples removed by over-delete/repair (cumulative
+    #: — a tuple retracted and later rederived counts in both)
+    retractions: int = 0
+    #: retraction mode: triggers re-enqueued by DRed rederivation
+    rederivations: int = 0
     #: engine configuration notes: options the engine adjusted (e.g.
     #: metering forced on by a virtual-time strategy) — surfaced in
     #: ``run_report`` so knob overrides are never silent
@@ -236,6 +241,8 @@ class StatsCollector:
             "max_batch": self.max_batch,
             "frontier": self.frontier_profile(),
             "faults": dict(sorted(self.faults.items())),
+            "retractions": self.retractions,
+            "rederivations": self.rederivations,
             "tables": {n: vars(s) for n, s in self.tables.items()},
             "rules": {n: vars(s) for n, s in self.rules.items()},
         }
@@ -263,6 +270,8 @@ class StatsCollector:
             "max_batch": self.max_batch,
             "frontier_widths": list(self.frontier_widths),
             "faults": dict(self.faults),
+            "retractions": self.retractions,
+            "rederivations": self.rederivations,
             "notes": list(self.notes),
             "settles": [dict(s) for s in self.settles],
         }
@@ -295,5 +304,7 @@ class StatsCollector:
         self.max_batch = int(state.get("max_batch", 0))
         self.frontier_widths = [int(w) for w in state.get("frontier_widths", [])]
         self.faults = {str(k): int(v) for k, v in state.get("faults", {}).items()}
+        self.retractions = int(state.get("retractions", 0))
+        self.rederivations = int(state.get("rederivations", 0))
         self.notes = [str(n) for n in state.get("notes", [])]
         self.settles = [dict(s) for s in state.get("settles", [])]

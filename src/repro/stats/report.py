@@ -150,6 +150,11 @@ def run_report(result: "RunResult") -> str:
             f"{k}={n}" for k, n in sorted(result.stats.faults.items())
         )
         parts.append(f"injected faults: {counts}")
+    if result.stats.retractions or result.stats.rederivations:
+        parts.append(
+            f"retraction: {result.stats.retractions} tuples retracted, "
+            f"{result.stats.rederivations} triggers rederived"
+        )
     if result.report is not None:
         parts.append(format_machine(result.report))
     if getattr(result, "nodes", None):

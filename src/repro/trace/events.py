@@ -25,6 +25,11 @@ Event kinds
                            carried at the feed's current step, so
                            chunked-feed comparisons treat admits as a
                            step-independent multiset
+``retract``    (semantic)  one tuple removed by retraction repair
+                           (``Delete`` of a base fact, over-delete
+                           cascade, or grown-result invalidation);
+                           ``pending: true`` marks a tuple pulled from
+                           Delta before it was ever processed
 ``sched``      (meta)      one batch's chaos schedule: order/picks/faults
 ``fault``      (meta)      one injected fault that actually triggered
 ``run-end``    (semantic)  run summary: steps, output hash, table sizes
