@@ -1,0 +1,246 @@
+"""Multi-tenant session-service benchmark (BENCH_pr7.json).
+
+Drives hundreds of concurrent tenant sessions through the asyncio
+frontend over real sockets — one connection per tenant, every tenant
+opened before any feeds — and reports client-observed feed/settle
+latency percentiles plus sustained end-to-end throughput (admitted
+tuples per wall-clock second, measured from the first feed to the last
+close).
+
+The workload is the serving shape: a stream of readings, a threshold
+rule, causally ordered log output.  Tenants share a pool of distinct
+scripts (the engine work is identical either way; the pool keeps the
+event-generation cost flat), fed in causally aligned tick batches with
+a settle every other batch.
+
+A fixed pure-Python spin loop is timed alongside as a calibration
+constant so ``check_perf_smoke.py`` can normalise the latency gate
+across machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_pr7.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --out /tmp/b.json
+
+The default scale is 200 tenants x 5000 tuples = 1M fed tuples;
+``--quick`` drops to 12 x 400 for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import statistics
+import time
+
+from repro.core import Program
+from repro.serve import (
+    ProgramRegistry,
+    ServiceClient,
+    ServiceConfig,
+    SessionService,
+)
+
+HOT = 900
+N_SENSORS = 8
+TICKS_PER_BATCH = 4
+SETTLE_EVERY = 2
+DISTINCT_SCRIPTS = 10
+
+
+def telemetry_factory() -> Program:
+    p = Program("telemetry")
+    Reading = p.table(
+        "Reading",
+        "int tick, int sensor -> int value",
+        orderby=("Int", "seq tick", "Reading", "par sensor"),
+    )
+    Alert = p.table(
+        "Alert",
+        "int tick, int sensor -> int value",
+        orderby=("Int", "seq tick", "Alert", "par sensor"),
+    )
+    Println = p.table(
+        "Println",
+        "int tick, int sensor -> str text",
+        orderby=("Int", "seq tick", "Out", "seq sensor"),
+    )
+    p.order("Int", "Out")
+    p.order("Reading", "Alert", "Out")
+
+    @p.foreach(Reading)
+    def threshold(ctx, r):
+        if r.value >= HOT:
+            ctx.put(Alert.new(r.tick, r.sensor, r.value))
+
+    @p.foreach(Alert)
+    def report(ctx, a):
+        ctx.put(Println.new(a.tick, a.sensor,
+                            f"tick {a.tick}: sensor {a.sensor} hot at {a.value}"))
+
+    @p.foreach(Println, unsafe=True)
+    def emit(ctx, line):
+        ctx.println(line.text)
+
+    return p
+
+
+def script(seed: int, n_tuples: int) -> list[list[list]]:
+    """Wire-triple batches, one batch per TICKS_PER_BATCH whole ticks."""
+    batches: list[list[list]] = []
+    cur: list[list] = []
+    tick = 0
+    mixer = seed * 2654435761 % 2**31
+    for i in range(n_tuples):
+        sensor = i % N_SENSORS
+        if sensor == 0 and i:
+            tick += 1
+            if tick % TICKS_PER_BATCH == 0:
+                batches.append(cur)
+                cur = []
+        cur.append(["+", "Reading", [tick, sensor, (i * 1103515245 + mixer) % 1000]])
+    if cur:
+        batches.append(cur)
+    return batches
+
+
+def _calibration(n: int = 2_000_000) -> float:
+    t0 = time.perf_counter()
+    sum(i * i for i in range(n))
+    return time.perf_counter() - t0
+
+
+def _percentiles(samples_ms: list[float]) -> dict:
+    ordered = sorted(samples_ms)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        return ordered[min(n - 1, max(0, round(q * (n - 1))))]
+
+    return {
+        "count": n,
+        "p50": round(pct(0.50), 3),
+        "p90": round(pct(0.90), 3),
+        "p99": round(pct(0.99), 3),
+        "max": round(ordered[-1], 3),
+        "mean": round(statistics.fmean(ordered), 3),
+    }
+
+
+async def _bench(n_tenants: int, tuples_per_tenant: int, workers: int) -> dict:
+    registry = ProgramRegistry()
+    registry.register("telemetry", telemetry_factory)
+    scripts = {
+        seed: script(seed, tuples_per_tenant)
+        for seed in range(min(DISTINCT_SCRIPTS, n_tenants))
+    }
+
+    service = SessionService(
+        registry,
+        ServiceConfig(
+            max_tenants=n_tenants + 8,
+            executor_workers=workers,
+            checkpoint_every_settles=0,
+        ),
+    )
+    await service.start()
+
+    feed_ms: list[float] = []
+    settle_ms: list[float] = []
+    gate_remaining = n_tenants
+    gate = asyncio.Event()
+    fed_total = 0
+
+    async def drive(i: int) -> None:
+        nonlocal gate_remaining, fed_total
+        batches = scripts[i % len(scripts)]
+        tenant = f"tenant-{i:05d}"
+        async with await ServiceClient.connect("127.0.0.1", service.port) as c:
+            await c.open(tenant, "telemetry")
+            gate_remaining -= 1
+            if gate_remaining == 0:
+                gate.set()
+            await gate.wait()
+            for j, batch in enumerate(batches):
+                t0 = time.perf_counter()
+                fed = await c.feed(tenant, batch, retries=8, backoff=0.05)
+                feed_ms.append((time.perf_counter() - t0) * 1e3)
+                fed_total += fed["admitted"]
+                if (j + 1) % SETTLE_EVERY == 0:
+                    t0 = time.perf_counter()
+                    await c.settle(tenant)
+                    settle_ms.append((time.perf_counter() - t0) * 1e3)
+            t0 = time.perf_counter()
+            await c.settle(tenant)
+            settle_ms.append((time.perf_counter() - t0) * 1e3)
+            await c.close(tenant)
+
+    t_start = time.perf_counter()
+    try:
+        await asyncio.gather(*(drive(i) for i in range(n_tenants)))
+    finally:
+        await service.stop(checkpoint=False)
+    wall = time.perf_counter() - t_start
+
+    assert fed_total == sum(
+        sum(len(b) for b in scripts[i % len(scripts)]) for i in range(n_tenants)
+    ), "lost or duplicated tuples during the benchmark"
+
+    return {
+        "tenants": n_tenants,
+        "tuples_per_tenant": tuples_per_tenant,
+        "total_tuples": fed_total,
+        "distinct_scripts": len(scripts),
+        "executor_workers": workers,
+        "settle_every_batches": SETTLE_EVERY,
+        "wall": round(wall, 3),
+        "tuples_per_sec": round(fed_total / wall, 1),
+        "feed_ms": _percentiles(feed_ms),
+        "settle_ms": _percentiles(settle_ms),
+        "service_stats": service.stats.as_dict(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_pr7.json")
+    ap.add_argument("--tenants", type=int, default=200)
+    ap.add_argument("--tuples", type=int, default=5000,
+                    help="tuples fed per tenant")
+    ap.add_argument("--workers", type=int, default=8)
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke scale: 12 tenants x 400 tuples")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.tenants, args.tuples = 12, 400
+
+    calibration = min(_calibration() for _ in range(3))
+    result = asyncio.run(_bench(args.tenants, args.tuples, args.workers))
+
+    doc = {
+        "meta": {
+            "benchmark": "service",
+            "created_unix": int(time.time()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "calibration_wall": round(calibration, 4),
+            "quick": args.quick,
+        },
+        "service": result,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"{result['tenants']} tenants, {result['total_tuples']} tuples in "
+        f"{result['wall']}s  ->  {result['tuples_per_sec']} tuples/s, "
+        f"settle p50 {result['settle_ms']['p50']}ms "
+        f"p99 {result['settle_ms']['p99']}ms  ({args.out})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

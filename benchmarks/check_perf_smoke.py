@@ -12,9 +12,17 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_fastpath.py --out /tmp/bench_current.json
     python benchmarks/check_perf_smoke.py /tmp/bench_current.json
 
+With ``--service-current`` the gate additionally checks a service
+benchmark (``bench_service.py --quick`` output) against
+``baselines/BENCH_pr7.baseline.json``: normalised settle p99 latency
+must not regress past ``--service-tolerance`` and normalised sustained
+throughput must not fall below baseline / tolerance.  The service
+tolerance is wider than the engine one because client-observed
+latencies fold in scheduler and socket noise.
+
 Exit status 1 if any (app, strategy) fast wall regressed by more than
-``TOLERANCE`` after calibration, or if a sequential fast run no longer
-matches the legacy run's output.
+``TOLERANCE`` after calibration, if a sequential fast run no longer
+matches the legacy run's output, or if the service gate fails.
 """
 
 from __future__ import annotations
@@ -25,7 +33,9 @@ import sys
 from pathlib import Path
 
 TOLERANCE = 1.25  # >25 % normalised wall-time regression fails
+SERVICE_TOLERANCE = 2.0  # service latency/throughput gate
 BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr3.baseline.json"
+SERVICE_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr7.baseline.json"
 
 
 def check(current: dict, baseline: dict, tolerance: float = TOLERANCE) -> list[str]:
@@ -57,15 +67,56 @@ def check(current: dict, baseline: dict, tolerance: float = TOLERANCE) -> list[s
     return failures
 
 
+def check_service(
+    current: dict, baseline: dict, tolerance: float = SERVICE_TOLERANCE
+) -> list[str]:
+    """Service gate: normalised settle p99 and sustained throughput.
+
+    Latency normalises by multiplying a faster machine's times up
+    (divide by calibration); throughput normalises the other way."""
+    failures: list[str] = []
+    cal_cur = current["meta"]["calibration_wall"]
+    cal_base = baseline["meta"]["calibration_wall"]
+    cur, base = current["service"], baseline["service"]
+
+    base_p99 = base["settle_ms"]["p99"] / cal_base
+    cur_p99 = cur["settle_ms"]["p99"] / cal_cur
+    if cur_p99 > base_p99 * tolerance:
+        failures.append(
+            f"service: normalised settle p99 {cur_p99:.1f} exceeds baseline "
+            f"{base_p99:.1f} x{tolerance} (raw {cur['settle_ms']['p99']}ms "
+            f"vs {base['settle_ms']['p99']}ms)"
+        )
+    base_tps = base["tuples_per_sec"] * cal_base
+    cur_tps = cur["tuples_per_sec"] * cal_cur
+    if cur_tps < base_tps / tolerance:
+        failures.append(
+            f"service: normalised throughput {cur_tps:.1f} below baseline "
+            f"{base_tps:.1f} / {tolerance} (raw {cur['tuples_per_sec']} "
+            f"vs {base['tuples_per_sec']} tuples/s)"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="bench_fastpath.py output to check")
     ap.add_argument("--baseline", default=str(BASELINE))
     ap.add_argument("--tolerance", type=float, default=TOLERANCE)
+    ap.add_argument("--service-current", default=None,
+                    help="bench_service.py output to gate as well")
+    ap.add_argument("--service-baseline", default=str(SERVICE_BASELINE))
+    ap.add_argument("--service-tolerance", type=float, default=SERVICE_TOLERANCE)
     args = ap.parse_args(argv)
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
     failures = check(current, baseline, args.tolerance)
+    if args.service_current is not None:
+        failures += check_service(
+            json.loads(Path(args.service_current).read_text()),
+            json.loads(Path(args.service_baseline).read_text()),
+            args.service_tolerance,
+        )
     if failures:
         print("perf-smoke FAILED:", file=sys.stderr)
         for f in failures:

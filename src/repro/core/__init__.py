@@ -22,19 +22,29 @@ from repro.core.delta import Delete, DeltaTree, Insert
 from repro.core.engine import Engine, FeedReport, RunResult
 from repro.core.errors import (
     AdmissionWarning,
+    BackpressureError,
     CausalityError,
     EngineError,
     EngineWarning,
+    FrameTooLargeError,
     JStarError,
     KeyInvariantError,
     OrderingError,
+    OverloadedError,
+    ProtocolError,
     RetractionError,
     RuleError,
     SchemaError,
+    ServiceError,
     StratificationError,
     StratificationWarning,
+    TenantClosedError,
+    TenantLimitError,
     UnknownFieldError,
+    UnknownProgramError,
     UnknownTableError,
+    UnknownTenantError,
+    UnknownVerbError,
     UnsafeOperationError,
 )
 from repro.core.ordering import (
@@ -121,4 +131,14 @@ __all__ = [
     "EngineWarning",
     "AdmissionWarning",
     "UnsafeOperationError",
+    "ServiceError",
+    "ProtocolError",
+    "FrameTooLargeError",
+    "UnknownVerbError",
+    "UnknownProgramError",
+    "UnknownTenantError",
+    "TenantClosedError",
+    "BackpressureError",
+    "TenantLimitError",
+    "OverloadedError",
 ]

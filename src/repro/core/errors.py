@@ -100,6 +100,81 @@ class AdmissionWarning(EngineWarning):
     regions below the high-water mark could be invalidated (§4)."""
 
 
+class ServiceError(JStarError):
+    """Base class for errors raised by the multi-tenant session service
+    (:mod:`repro.serve`).  Each subclass carries a stable wire ``code``
+    and a ``retryable`` flag; the service maps them onto structured
+    error responses (``{"code", "message", "retryable"}``) so clients
+    can distinguish *backpressure* (retry the same request later,
+    nothing was mutated) from *protocol or semantic* failures (fix the
+    request).  The taxonomy is the serving-side analogue of the engine
+    error classes above."""
+
+    code = "service"
+    retryable = False
+
+
+class ProtocolError(ServiceError):
+    """The frame or request was malformed: bad length prefix, invalid
+    JSON, a non-object payload, or missing required fields."""
+
+    code = "protocol"
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame exceeded the service's ``max_frame_bytes``.  Not
+    retryable as-is: the client must split the batch."""
+
+    code = "frame-too-large"
+
+
+class UnknownVerbError(ProtocolError):
+    """The request named a verb the service does not speak."""
+
+    code = "unknown-verb"
+
+
+class UnknownProgramError(ServiceError):
+    """``open`` named a program absent from the service registry."""
+
+    code = "unknown-program"
+
+
+class UnknownTenantError(ServiceError):
+    """A verb addressed a tenant with no live session and no durable
+    snapshot (never opened, or closed and reaped)."""
+
+    code = "unknown-tenant"
+
+
+class TenantClosedError(ServiceError):
+    """The tenant's session was closed; open a fresh tenant id."""
+
+    code = "closed"
+
+
+class BackpressureError(ServiceError):
+    """The service refused the request to protect itself; nothing was
+    admitted or mutated.  Always retryable: the same request is valid
+    later, when load has drained."""
+
+    code = "backpressure"
+    retryable = True
+
+
+class TenantLimitError(BackpressureError):
+    """``open`` refused: the session table is at ``max_tenants``."""
+
+    code = "tenant-limit"
+
+
+class OverloadedError(BackpressureError):
+    """``feed`` refused: admitting the batch would push the in-flight
+    feed bytes over ``max_inflight_bytes``."""
+
+    code = "overloaded"
+
+
 class UnsafeOperationError(JStarError):
     """Side-effecting operation attempted outside an ``unsafe`` rule.
 

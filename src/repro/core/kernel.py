@@ -233,13 +233,16 @@ class StepKernel:
         #: phase A — their already-built tasks must no-op (None between
         #: steps; only mutated in the sequential phases)
         self._dead_step: set[JTuple] | None = None
-        self._rule_index: dict[int, int] = {}
+        #: rule identity -> position, for deterministic output keys and
+        #: the retraction live-firing index
+        self._rule_index: dict[int, int] = {
+            id(r): i for i, r in enumerate(program.rules)
+        }
         #: sort keys parallel to ``self.output`` (retraction mode keys
         #: every line so retracted lines can be removed exactly)
         self._out_keys: list[tuple] = []
         if options.retraction:
             self._support = SupportIndex()
-            self._rule_index = {id(r): i for i, r in enumerate(program.rules)}
             if self._coalesce:
                 self._coalesce = False
                 self._note(
@@ -485,6 +488,16 @@ class StepKernel:
         result.fired_rules.append(rule.name)
         if ctx.output:
             result.output.extend(ctx.output)
+            if rec is None:
+                # same key shape as _output_key, so the per-step sort in
+                # _run_step reproduces the keyed order retraction mode
+                # maintains via _insert_output
+                tie = (tup.schema.name, tuple(repr(v) for v in tup.values))
+                ridx = self._rule_index[id(rule)]
+                result.out_keys.extend(
+                    (ctx.trigger_ts.key, tie, ridx, j)
+                    for j in range(len(ctx.output))
+                )
             self.stats.rule(rule.name).output_lines += len(ctx.output)
         if rec is not None:
             rec.puts = tuple(ctx.puts)
@@ -1026,19 +1039,28 @@ class StepKernel:
                     )
         if self._retention:
             self._apply_retention()
-        keyed_output = self._support is not None
+        if self._support is None:
+            # canonical output order: a step is one equivalence class,
+            # so sorting its lines by the (ts, trigger, rule, line) key
+            # makes the cumulative output a pure function of the firing
+            # set — the same order retraction mode maintains via
+            # _insert_output — instead of leaking the within-class pop
+            # order when several firings of one class print
+            step_lines: list[tuple[tuple, str]] = []
+            for r in results:
+                if r.output:
+                    step_lines.extend(zip(r.out_keys, r.output))
+            if step_lines:
+                if len(step_lines) > 1:
+                    step_lines.sort(key=lambda kl: kl[0])
+                self.output.extend(line for _key, line in step_lines)
         if self._metered:
             allocations = 0.0
             for r in results:
-                if not keyed_output:
-                    self.output.extend(r.output)
                 allocations += r.meter.count("tuple_put") + r.meter.count("delta_insert")
                 self.meter.merge(r.meter)
             retained = float(self.db.heap_tuples())
             self.strategy.account_step(results, allocations=allocations, retained=retained)
-        elif not keyed_output:
-            for r in results:
-                self.output.extend(r.output)
         self._dead_step = None
 
     # -- incremental surface: feed / drain / flush -----------------------------

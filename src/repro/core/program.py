@@ -40,6 +40,24 @@ from repro.simcore.gc import GcModel
 __all__ = ["RetentionHint", "ExecOptions", "Program"]
 
 
+def _refuse(reason: str, **knobs: Any) -> None:
+    """Raise the canonical :class:`ExecOptions` refusal.
+
+    Every refusal message has one format::
+
+        invalid ExecOptions: knob=value[, knob=value...] -- reason
+
+    naming the *values* of every offending knob, so a refusal seen in a
+    log (or relayed through the session service as a structured error)
+    identifies the exact configuration that was rejected without a
+    reproduction.  The error-message test in
+    ``tests/core/test_exec_options_refusals.py`` pins this format over
+    the full refusal matrix.
+    """
+    shown = ", ".join(f"{name}={value!r}" for name, value in knobs.items())
+    raise EngineError(f"invalid ExecOptions: {shown} -- {reason}")
+
+
 @dataclass(frozen=True)
 class RetentionHint:
     """A manual tuple-lifetime hint (§5 step 4).
@@ -160,69 +178,119 @@ class ExecOptions:
             "chaos",
             "processes",
         ):
-            raise EngineError(
-                f"unknown strategy {self.strategy!r}; valid strategies: "
-                "sequential, forkjoin, threads, chaos, processes"
+            _refuse(
+                "unknown strategy; valid strategies: "
+                "sequential, forkjoin, threads, chaos, processes",
+                strategy=self.strategy,
             )
         if self.causality_check not in ("off", "warn", "strict"):
-            raise EngineError(f"unknown causality_check {self.causality_check!r}")
+            _refuse(
+                "unknown causality_check; valid modes: off, warn, strict",
+                causality_check=self.causality_check,
+            )
         if self.task_granularity not in ("tuple", "rule"):
-            raise EngineError(f"unknown task_granularity {self.task_granularity!r}")
+            _refuse(
+                "unknown task_granularity; valid granularities: tuple, rule",
+                task_granularity=self.task_granularity,
+            )
         if self.threads < 1:
-            raise EngineError("threads must be >= 1")
+            _refuse("threads must be >= 1", threads=self.threads)
         if self.index_mode not in ("off", "auto", "explicit"):
-            raise EngineError(f"unknown index_mode {self.index_mode!r}")
+            _refuse(
+                "unknown index_mode; valid modes: off, auto, explicit",
+                index_mode=self.index_mode,
+            )
         if self.metering not in ("on", "off"):
-            raise EngineError(f"unknown metering mode {self.metering!r}")
+            _refuse(
+                "unknown metering mode; valid modes: on, off",
+                metering=self.metering,
+            )
         if self.admission not in ("strict", "warn"):
-            raise EngineError(f"unknown admission mode {self.admission!r}")
+            _refuse(
+                "unknown admission mode; valid modes: strict, warn",
+                admission=self.admission,
+            )
         if self.index_mode == "off" and self.indexes:
-            raise EngineError("indexes given but index_mode is 'off'")
+            _refuse(
+                "explicit indexes need index_mode 'auto' or 'explicit'",
+                index_mode=self.index_mode,
+                indexes=sorted(self.indexes),
+            )
         if self.strategy != "chaos" and (
             self.chaos_seed is not None or self.fault_plan is not None
         ):
-            raise EngineError(
-                "chaos_seed / fault_plan only apply to the 'chaos' strategy"
+            offending = {
+                k: v
+                for k, v in (
+                    ("chaos_seed", self.chaos_seed),
+                    ("fault_plan", self.fault_plan),
+                )
+                if v is not None
+            }
+            _refuse(
+                "chaos_seed / fault_plan only apply to the 'chaos' strategy",
+                strategy=self.strategy,
+                **offending,
             )
         if self.fault_plan is not None:
             from repro.exec.chaos import FaultPlan  # local: avoid import cycles
 
             if not isinstance(self.fault_plan, FaultPlan):
-                raise EngineError(
-                    f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+                _refuse(
+                    f"fault_plan must be a FaultPlan, "
+                    f"got {type(self.fault_plan).__name__}",
+                    fault_plan=self.fault_plan,
                 )
             if self.fault_plan.raise_prob > 0 and self.no_delta:
                 # a -noDelta cascade inserts into Gamma *inside* the
                 # producing task; redelivering such a task after a fault
                 # skips the duplicate insert and loses the cascade —
                 # retryable faults require fully delta-buffered effects
-                raise EngineError(
+                _refuse(
                     "fault_plan.raise_prob requires delta-buffered effects; "
-                    "-noDelta tables make tasks non-redeliverable"
+                    "-noDelta tables make tasks non-redeliverable",
+                    fault_plan=self.fault_plan,
+                    no_delta=sorted(self.no_delta),
                 )
         if self.retraction:
             # support tracking records every firing's Gamma footprint;
             # the bypass modes below either hide tuples from the tracker
             # or discard them behind its back, so repair would be wrong
             if self.no_delta or self.no_gamma:
-                raise EngineError(
+                offending = {
+                    k: sorted(v)
+                    for k, v in (
+                        ("no_delta", self.no_delta),
+                        ("no_gamma", self.no_gamma),
+                    )
+                    if v
+                }
+                _refuse(
                     "retraction requires fully tracked state; "
-                    "-noDelta/-noGamma tables are incompatible with it"
+                    "-noDelta/-noGamma tables are incompatible with it",
+                    retraction=self.retraction,
+                    **offending,
                 )
             if self.retention:
-                raise EngineError(
+                _refuse(
                     "retraction is incompatible with retention hints: "
-                    "GC-discarded tuples cannot be counted for support"
+                    "GC-discarded tuples cannot be counted for support",
+                    retraction=self.retraction,
+                    retention=sorted(self.retention),
                 )
             if self.task_granularity != "tuple":
-                raise EngineError(
+                _refuse(
                     "retraction requires task_granularity='tuple' "
-                    "(support records are keyed per (rule, trigger) firing)"
+                    "(support records are keyed per (rule, trigger) firing)",
+                    retraction=self.retraction,
+                    task_granularity=self.task_granularity,
                 )
             if self.strategy == "processes":
-                raise EngineError(
+                _refuse(
                     "retraction is not supported by the multiprocess shard "
-                    "runtime yet; use sequential/forkjoin/threads/chaos"
+                    "runtime yet; use sequential/forkjoin/threads/chaos",
+                    retraction=self.retraction,
+                    strategy=self.strategy,
                 )
 
 

@@ -333,6 +333,26 @@ class RuleContext:
 
     # -- queries ------------------------------------------------------------
 
+    def _causal_filter(self, results: list[JTuple]) -> list[JTuple]:
+        """Restrict query results to the firing's causal past.
+
+        Forward execution keeps the invariant "Gamma holds only tuples
+        at or below the current class", so this filter never drops
+        anything there.  Under retraction, a repair drain travels below
+        the old frontier while Gamma still holds later-derived tuples a
+        scratch run could not have seen at this timestamp — a refired
+        non-monotonic rule observing them diverges from the scratch
+        recompute.  Hiding tuples ordered strictly after the trigger's
+        class restores scratch-equivalent visibility (same-class tuples
+        stay visible: phase A lands the whole class before phase B
+        fires it).
+        """
+        if not results:
+            return results
+        ts_of = self._db.timestamp
+        tts = self.trigger_ts
+        return [t for t in results if compare_timestamps(ts_of(t), tts) <= 0]
+
     def _run_query(self, query: Query) -> list[JTuple]:
         if self._sched is not None:
             self._sched()
@@ -344,6 +364,8 @@ class RuleContext:
                 results = self._db.select(query)
         else:
             results = self._db.select(query)
+        if self._record is not None:
+            results = self._causal_filter(results)
         self._meter.charge_lookup(store, query)
         if results:
             self._meter.charge_store_op("result", store, len(results))
@@ -385,6 +407,8 @@ class RuleContext:
                 results = ps.run(query)
         else:
             results = ps.run(query)
+        if self._record is not None:
+            results = self._causal_filter(results)
         n = len(results)
         self._meter.charge_planned(ps, n)
         if self._collector is not None:

@@ -270,14 +270,20 @@ class EngineSession:
 
     # -- checkpoint / restore --------------------------------------------------
 
-    def snapshot(self, dest: str | Path | IO[str] | None = None) -> dict:
+    def snapshot(
+        self, dest: str | Path | IO[str] | None = None, *, extra: object = None
+    ) -> dict:
         """Serialise the full session state to the versioned snapshot
         document (see :mod:`repro.core.snapshot`); optionally write it
-        to ``dest`` as JSON.  The session stays open."""
+        to ``dest`` as JSON.  The session stays open.  ``extra`` is an
+        opaque JSON-serialisable value stored under the document's
+        ``extra`` key and ignored on restore — callers (e.g. the session
+        service) use it to persist their own metadata atomically with
+        the engine state."""
         self._require_open()
         from repro.core.snapshot import build_snapshot
 
-        payload = build_snapshot(self)
+        payload = build_snapshot(self, extra)
         if dest is not None:
             if isinstance(dest, (str, Path)):
                 with open(dest, "w", encoding="utf-8") as fh:

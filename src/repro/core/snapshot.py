@@ -42,10 +42,11 @@ from repro.trace.events import TraceEvent
 __all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "build_snapshot", "restore_session"]
 
 SNAPSHOT_FORMAT = "jstar-session-snapshot"
-#: version 2 added the ``support`` section (retraction mode); v1
-#: snapshots predate support tracking and are refused like any other
-#: version mismatch
-SNAPSHOT_VERSION = 2
+#: version 2 added the ``support`` section (retraction mode); version 3
+#: added the optional ``extra`` section (opaque caller metadata, e.g.
+#: the session service's per-tenant durability record).  Earlier
+#: versions are refused like any other version mismatch
+SNAPSHOT_VERSION = 3
 
 
 def _plain(value: Any) -> Any:
@@ -180,13 +181,20 @@ def _restore_support(k, data: dict, schemas) -> None:
         )
 
 
-def build_snapshot(session) -> dict:
-    """The snapshot document for one open session (pure read)."""
+def build_snapshot(session, extra: Any = None) -> dict:
+    """The snapshot document for one open session (pure read).
+
+    ``extra`` is an opaque JSON-serialisable value stored verbatim under
+    the ``extra`` key and ignored by :func:`restore_session` — the
+    session service uses it to persist per-tenant durability metadata
+    (applied feed sequence numbers) *atomically* with the engine state
+    it describes, so a crash can never separate the two."""
     k = session.kernel
     schemas = k.program.schemas()
     return {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
+        "extra": _plain(extra),
         "program": k.program.name,
         "schemas": {name: list(s.field_names) for name, s in schemas.items()},
         "strategy": k.strategy.name,

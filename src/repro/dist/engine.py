@@ -249,6 +249,8 @@ class DistEngine:
         ]
         self.delta = DeltaTree()
         self.output: list[str] = []
+        #: rule identity -> position, for canonical per-step output keys
+        self._rule_index = {id(r): i for i, r in enumerate(program.rules)}
         self.traffic = StepTraffic(options.net)
         self.remote_queries = 0
         self._totals = DistRunResult(
@@ -335,12 +337,14 @@ class DistEngine:
         # phase B: fire, in deterministic class order, on the home nodes
         node_cost = [0.0] * self.n_nodes
         pending: list[tuple[int, list[JTuple], CostMeter]] = []
+        step_lines: list[tuple[tuple, str]] = []
         for tup, node in fireable:
             meter = CostMeter()
             meter.charge("delta_pop")
             for rule in self.program.rules_for(tup.schema.name):
                 self.stats.on_fire(tup.schema.name, rule.name)
                 meter.charge("rule_fire")
+                trigger_ts = self.shards[node].timestamp(tup)
                 ctx = _DistRuleContext(
                     self,
                     node,
@@ -349,19 +353,31 @@ class DistEngine:
                     meter,
                     rule,
                     tup,
-                    self.shards[node].timestamp(tup),
+                    trigger_ts,
                     check_mode=self.causality_check,
                     collector=self.stats,
                 )
                 rule.body(ctx, tup)
                 ctx.finish()
                 if ctx.output:
-                    self.output.extend(ctx.output)
+                    tie = (tup.schema.name, tuple(repr(v) for v in tup.values))
+                    ridx = self._rule_index[id(rule)]
+                    step_lines.extend(
+                        ((trigger_ts.key, tie, ridx, j), line)
+                        for j, line in enumerate(ctx.output)
+                    )
                     self.stats.rule(rule.name).output_lines += len(ctx.output)
                 for put in ctx.puts:
                     self.stats.on_put(rule.name, put.schema.name)
                 pending.append((node, list(ctx.puts), meter))
             node_cost[node] += meter.total_cost
+        # output in canonical keyed order (a step is one equivalence
+        # class): same contract as the single-node kernel, so dist runs
+        # stay byte-identical when several firings of one class print
+        if step_lines:
+            if len(step_lines) > 1:
+                step_lines.sort(key=lambda kl: kl[0])
+            self.output.extend(line for _key, line in step_lines)
         # phase C: route effects (deterministic order)
         for node, puts, meter in pending:
             for put in puts:

@@ -135,6 +135,9 @@ class ProcessShardRuntime:
         self.stats = StatsCollector()
         self.tracer = TraceRecorder() if self.options.trace else None
         self.output: list[str] = []
+        #: rule name -> position, for canonical per-step output keys
+        #: (worker records identify rules by name)
+        self._rule_pos = {r.name: i for i, r in enumerate(program.rules)}
         self.steps = 0
         self._check_mode = self.options.causality_check
         surface_exec_knobs(
@@ -397,6 +400,7 @@ class ProcessShardRuntime:
         # mid-step re-bootstraps from the last *completed* superstep
         self.db.insert_batch(batch, frozenset())
         pending: list[tuple[JTuple, int]] = []
+        step_lines: list[tuple[tuple, str]] = []
         for idx, (tup, dup, node) in enumerate(plan):
             name = tup.schema.name
             if dup:
@@ -432,7 +436,13 @@ class ProcessShardRuntime:
                         self.tracer.emit(kind, data)
                 out = entry["output"]
                 if out:
-                    self.output.extend(out)
+                    tie = (name, tuple(repr(v) for v in tup.values))
+                    ridx = self._rule_pos[rule]
+                    ts_key = self.db.timestamp(tup).key
+                    step_lines.extend(
+                        ((ts_key, tie, ridx, j), line)
+                        for j, line in enumerate(out)
+                    )
                     self.stats.rule(rule).output_lines += len(out)
                     n_output += len(out)
                 for tname, vals in entry["puts"]:
@@ -453,6 +463,13 @@ class ProcessShardRuntime:
                         "node": node,
                     },
                 )
+        # output in canonical keyed order (a step is one equivalence
+        # class), matching the single-node kernel byte-for-byte when
+        # several firings of one class print
+        if step_lines:
+            if len(step_lines) > 1:
+                step_lines.sort(key=lambda kl: kl[0])
+            self.output.extend(line for _key, line in step_lines)
         if pending:
             flags = self._enqueue([tup for tup, _node in pending])
             if self.tracer is not None:

@@ -53,6 +53,13 @@ class TaskResult:
     #: like ``events`` so registration happens in submission order — and
     #: so records of faulted/duplicate results are discarded with them
     firings: list = field(default_factory=list)
+    #: deterministic sort keys parallel to ``output`` (non-retraction
+    #: mode): (trigger ts key, trigger tie-break, rule index, line index).
+    #: The engine sorts each step's lines by this key so output order is
+    #: a pure function of the firing set — identical to the keyed order
+    #: retraction mode maintains — instead of depending on the pop order
+    #: within an equivalence class
+    out_keys: list = field(default_factory=list)
 
 
 @dataclass(slots=True)

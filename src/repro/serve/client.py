@@ -1,0 +1,166 @@
+"""Asyncio client for the session service.
+
+One :class:`ServiceClient` owns one connection; requests on it are
+strictly request→response (the service answers in order), so drive
+concurrency with one client per tenant (the soak battery and the
+benchmark both do).  The client tracks a ``next_seq`` per tenant —
+seeded from ``open``'s ``last_seq`` — so ordinary callers never touch
+sequence numbers; crash-replay callers pass explicit ``seq`` values
+from their own journal.
+
+Structured error responses raise :class:`ServiceCallError`, which
+carries the wire ``code`` and ``retryable`` flag;
+:meth:`ServiceClient.feed` can retry retryable refusals (backpressure)
+with exponential backoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Iterable
+
+from repro.core.errors import ProtocolError
+from repro.serve.protocol import read_frame, wire_events, write_frame
+
+__all__ = ["ServiceCallError", "ServiceClient"]
+
+
+class ServiceCallError(Exception):
+    """A structured ``ok: false`` response from the service."""
+
+    def __init__(self, code: str, message: str, retryable: bool):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.retryable = retryable
+
+
+class ServiceClient:
+    """One connection to one service."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 1
+        #: tenant -> next feed sequence number (seeded by ``open``)
+        self.next_seq: dict[str, int] = {}
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close_connection()
+
+    async def close_connection(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    # -- raw calls -------------------------------------------------------------
+
+    async def call_raw(self, verb: str, **fields: Any) -> dict:
+        """Send one request, await its response dict (no raising on
+        ``ok: false`` — the backpressure tests inspect these directly)."""
+        request_id = self._next_id
+        self._next_id += 1
+        await write_frame(self._writer, {"id": request_id, "verb": verb, **fields})
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ProtocolError("service closed the connection mid-call")
+        if response.get("id") != request_id:
+            # a connection-level refusal (e.g. frame-too-large) carries
+            # id null: the service could not parse the frame it is
+            # answering, and this connection has exactly one request in
+            # flight, so it is ours
+            if not (response.get("id") is None and not response.get("ok", False)):
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+        return response
+
+    async def call(self, verb: str, **fields: Any) -> dict:
+        response = await self.call_raw(verb, **fields)
+        if not response.get("ok", False):
+            err = response.get("error") or {}
+            raise ServiceCallError(
+                err.get("code", "internal"),
+                err.get("message", "missing error payload"),
+                bool(err.get("retryable", False)),
+            )
+        return response
+
+    # -- verbs -----------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.call("ping")
+
+    async def open(
+        self, tenant: str, program: str, options: dict | None = None
+    ) -> dict:
+        response = await self.call("open", tenant=tenant, program=program,
+                                   options=options or {})
+        self.next_seq[tenant] = int(response["last_seq"]) + 1
+        return response
+
+    async def feed(
+        self,
+        tenant: str,
+        events: Iterable[Any],
+        seq: int | None = None,
+        *,
+        verb: str = "feed",
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> dict:
+        """Feed engine events (JTuple / Insert / Delete) or pre-encoded
+        wire triples.  ``retries`` > 0 retries *retryable* refusals
+        (backpressure) with exponential backoff; non-retryable errors
+        raise immediately."""
+        events = list(events)
+        if all(isinstance(ev, list) for ev in events):
+            triples = events  # already wire triples
+        else:
+            triples = wire_events(events)
+        if seq is None:
+            seq = self.next_seq.get(tenant, 1)
+        attempt = 0
+        while True:
+            try:
+                response = await self.call(verb, tenant=tenant, seq=seq,
+                                           events=triples)
+            except ServiceCallError as exc:
+                if exc.retryable and attempt < retries:
+                    await asyncio.sleep(backoff * (2 ** attempt))
+                    attempt += 1
+                    continue
+                raise
+            self.next_seq[tenant] = max(self.next_seq.get(tenant, 1), seq + 1)
+            return response
+
+    async def retract(self, tenant: str, events: Iterable[Any],
+                      seq: int | None = None, **kw: Any) -> dict:
+        return await self.feed(tenant, events, seq, verb="retract", **kw)
+
+    async def settle(self, tenant: str) -> dict:
+        return await self.call("settle", tenant=tenant)
+
+    async def snapshot(self, tenant: str) -> dict:
+        return await self.call("snapshot", tenant=tenant)
+
+    async def stats(self, tenant: str | None = None) -> dict:
+        if tenant is None:
+            return await self.call("stats")
+        return await self.call("stats", tenant=tenant)
+
+    async def close(self, tenant: str) -> dict:
+        response = await self.call("close", tenant=tenant)
+        self.next_seq.pop(tenant, None)
+        return response

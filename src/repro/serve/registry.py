@@ -1,0 +1,98 @@
+"""The program registry: what the session service can serve.
+
+Rules are code, so a service cannot accept programs over the wire — it
+is configured at construction with named *program factories*.  A tenant
+opens a session naming a registered program; the factory builds a fresh
+:class:`~repro.core.Program` per tenant (sessions never share mutable
+engine state; a frozen program is shareable in principle, but a fresh
+instance per tenant keeps tenants fully isolated, plan caches
+included).
+
+Each entry also fixes the *server-side* execution options and which of
+them a tenant may override.  Tenants are untrusted: the overridable set
+defaults to the semantics-neutral knobs (``retraction``, ``admission``)
+and never includes resource-shaped ones (``strategy``, ``threads``,
+``max_steps``) unless the operator lists them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import EngineError, UnknownProgramError
+from repro.core.program import ExecOptions, Program
+
+__all__ = ["ProgramEntry", "ProgramRegistry", "DEFAULT_TENANT_KNOBS"]
+
+#: option fields a tenant may set in ``open`` unless the operator says
+#: otherwise — the ones that change *what the tenant means*, not what
+#: the server spends
+DEFAULT_TENANT_KNOBS = frozenset({"retraction", "admission"})
+
+
+@dataclass(frozen=True)
+class ProgramEntry:
+    """One registered program: factory + server-side options policy."""
+
+    name: str
+    factory: Callable[[], Program]
+    options: ExecOptions = field(default_factory=ExecOptions)
+    tenant_knobs: frozenset[str] = DEFAULT_TENANT_KNOBS
+
+    def build_options(self, overrides: dict | None) -> ExecOptions:
+        """The entry's options with a tenant's requested overrides
+        applied; refuses knobs outside the entry's allowlist.  Invalid
+        values surface as the canonical ``ExecOptions`` refusal."""
+        if not overrides:
+            return self.options
+        refused = sorted(set(overrides) - set(self.tenant_knobs))
+        if refused:
+            raise EngineError(
+                f"tenant options {refused} are not overridable for "
+                f"program {self.name!r}; allowed: {sorted(self.tenant_knobs)}"
+            )
+        return self.options.with_(**overrides)
+
+
+class ProgramRegistry:
+    """Name -> :class:`ProgramEntry` with refusal on unknown names."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ProgramEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], Program],
+        options: ExecOptions | None = None,
+        tenant_knobs: frozenset[str] | None = None,
+    ) -> ProgramEntry:
+        if name in self._entries:
+            raise EngineError(f"program {name!r} registered twice")
+        entry = ProgramEntry(
+            name,
+            factory,
+            options if options is not None else ExecOptions(),
+            tenant_knobs if tenant_knobs is not None else DEFAULT_TENANT_KNOBS,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> ProgramEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownProgramError(
+                f"program {name!r} is not registered with this service; "
+                f"registered: {sorted(self._entries) or 'none'}"
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

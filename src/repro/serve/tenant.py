@@ -1,0 +1,277 @@
+"""One tenant of the session service: a wrapped
+:class:`~repro.core.session.EngineSession` plus its durability record.
+
+Exactly-once admission across crashes is sequence-numbered: every feed
+carries a monotonically increasing ``seq``.  The tenant applies a feed
+only when ``seq == last_seq + 1`` — a lower ``seq`` is acknowledged as
+a duplicate without touching the engine (so client replay after a
+restart is idempotent), a gap is refused (a lost feed must not be
+papered over).  Checkpoints write the engine snapshot and the
+``last_seq`` that produced it as **one** atomic document
+(``snapshot.json``, written via temp-file + ``os.replace``), so a crash
+can never persist engine state without the sequence number that
+describes it, or vice versa.  On restart the service rebuilds the
+tenant from the document and tells the client which ``seq`` is durable;
+the client replays everything after it.
+
+All methods that touch the engine are synchronous and must be
+serialised per tenant — the service runs them on its executor under a
+per-tenant lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+from repro.core.errors import ProtocolError, TenantClosedError
+from repro.core.session import EngineSession
+from repro.serve.protocol import decode_events
+from repro.serve.registry import ProgramEntry
+
+__all__ = ["TenantSession", "valid_tenant_id", "TENANT_ID_PATTERN"]
+
+#: tenant ids become directory names; anything else is refused
+TENANT_ID_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+def valid_tenant_id(tenant: object) -> str:
+    if not isinstance(tenant, str) or not TENANT_ID_PATTERN.fullmatch(tenant):
+        raise ProtocolError(
+            f"invalid tenant id {tenant!r}; tenant ids are 1-64 chars of "
+            "[A-Za-z0-9._-] starting with an alphanumeric"
+        )
+    return tenant
+
+
+class TenantSession:
+    """A live tenant: engine session + sequence/durability bookkeeping."""
+
+    def __init__(
+        self,
+        tenant: str,
+        entry: ProgramEntry,
+        overrides: dict | None,
+        data_dir: Path | None,
+        session: EngineSession,
+        *,
+        last_seq: int = 0,
+        fed_tuples: int = 0,
+        settles: int = 0,
+    ):
+        self.tenant = tenant
+        self.entry = entry
+        self.overrides = dict(overrides or {})
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.session = session
+        self.last_seq = last_seq            # last feed applied to the engine
+        self.durable_seq = last_seq         # last feed captured by a checkpoint
+        self.fed_tuples = fed_tuples
+        self.quarantined_tuples = 0
+        self.settles = settles
+        self.checkpoints = 0
+        self.opened_at = time.time()
+        self.last_active = self.opened_at
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        tenant: str,
+        entry: ProgramEntry,
+        overrides: dict | None,
+        data_dir: Path | None,
+    ) -> "TenantSession":
+        options = entry.build_options(overrides)
+        session = EngineSession(entry.factory(), options).open()
+        return cls(tenant, entry, overrides, data_dir, session)
+
+    @classmethod
+    def restore_from_disk(
+        cls, tenant: str, entry: ProgramEntry, data_dir: Path
+    ) -> "TenantSession":
+        """Rebuild a tenant from its durable checkpoint.  The engine
+        state and the ``last_seq`` come from the same atomic document,
+        so they are consistent by construction."""
+        doc = json.loads(cls.snapshot_path(data_dir, tenant).read_text())
+        extra = doc.get("extra") or {}
+        if extra.get("tenant") != tenant:
+            raise ProtocolError(
+                f"checkpoint at {cls.snapshot_path(data_dir, tenant)} "
+                f"belongs to tenant {extra.get('tenant')!r}, not {tenant!r}"
+            )
+        if extra.get("program") != entry.name:
+            raise ProtocolError(
+                f"tenant {tenant!r} was opened on program "
+                f"{extra.get('program')!r}, not {entry.name!r}"
+            )
+        overrides = extra.get("overrides") or {}
+        options = entry.build_options(overrides)
+        session = EngineSession.restore(doc, entry.factory(), options)
+        return cls(
+            tenant,
+            entry,
+            overrides,
+            data_dir,
+            session,
+            last_seq=int(extra.get("last_seq", 0)),
+            fed_tuples=int(extra.get("fed_tuples", 0)),
+            settles=int(extra.get("settles", 0)),
+        )
+
+    @staticmethod
+    def tenant_dir(data_dir: Path, tenant: str) -> Path:
+        return Path(data_dir) / tenant
+
+    @staticmethod
+    def snapshot_path(data_dir: Path, tenant: str) -> Path:
+        return TenantSession.tenant_dir(data_dir, tenant) / "snapshot.json"
+
+    # -- verbs (sync; run on the service executor under the tenant lock) ------
+
+    def _require_live(self) -> None:
+        if self.session.closed:
+            raise TenantClosedError(
+                f"tenant {self.tenant!r} session is closed"
+            )
+
+    def feed(self, triples: list, seq: int | None, deletes_only: bool = False) -> dict:
+        """Apply one sequenced feed.  Returns the wire payload."""
+        self._require_live()
+        self.last_active = time.time()
+        if seq is None:
+            seq = self.last_seq + 1
+        elif not isinstance(seq, int) or seq < 1:
+            raise ProtocolError(f"feed seq must be a positive integer, got {seq!r}")
+        if seq <= self.last_seq:
+            # a replay of an already-applied feed: acknowledge without
+            # touching the engine — this is what makes client replay
+            # after a crash idempotent
+            return {
+                "seq": seq,
+                "duplicate": True,
+                "admitted": 0,
+                "quarantined": 0,
+                "last_seq": self.last_seq,
+                "durable_seq": self.durable_seq,
+            }
+        if seq != self.last_seq + 1:
+            raise ProtocolError(
+                f"feed seq {seq} leaves a gap: tenant {self.tenant!r} has "
+                f"applied up to seq {self.last_seq}; feeds must arrive in "
+                "order (replay from durable_seq + 1 after a restart)"
+            )
+        events = decode_events(self.session.program.schemas(), triples)
+        if deletes_only:
+            from repro.core.delta import Insert
+
+            bad = [i for i, ev in enumerate(events) if isinstance(ev, Insert)]
+            if bad:
+                raise ProtocolError(
+                    f"retract verb accepts only '-' events; events "
+                    f"{bad} are inserts (use feed for mixed batches)"
+                )
+        report = self.session.feed(events, source=f"<{self.tenant}:{seq}>")
+        self.last_seq = seq
+        self.fed_tuples += report.admitted
+        self.quarantined_tuples += len(report.quarantined)
+        return {
+            "seq": seq,
+            "duplicate": False,
+            "admitted": report.admitted,
+            "quarantined": len(report.quarantined),
+            "last_seq": self.last_seq,
+            "durable_seq": self.durable_seq,
+        }
+
+    def settle(self) -> dict:
+        self._require_live()
+        self.last_active = time.time()
+        result = self.session.settle()
+        self.settles += 1
+        return {
+            "settle": self.settles,
+            "steps": result.steps,
+            "output": list(result.output),
+            "engine_wall": result.wall_time,
+        }
+
+    def checkpoint(self) -> dict:
+        """Write the atomic engine-state + durability document."""
+        self._require_live()
+        if self.data_dir is None:
+            raise ProtocolError(
+                "this service runs without a data directory; snapshots "
+                "are disabled"
+            )
+        tdir = self.tenant_dir(self.data_dir, self.tenant)
+        tdir.mkdir(parents=True, exist_ok=True)
+        path = self.snapshot_path(self.data_dir, self.tenant)
+        tmp = tdir / "snapshot.json.tmp"
+        doc = self.session.snapshot(extra=self._extra())
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.durable_seq = self.last_seq
+        self.checkpoints += 1
+        return {"durable_seq": self.durable_seq, "checkpoints": self.checkpoints}
+
+    def _extra(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "program": self.entry.name,
+            "overrides": dict(self.overrides),
+            "last_seq": self.last_seq,
+            "fed_tuples": self.fed_tuples,
+            "settles": self.settles,
+        }
+
+    def close(self) -> dict:
+        """Close the engine session and reap the durable state: a closed
+        tenant is finished, not restartable."""
+        self._require_live()
+        result = self.session.close()
+        if self.data_dir is not None:
+            path = self.snapshot_path(self.data_dir, self.tenant)
+            tdir = self.tenant_dir(self.data_dir, self.tenant)
+            try:
+                path.unlink(missing_ok=True)
+                (tdir / "snapshot.json.tmp").unlink(missing_ok=True)
+                tdir.rmdir()
+            except OSError:
+                pass  # someone else's files in the dir: leave them
+        return {
+            "output": list(result.output),
+            "steps": result.steps,
+            "table_sizes": dict(sorted(result.table_sizes.items())),
+            "fed_tuples": self.fed_tuples,
+            "settles": self.settles,
+        }
+
+    def stats(self) -> dict:
+        """The ``stats`` verb payload: the engine's collector view plus
+        the service-side per-tenant counters.  (The collector is
+        settle-consistent: each ``settle`` folds the kernel's deferred
+        tallies, so no extra flush is needed — or wanted, since an early
+        flush would skew the next settle's per-settle delta record.)"""
+        return {
+            "tenant": self.tenant,
+            "program": self.entry.name,
+            "strategy": self.session.options.strategy,
+            "retraction": self.session.options.retraction,
+            "last_seq": self.last_seq,
+            "durable_seq": self.durable_seq,
+            "fed_tuples": self.fed_tuples,
+            "quarantined_tuples": self.quarantined_tuples,
+            "settles": self.settles,
+            "checkpoints": self.checkpoints,
+            "opened_at": self.opened_at,
+            "last_active": self.last_active,
+            "engine": self.session.stats.as_dict(),
+        }

@@ -245,6 +245,11 @@ class StatsCollector:
             "rederivations": self.rederivations,
             "tables": {n: vars(s) for n, s in self.tables.items()},
             "rules": {n: vars(s) for n, s in self.rules.items()},
+            # the incremental-session view: knob-override notes and the
+            # per-settle delta records — this dict is what the session
+            # service's ``stats`` verb returns for a tenant
+            "notes": list(self.notes),
+            "settles": [dict(s) for s in self.settles],
         }
 
     # -- checkpointing --------------------------------------------------------

@@ -1,0 +1,106 @@
+"""The full ExecOptions refusal matrix, pinned to one canonical
+message format:
+
+    invalid ExecOptions: knob=value[, knob=value...] -- reason
+
+Every refusal names the *values* of every offending knob, so a refusal
+seen in a log — or relayed through the session service as a structured
+``engine`` error — identifies the misconfiguration without a repro."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core import EngineError, ExecOptions
+from repro.core.program import RetentionHint
+from repro.exec.chaos import FaultPlan
+
+CANONICAL = re.compile(r"^invalid ExecOptions: \S.* -- \S.*$")
+
+#: (kwargs, fragments that must appear in the message)
+MATRIX = [
+    (dict(strategy="warp"),
+     ["strategy='warp'", "unknown strategy",
+      "sequential, forkjoin, threads, chaos, processes"]),
+    (dict(causality_check="maybe"),
+     ["causality_check='maybe'", "off, warn, strict"]),
+    (dict(task_granularity="batch"),
+     ["task_granularity='batch'", "tuple, rule"]),
+    (dict(threads=0), ["threads=0", ">= 1"]),
+    (dict(strategy="threads", threads=-2), ["threads=-2"]),
+    (dict(index_mode="magic"),
+     ["index_mode='magic'", "off, auto, explicit"]),
+    (dict(metering="sometimes"),
+     ["metering='sometimes'", "metering"]),
+    (dict(admission="lax"),
+     ["admission='lax'", "strict, warn"]),
+    (dict(index_mode="off", indexes={"Edge": ("dst",)}),
+     ["index_mode='off'", "'Edge'", "explicit indexes"]),
+    (dict(chaos_seed=7),
+     ["strategy='sequential'", "chaos_seed=7", "'chaos' strategy"]),
+    (dict(fault_plan=FaultPlan(raise_prob=0.5)),
+     ["strategy='sequential'", "fault_plan=", "'chaos' strategy"]),
+    (dict(strategy="chaos", fault_plan="not-a-plan"),
+     ["fault_plan='not-a-plan'", "must be a FaultPlan"]),
+    (dict(strategy="chaos", fault_plan=FaultPlan(raise_prob=0.5),
+          no_delta=frozenset({"T"})),
+     ["fault_plan=", "no_delta=['T']",
+      "-noDelta tables make tasks non-redeliverable"]),
+    (dict(retraction=True, no_delta=frozenset({"T"})),
+     ["retraction=True", "no_delta=['T']", "fully tracked state"]),
+    (dict(retraction=True, no_gamma=frozenset({"U"})),
+     ["retraction=True", "no_gamma=['U']", "fully tracked state"]),
+    (dict(retraction=True, retention={"T": RetentionHint("gen", 2)}),
+     ["retraction=True", "retention=['T']", "retention hints"]),
+    (dict(retraction=True, task_granularity="rule"),
+     ["retraction=True", "task_granularity='rule'",
+      "task_granularity='tuple'"]),
+    (dict(retraction=True, strategy="processes"),
+     ["retraction=True", "strategy='processes'", "multiprocess"]),
+]
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragments",
+    MATRIX,
+    ids=[
+        "-".join(sorted(kwargs)) + ":" + str(i)
+        for i, (kwargs, _) in enumerate(MATRIX)
+    ],
+)
+def test_refusal_names_offending_knobs_in_canonical_format(kwargs, fragments):
+    with pytest.raises(EngineError) as err:
+        ExecOptions(**kwargs)
+    message = str(err.value)
+    assert CANONICAL.match(message), message
+    for fragment in fragments:
+        assert fragment in message, (fragment, message)
+
+
+def test_refusals_are_catchable_as_engine_errors():
+    # the service maps these to the 'engine' wire code; the class must
+    # stay in the EngineError branch of the taxonomy
+    from repro.serve.protocol import error_code
+
+    with pytest.raises(EngineError) as err:
+        ExecOptions(strategy="warp")
+    assert error_code(err.value) == ("engine", False)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(),
+        dict(strategy="forkjoin", threads=4),
+        dict(strategy="chaos", chaos_seed=3),
+        dict(strategy="chaos", fault_plan=FaultPlan(raise_prob=0.2)),
+        dict(retraction=True),
+        dict(retraction=True, strategy="threads", threads=2),
+        dict(index_mode="explicit", indexes={"Edge": ("dst",)}),
+        dict(retention={"T": RetentionHint("gen", 2)}),
+    ],
+)
+def test_valid_option_combinations_are_accepted(kwargs):
+    assert ExecOptions(**kwargs)

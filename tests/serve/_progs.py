@@ -1,0 +1,131 @@
+"""Shared programs and drivers for the service test battery.
+
+Scripts travel as *wire triples* (``["+"|"-", table, values]``) so the
+same script can be decoded against any fresh program instance — the
+service decodes it against the tenant's program, the oracle against its
+own.  That mirrors production (tuples cross the wire by table name, not
+by schema identity) and is what makes "byte-identical to a single-shot
+sequential run of the same script" a meaningful cross-process claim.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.core import ExecOptions, Program
+from repro.serve import ProgramRegistry, ServiceConfig, SessionService
+from repro.serve.protocol import decode_events
+
+#: readings at or above this raise an alert line
+HOT = 900
+
+
+def telemetry_factory() -> Program:
+    """The model serving workload: a stream of readings, a threshold
+    rule, causally ordered log output — Congress's event-queue shape in
+    miniature.  Equivalence classes are one tick wide (``par sensor``),
+    so feeds batch naturally at tick boundaries."""
+    p = Program("telemetry")
+    Reading = p.table(
+        "Reading",
+        "int tick, int sensor -> int value",
+        orderby=("Int", "seq tick", "Reading", "par sensor"),
+    )
+    Alert = p.table(
+        "Alert",
+        "int tick, int sensor -> int value",
+        orderby=("Int", "seq tick", "Alert", "par sensor"),
+    )
+    Println = p.table(
+        "Println",
+        "int tick, int sensor -> str text",
+        orderby=("Int", "seq tick", "Out", "seq sensor"),
+    )
+    p.order("Int", "Out")
+    p.order("Reading", "Alert", "Out")
+
+    @p.foreach(Reading)
+    def threshold(ctx, r):
+        if r.value >= HOT:
+            ctx.put(Alert.new(r.tick, r.sensor, r.value))
+
+    @p.foreach(Alert)
+    def report(ctx, a):
+        ctx.put(
+            Println.new(a.tick, a.sensor, f"tick {a.tick}: sensor {a.sensor} hot at {a.value}")
+        )
+
+    @p.foreach(Println, unsafe=True)
+    def emit(ctx, line):
+        ctx.println(line.text)
+
+    return p
+
+
+def sensors_factory() -> Program:
+    """The richer example app (negative query against the previous
+    tick) with no initial puts — the caller owns the stream."""
+    from repro.apps.sensors import build_sensor_stream
+
+    handles, _events = build_sensor_stream(n_ticks=0, n_sensors=4)
+    return handles.program
+
+
+def make_registry() -> ProgramRegistry:
+    registry = ProgramRegistry()
+    registry.register("telemetry", telemetry_factory)
+    registry.register("sensors", sensors_factory)
+    return registry
+
+
+def telemetry_script(
+    seed: int, n_tuples: int, n_sensors: int = 8, ticks_per_batch: int = 4
+) -> list[list[list]]:
+    """A deterministic per-seed stream of wire triples, pre-chunked into
+    causally aligned feed batches (whole ticks per batch)."""
+    batches: list[list[list]] = []
+    cur: list[list] = []
+    tick = 0
+    mixer = seed * 2654435761 % 2**31
+    for i in range(n_tuples):
+        sensor = i % n_sensors
+        if sensor == 0 and i:
+            tick += 1
+            if tick % ticks_per_batch == 0:
+                batches.append(cur)
+                cur = []
+        value = (i * 1103515245 + mixer) % 1000
+        cur.append(["+", "Reading", [tick, sensor, value]])
+    if cur:
+        batches.append(cur)
+    return batches
+
+
+def oracle_output(factory, batches: list[list[list]], options: ExecOptions | None = None) -> list[str]:
+    """The single-shot sequential run of one script: all events in one
+    feed, one settle, on a fresh program instance."""
+    program = factory()
+    opts = options if options is not None else ExecOptions()
+    with program.session(opts) as s:
+        events = [
+            ev
+            for batch in batches
+            for ev in decode_events(program.schemas(), batch)
+        ]
+        s.feed(events)
+        result = s.close()
+    return list(result.output)
+
+
+@contextlib.asynccontextmanager
+async def running_service(registry=None, **config_kw):
+    """An in-process service bound to an ephemeral port."""
+    service = SessionService(
+        registry if registry is not None else make_registry(),
+        ServiceConfig(**config_kw),
+    )
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.stop(checkpoint=False)

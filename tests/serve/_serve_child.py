@@ -1,0 +1,34 @@
+"""Subprocess entry for the crash-recovery battery: serve the standard
+test registry until killed.
+
+Usage: python _serve_child.py <data-dir> <ready-file>
+
+Writes ``{"port": N}`` to <ready-file> once listening; the parent polls
+that instead of racing the bind, then SIGKILLs this process mid-stream.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[2]
+for entry in (str(_REPO), str(_REPO / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.serve import ServiceConfig, run_service  # noqa: E402
+from tests.serve._progs import make_registry  # noqa: E402
+
+
+def main() -> None:
+    data_dir, ready_file = sys.argv[1], sys.argv[2]
+    run_service(
+        make_registry(),
+        ServiceConfig(data_dir=data_dir, checkpoint_every_settles=1),
+        ready_file=ready_file,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""Admission control and backpressure: refusals are structured,
+retryable, and mutate nothing — the identical request is valid later.
+
+The deterministic tests pin the service's in-flight byte counter
+directly (simulating concurrent feeds holding the quota); the
+end-to-end test lets real concurrent feeds fight over a small quota and
+shows the client's retry loop drains everyone through.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import ServiceCallError, ServiceClient
+from repro.serve.protocol import encode_frame
+from tests.serve._progs import (
+    oracle_output,
+    running_service,
+    telemetry_factory,
+    telemetry_script,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _client(service) -> ServiceClient:
+    return await ServiceClient.connect("127.0.0.1", service.port)
+
+
+def test_tenant_limit_is_retryable_and_frees_on_close():
+    async def go():
+        async with running_service(max_tenants=2) as svc:
+            async with await _client(svc) as c:
+                await c.open("a", "telemetry")
+                await c.open("b", "telemetry")
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("c", "telemetry")
+                assert err.value.code == "tenant-limit"
+                assert err.value.retryable
+                # the refusal did not register the tenant anywhere
+                assert (await c.stats())["tenants"] == ["a", "b"]
+                # re-open of a live tenant is not an admission event
+                assert (await c.open("a", "telemetry"))["resumed"]
+                await c.close("a")
+                assert (await c.open("c", "telemetry"))["created"]
+                rejections = (await c.stats())["service"]["rejections"]
+                assert rejections.get("tenant-limit") == 1
+
+    run(go())
+
+
+def test_overloaded_feed_refused_then_identical_retry_succeeds():
+    batches = telemetry_script(seed=4, n_tuples=96)
+    oracle = oracle_output(telemetry_factory, [batches[0]])
+
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                # simulate concurrent feeds holding the whole quota
+                svc._inflight_bytes = svc.config.max_inflight_bytes
+                with pytest.raises(ServiceCallError) as err:
+                    await c.feed("t", batches[0], seq=1)
+                assert err.value.code == "overloaded"
+                assert err.value.retryable
+                # the refusal mutated nothing: same seq, no tuples, no
+                # engine steps
+                stats = await c.stats("t")
+                assert stats["last_seq"] == 0
+                assert stats["fed_tuples"] == 0
+                assert stats["engine"]["steps"] == 0
+
+                # load drains; the *identical* request now lands
+                svc._inflight_bytes = 0
+                fed = await c.feed("t", batches[0], seq=1)
+                assert fed["admitted"] == len(batches[0])
+                await c.settle("t")
+                assert (await c.close("t"))["output"] == oracle
+                rejections = (await c.stats())["service"]["rejections"]
+                assert rejections.get("overloaded") == 1
+
+    run(go())
+
+
+def test_client_retry_loop_rides_out_backpressure():
+    batches = telemetry_script(seed=4, n_tuples=64)
+
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                svc._inflight_bytes = svc.config.max_inflight_bytes
+
+                async def drain_soon():
+                    await asyncio.sleep(0.08)
+                    svc._inflight_bytes = 0
+
+                drainer = asyncio.create_task(drain_soon())
+                fed = await c.feed("t", batches[0], retries=6, backoff=0.03)
+                await drainer
+                assert fed["admitted"] == len(batches[0])
+
+    run(go())
+
+
+def test_concurrent_feeds_over_small_quota_all_land():
+    """Real contention: a quota of about one frame, several tenants
+    feeding big batches concurrently with retries.  Everyone gets
+    through and every tenant's output still matches its single-shot
+    run."""
+    n_tenants = 5
+    scripts = {
+        f"t{i}": telemetry_script(seed=i, n_tuples=200, ticks_per_batch=26)
+        for i in range(n_tenants)
+    }
+    frame_bytes = max(
+        len(encode_frame({"id": 1, "verb": "feed", "tenant": "t0",
+                          "seq": 1, "events": batch}))
+        for batches in scripts.values()
+        for batch in batches
+    )
+    oracles = {
+        t: oracle_output(telemetry_factory, batches)
+        for t, batches in scripts.items()
+    }
+
+    async def drive(svc, tenant):
+        async with await _client(svc) as c:
+            await c.open(tenant, "telemetry")
+            out = []
+            for batch in scripts[tenant]:
+                await c.feed(tenant, batch, retries=12, backoff=0.02)
+                out.extend((await c.settle(tenant))["output"])
+            closed = await c.close(tenant)
+            return out, closed["output"]
+
+    async def go():
+        async with running_service(
+            max_inflight_bytes=int(frame_bytes * 1.5)
+        ) as svc:
+            results = await asyncio.gather(
+                *(drive(svc, t) for t in scripts)
+            )
+        for tenant, (increments, cumulative) in zip(scripts, results):
+            assert increments == oracles[tenant], tenant
+            assert cumulative == oracles[tenant], tenant
+
+    run(go())
+
+
+def test_frame_too_large_is_refused_and_connection_dropped():
+    async def go():
+        async with running_service(max_frame_bytes=2048) as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                big = [["+", "Reading", [0, i % 8, 1]] for i in range(2000)]
+                with pytest.raises(ServiceCallError) as err:
+                    await c.feed("t", big, seq=1)
+                assert err.value.code == "frame-too-large"
+                assert not err.value.retryable
+                # the stream may be desynchronised, so the service
+                # dropped the connection after answering
+                from repro.core.errors import ProtocolError
+
+                with pytest.raises((ProtocolError, ConnectionError)):
+                    await c.ping()
+            # a fresh connection is unaffected, and the tenant kept its
+            # state (nothing was admitted)
+            async with await _client(svc) as c2:
+                stats = await c2.stats("t")
+                assert stats["last_seq"] == 0
+                assert stats["fed_tuples"] == 0
+                small = [["+", "Reading", [0, 0, 7]]]
+                assert (await c2.feed("t", small, seq=1))["admitted"] == 1
+
+    run(go())

@@ -1,0 +1,238 @@
+"""Concurrency/soak battery: many tenants live at once, all feeding
+interleaved over their own connections, every tenant differentially
+checked byte-for-byte against a single-shot sequential run of its
+script.  A second leg kills the service mid-soak (no graceful
+checkpoint) and restores every tenant from its durable snapshot.
+
+Scale is environment-tunable so CI runs a reduced soak and the full
+acceptance numbers run on demand:
+
+    SERVE_SOAK_TENANTS=100 SERVE_SOAK_TUPLES=10000 \
+        python -m pytest tests/serve/test_concurrency_soak.py -q
+
+(100 tenants x 10k tuples = 1M fed tuples.)  Tenants share a pool of
+``SERVE_SOAK_SCRIPTS`` distinct scripts so the oracle cost stays flat
+while every tenant is still asserted individually.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.serve import ServiceClient, ServiceConfig, SessionService
+from tests.serve._progs import (
+    make_registry,
+    oracle_output,
+    telemetry_factory,
+    telemetry_script,
+)
+
+N_TENANTS = int(os.environ.get("SERVE_SOAK_TENANTS", "12"))
+TUPLES_PER_TENANT = int(os.environ.get("SERVE_SOAK_TUPLES", "400"))
+N_SCRIPTS = int(os.environ.get("SERVE_SOAK_SCRIPTS", "10"))
+SETTLE_EVERY = 2  # batches per settle
+
+
+def _scripts() -> dict[int, list[list[list]]]:
+    return {
+        seed: telemetry_script(seed=seed, n_tuples=TUPLES_PER_TENANT)
+        for seed in range(min(N_SCRIPTS, N_TENANTS))
+    }
+
+
+def _oracles(scripts: dict[int, list]) -> dict[int, list[str]]:
+    return {
+        seed: oracle_output(telemetry_factory, batches)
+        for seed, batches in scripts.items()
+    }
+
+
+def _seed_for(tenant_index: int) -> int:
+    return tenant_index % min(N_SCRIPTS, N_TENANTS)
+
+
+class _Gate:
+    """All tenants open before any feeds: the soak is a test of
+    *concurrent* tenancy, not of tenants passing in the night."""
+
+    def __init__(self, n: int):
+        self.remaining = n
+        self.event = asyncio.Event()
+
+    async def arrive(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.event.set()
+        await self.event.wait()
+
+
+async def _drive_tenant(
+    port: int,
+    tenant: str,
+    batches: list,
+    oracle: list[str],
+    gate: _Gate | None,
+    *,
+    start_batch: int = 0,
+    increments: list[str] | None = None,
+) -> int:
+    """One tenant's full life over its own connection.  Returns the
+    number of tuples fed; asserts the differential invariant."""
+    out = increments if increments is not None else []
+    fed = 0
+    async with await ServiceClient.connect("127.0.0.1", port) as client:
+        opened = await client.open(tenant, "telemetry")
+        assert opened["last_seq"] == start_batch, tenant
+        if gate is not None:
+            await gate.arrive()
+        for i in range(start_batch, len(batches)):
+            response = await client.feed(
+                tenant, batches[i], seq=i + 1, retries=8, backoff=0.05
+            )
+            fed += response["admitted"]
+            if (i + 1) % SETTLE_EVERY == 0:
+                out.extend((await client.settle(tenant))["output"])
+        out.extend((await client.settle(tenant))["output"])
+        closed = await client.close(tenant)
+    assert out == oracle, f"settle increments diverged for {tenant}"
+    assert closed["output"] == oracle, f"cumulative output diverged for {tenant}"
+    return fed
+
+
+def test_soak_interleaved_tenants_match_single_shot():
+    scripts = _scripts()
+    oracles = _oracles(scripts)
+    total_expected = sum(
+        sum(len(b) for b in scripts[_seed_for(i)]) for i in range(N_TENANTS)
+    )
+
+    async def go():
+        service = SessionService(
+            make_registry(),
+            ServiceConfig(max_tenants=N_TENANTS + 8),
+        )
+        await service.start()
+        try:
+            gate = _Gate(N_TENANTS)
+            fed = await asyncio.gather(
+                *(
+                    _drive_tenant(
+                        service.port,
+                        f"tenant-{i:04d}",
+                        scripts[_seed_for(i)],
+                        oracles[_seed_for(i)],
+                        gate,
+                    )
+                    for i in range(N_TENANTS)
+                )
+            )
+        finally:
+            await service.stop(checkpoint=False)
+        assert sum(fed) == total_expected
+        stats = service.stats
+        assert stats.fed_tuples == total_expected
+        assert stats.peak_tenants == N_TENANTS, "tenants were not concurrent"
+        assert stats.closes == N_TENANTS
+
+    asyncio.run(go())
+
+
+def test_soak_kill_and_restore_mid_stream(tmp_path):
+    """Feed half of every tenant's script, drop the service without a
+    graceful checkpoint (simulated crash), bring a fresh service up on
+    the same data directory, replay the lost tail, and still match the
+    single-shot run per tenant."""
+    n_tenants = max(4, N_TENANTS // 2)
+    scripts = _scripts()
+    oracles = _oracles(scripts)
+    data_dir = tmp_path / "state"
+    increments: dict[str, list[str]] = {
+        f"tenant-{i:04d}": [] for i in range(n_tenants)
+    }
+
+    async def first_half():
+        service = SessionService(
+            make_registry(),
+            ServiceConfig(
+                data_dir=data_dir,
+                max_tenants=n_tenants + 4,
+                checkpoint_every_settles=1,
+            ),
+        )
+        await service.start()
+        durable: dict[str, int] = {}
+        try:
+            gate = _Gate(n_tenants)
+
+            async def drive_half(i: int) -> None:
+                tenant = f"tenant-{i:04d}"
+                batches = scripts[_seed_for(i)]
+                half = len(batches) // 2
+                async with await ServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    await client.open(tenant, "telemetry")
+                    await gate.arrive()
+                    last_durable = 0
+                    for j in range(half):
+                        await client.feed(
+                            tenant, batches[j], seq=j + 1,
+                            retries=8, backoff=0.05,
+                        )
+                        if (j + 1) % SETTLE_EVERY == 0:
+                            settled = await client.settle(tenant)
+                            increments[tenant].extend(settled["output"])
+                            last_durable = settled["durable_seq"]
+                    # one more feed, never settled: applied in memory
+                    # but not durable — the crash loses it and the
+                    # replay must cover it
+                    await client.feed(
+                        tenant, batches[half], seq=half + 1,
+                        retries=8, backoff=0.05,
+                    )
+                    durable[tenant] = last_durable
+
+            await asyncio.gather(*(drive_half(i) for i in range(n_tenants)))
+        finally:
+            # the crash: no graceful checkpoint, in-memory state gone
+            await service.stop(checkpoint=False)
+        return durable
+
+    async def second_half(durable: dict[str, int]):
+        service = SessionService(
+            make_registry(),
+            ServiceConfig(
+                data_dir=data_dir,
+                max_tenants=n_tenants + 4,
+                checkpoint_every_settles=1,
+            ),
+        )
+        await service.start()
+        try:
+            async def drive_rest(i: int) -> None:
+                tenant = f"tenant-{i:04d}"
+                batches = scripts[_seed_for(i)]
+                await _drive_tenant(
+                    service.port,
+                    tenant,
+                    batches,
+                    oracles[_seed_for(i)],
+                    None,
+                    start_batch=durable[tenant],
+                    increments=increments[tenant],
+                )
+
+            await asyncio.gather(*(drive_rest(i) for i in range(n_tenants)))
+            assert service.stats.restores == n_tenants
+        finally:
+            await service.stop(checkpoint=False)
+
+    async def go():
+        durable = await first_half()
+        # every tenant settled at least once, so something is durable,
+        # and everyone has applied-but-lost feeds to replay
+        assert all(seq > 0 for seq in durable.values())
+        await second_half(durable)
+
+    asyncio.run(go())

@@ -1,0 +1,191 @@
+"""Crash recovery across real processes: SIGKILL the service mid-feed,
+restart it over the same data directory, replay from the durable
+sequence number, and verify exactly-once admission — no tenant tuple is
+duplicated or lost, and the recovered stream is byte-identical to a
+single-shot sequential run that never crashed."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServiceClient
+from repro.serve.protocol import write_frame
+from tests.serve._progs import oracle_output, telemetry_factory, telemetry_script
+
+CHILD = Path(__file__).with_name("_serve_child.py")
+
+N_TUPLES = 320
+DURABLE_BATCHES = 3  # settled + checkpointed before the kill
+
+
+def _spawn(data_dir: Path, ready: Path) -> tuple[subprocess.Popen, int]:
+    proc = subprocess.Popen(
+        [sys.executable, str(CHILD), str(data_dir), str(ready)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.time() + 30
+    while not ready.exists():
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"service child died before ready: "
+                f"{proc.stderr.read().decode()}"
+            )
+        if time.time() > deadline:
+            proc.kill()
+            raise AssertionError("service child never became ready")
+        time.sleep(0.02)
+    port = json.loads(ready.read_text())["port"]
+    ready.unlink()
+    return proc, port
+
+
+def test_sigkill_mid_feed_then_replay_is_exactly_once(tmp_path):
+    batches = telemetry_script(seed=21, n_tuples=N_TUPLES)
+    assert len(batches) > DURABLE_BATCHES + 1
+    oracle = oracle_output(telemetry_factory, batches)
+    total_tuples = sum(len(b) for b in batches)
+    data_dir = tmp_path / "state"
+
+    proc, port = _spawn(data_dir, tmp_path / "ready-1")
+    increments: list[str] = []
+    try:
+        async def before_crash():
+            async with await ServiceClient.connect("127.0.0.1", port) as c:
+                opened = await c.open("acme", "telemetry")
+                assert opened["created"]
+                # durable prefix: feed + settle (checkpoint per settle)
+                for batch in batches[:DURABLE_BATCHES]:
+                    await c.feed("acme", batch)
+                    settled = await c.settle("acme")
+                    increments.extend(settled["output"])
+                    assert settled["durable_seq"] == settled["settle"]
+                # applied but NOT durable: feed without settling
+                fed = await c.feed("acme", batches[DURABLE_BATCHES])
+                assert fed["durable_seq"] == DURABLE_BATCHES
+                # and one feed we kill the service under: write the
+                # frame, don't wait for the answer
+                await write_frame(
+                    c._writer,
+                    {
+                        "id": 999,
+                        "verb": "feed",
+                        "tenant": "acme",
+                        "seq": DURABLE_BATCHES + 2,
+                        "events": batches[DURABLE_BATCHES + 1],
+                    },
+                )
+                os.kill(proc.pid, signal.SIGKILL)
+
+        asyncio.run(before_crash())
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    snap = data_dir / "acme" / "snapshot.json"
+    assert snap.exists(), "durable checkpoint survived the kill"
+
+    proc2, port2 = _spawn(data_dir, tmp_path / "ready-2")
+    try:
+        async def after_restart():
+            async with await ServiceClient.connect("127.0.0.1", port2) as c:
+                opened = await c.open("acme", "telemetry")
+                assert opened["resumed"] and not opened["created"]
+                # everything past the last checkpoint is gone — the
+                # applied-but-unsettled feeds included
+                assert opened["last_seq"] == DURABLE_BATCHES
+                assert opened["durable_seq"] == DURABLE_BATCHES
+
+                # replaying an already-durable feed is acknowledged
+                # without re-admission (idempotent client replay)
+                dup = await c.feed(
+                    "acme", batches[DURABLE_BATCHES - 1], seq=DURABLE_BATCHES
+                )
+                assert dup["duplicate"] and dup["admitted"] == 0
+
+                # replay the lost tail in order
+                for i, batch in enumerate(batches[DURABLE_BATCHES:]):
+                    fed = await c.feed(
+                        "acme", batch, seq=DURABLE_BATCHES + 1 + i
+                    )
+                    assert not fed["duplicate"]
+                    assert fed["admitted"] == len(batch)
+                settled = await c.settle("acme")
+                increments.extend(settled["output"])
+                closed = await c.close("acme")
+                return closed
+
+        closed = asyncio.run(after_restart())
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait(timeout=30)
+
+    # exactly-once: every admitted tuple counted once across the crash
+    assert closed["fed_tuples"] == total_tuples
+    # byte-identical to the run that never crashed, in both views
+    assert closed["output"] == oracle
+    assert increments == oracle
+
+
+def test_restart_refuses_mismatched_reopen(tmp_path):
+    """A durable tenant is pinned to its program and options; a
+    conflicting re-open after restart is refused, not silently
+    honoured."""
+    batches = telemetry_script(seed=8, n_tuples=64)
+    data_dir = tmp_path / "state"
+
+    proc, port = _spawn(data_dir, tmp_path / "ready-1")
+    try:
+        async def seed_tenant():
+            async with await ServiceClient.connect("127.0.0.1", port) as c:
+                await c.open("t", "telemetry", options={"retraction": True})
+                await c.feed("t", batches[0])
+                await c.settle("t")
+        asyncio.run(seed_tenant())
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    proc2, port2 = _spawn(data_dir, tmp_path / "ready-2")
+    try:
+        async def reopen():
+            from repro.serve import ServiceCallError
+
+            async with await ServiceClient.connect("127.0.0.1", port2) as c:
+                # verbs against the not-yet-restored tenant point at open
+                with pytest.raises(ServiceCallError) as err:
+                    await c.settle("t")
+                assert err.value.code == "unknown-tenant"
+                assert "send open" in err.value.message
+
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("t", "sensors")
+                assert err.value.code == "protocol"
+
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("t", "telemetry", options={"retraction": False})
+                assert err.value.code == "protocol"
+
+                opened = await c.open("t", "telemetry",
+                                      options={"retraction": True})
+                assert opened["resumed"]
+                assert (await c.stats("t"))["retraction"] is True
+        asyncio.run(reopen())
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait(timeout=30)

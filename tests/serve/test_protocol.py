@@ -1,0 +1,207 @@
+"""Wire-protocol unit tests: framing, event encoding, error mapping."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.delta import Delete, Insert
+from repro.core.errors import (
+    BackpressureError,
+    CausalityError,
+    EngineError,
+    FrameTooLargeError,
+    OverloadedError,
+    ProtocolError,
+    RetractionError,
+    TenantLimitError,
+    UnknownProgramError,
+    UnknownTableError,
+    UnknownTenantError,
+    UnknownVerbError,
+)
+from repro.core.tuples import JTuple
+from repro.serve.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    decode_events,
+    encode_frame,
+    error_code,
+    error_payload,
+    read_frame,
+    read_frame_with_size,
+    wire_events,
+)
+from tests.serve._progs import telemetry_factory
+
+
+def _reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes, max_bytes: int = MAX_FRAME_BYTES):
+    async def go():
+        # the reader must be created inside the running loop
+        return await read_frame(_reader(data), max_bytes)
+
+    return asyncio.run(go())
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    msg = {"id": 7, "verb": "feed", "events": [["+", "Reading", [0, 1, 2]]]}
+    frame = encode_frame(msg)
+    assert frame[: HEADER.size] == HEADER.pack(len(frame) - HEADER.size)
+    assert _read(frame) == msg
+
+
+def test_read_frame_with_size_reports_body_bytes():
+    msg = {"id": 1, "verb": "ping"}
+    frame = encode_frame(msg)
+
+    async def go():
+        return await read_frame_with_size(_reader(frame))
+
+    got, nbytes = asyncio.run(go())
+    assert got == msg
+    assert nbytes == len(frame) - HEADER.size
+
+
+def test_multiple_frames_then_clean_eof():
+    data = encode_frame({"a": 1}) + encode_frame({"b": 2})
+
+    async def go():
+        reader = _reader(data)
+        return [await read_frame(reader), await read_frame(reader),
+                await read_frame(reader)]
+
+    assert asyncio.run(go()) == [{"a": 1}, {"b": 2}, None]
+
+
+def test_truncated_header_is_protocol_error():
+    with pytest.raises(ProtocolError, match="mid-header"):
+        _read(encode_frame({"a": 1})[:2])
+
+
+def test_truncated_body_is_protocol_error():
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        _read(encode_frame({"a": 1})[:-3])
+
+
+def test_oversized_prefix_refused_without_reading_body():
+    # only the 4-byte header is present; the refusal must come from the
+    # length prefix alone
+    with pytest.raises(FrameTooLargeError, match="exceeds"):
+        _read(HEADER.pack(1 << 30))
+
+
+def test_frame_over_custom_limit_refused():
+    frame = encode_frame({"blob": "x" * 2048})
+    with pytest.raises(FrameTooLargeError):
+        _read(frame, max_bytes=64)
+
+
+def test_invalid_json_is_protocol_error():
+    body = b"{nope"
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        _read(HEADER.pack(len(body)) + body)
+
+
+def test_non_object_payload_is_protocol_error():
+    body = json.dumps([1, 2, 3]).encode()
+    with pytest.raises(ProtocolError, match="JSON object"):
+        _read(HEADER.pack(len(body)) + body)
+
+
+# -- event encoding ------------------------------------------------------------
+
+
+def test_wire_events_roundtrip_through_decode():
+    program = telemetry_factory()
+    schema = program.schemas()["Reading"]
+    events = [
+        Insert(JTuple(schema, (0, 1, 950))),
+        Delete(JTuple(schema, (0, 1, 950))),
+        JTuple(schema, (1, 2, 10)),  # bare tuple == insert sugar
+    ]
+    triples = wire_events(events)
+    assert triples == [
+        ["+", "Reading", [0, 1, 950]],
+        ["-", "Reading", [0, 1, 950]],
+        ["+", "Reading", [1, 2, 10]],
+    ]
+    decoded = decode_events(program.schemas(), triples)
+    assert [type(ev) for ev in decoded] == [Insert, Delete, Insert]
+    assert decoded[0].tuple.values == (0, 1, 950)
+    assert decoded[0].tuple.schema is schema
+
+
+def test_wire_events_rejects_non_events():
+    with pytest.raises(ProtocolError, match="cannot encode"):
+        wire_events([{"not": "an event"}])
+
+
+def test_decode_events_refuses_unknown_table():
+    program = telemetry_factory()
+    with pytest.raises(UnknownTableError, match="Bogus"):
+        decode_events(program.schemas(), [["+", "Bogus", [1]]])
+
+
+@pytest.mark.parametrize(
+    "triple",
+    [
+        ["+", "Reading"],  # too short
+        ["*", "Reading", [0, 1, 2]],  # bad op
+        ["+", "Reading", 7],  # values not a list
+        "not a triple",
+    ],
+)
+def test_decode_events_refuses_malformed_triples(triple):
+    program = telemetry_factory()
+    with pytest.raises(ProtocolError, match="triple"):
+        decode_events(program.schemas(), [triple])
+
+
+# -- error mapping -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "exc, code, retryable",
+    [
+        (ProtocolError("x"), "protocol", False),
+        (FrameTooLargeError("x"), "frame-too-large", False),
+        (UnknownVerbError("x"), "unknown-verb", False),
+        (UnknownProgramError("x"), "unknown-program", False),
+        (UnknownTenantError("x"), "unknown-tenant", False),
+        (BackpressureError("x"), "backpressure", True),
+        (TenantLimitError("x"), "tenant-limit", True),
+        (OverloadedError("x"), "overloaded", True),
+        (CausalityError("x"), "admission", False),
+        (RetractionError("x"), "retraction", False),
+        (UnknownTableError("x"), "unknown-table", False),
+        (EngineError("x"), "engine", False),
+        (ValueError("x"), "internal", False),
+    ],
+)
+def test_error_code_taxonomy(exc, code, retryable):
+    assert error_code(exc) == (code, retryable)
+
+
+def test_error_payload_shape():
+    payload = error_payload(42, OverloadedError("drain first"))
+    assert payload == {
+        "id": 42,
+        "ok": False,
+        "error": {
+            "code": "overloaded",
+            "message": "drain first",
+            "retryable": True,
+        },
+    }

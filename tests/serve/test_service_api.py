@@ -1,0 +1,325 @@
+"""Service verb semantics over a real socket: lifecycle, sequencing,
+idempotent replay, per-tenant stats, durability verbs, retraction."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import ServiceCallError, ServiceClient
+from tests.serve._progs import (
+    oracle_output,
+    running_service,
+    telemetry_factory,
+    telemetry_script,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _client(service) -> ServiceClient:
+    return await ServiceClient.connect("127.0.0.1", service.port)
+
+
+def test_ping_lists_programs():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                pong = await c.ping()
+                assert pong["pong"] is True
+                assert set(pong["programs"]) >= {"telemetry", "sensors"}
+                assert pong["tenants"] == 0
+
+    run(go())
+
+
+def test_lifecycle_settles_match_single_shot_run():
+    batches = telemetry_script(seed=11, n_tuples=160)
+    oracle = oracle_output(telemetry_factory, batches)
+
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                opened = await c.open("acme", "telemetry")
+                assert opened["created"] and not opened["resumed"]
+                assert opened["last_seq"] == 0
+
+                increments = []
+                for i, batch in enumerate(batches):
+                    fed = await c.feed("acme", batch)
+                    assert fed["admitted"] == len(batch)
+                    assert fed["seq"] == i + 1
+                    increments.extend((await c.settle("acme"))["output"])
+
+                closed = await c.close("acme")
+                # both views of the stream equal the single-shot run:
+                # the concatenated settle increments and the cumulative
+                # output reported at close
+                assert increments == oracle
+                assert closed["output"] == oracle
+                assert closed["fed_tuples"] == sum(len(b) for b in batches)
+                assert closed["settles"] == len(batches)
+
+    run(go())
+
+
+def test_open_is_idempotent_but_program_is_pinned():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                again = await c.open("t", "telemetry")
+                assert again["resumed"] and not again["created"]
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("t", "sensors")
+                assert err.value.code == "protocol"
+                assert "telemetry" in err.value.message
+
+    run(go())
+
+
+def test_duplicate_feed_is_acknowledged_not_reapplied():
+    batches = telemetry_script(seed=5, n_tuples=64)
+
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                first = await c.feed("t", batches[0], seq=1)
+                assert not first["duplicate"]
+                replay = await c.feed("t", batches[0], seq=1)
+                assert replay["duplicate"] and replay["admitted"] == 0
+                stats = await c.stats("t")
+                assert stats["last_seq"] == 1
+                assert stats["fed_tuples"] == len(batches[0])
+
+    run(go())
+
+
+def test_feed_gap_is_refused_and_names_expected_seq():
+    batches = telemetry_script(seed=5, n_tuples=64)
+
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                await c.feed("t", batches[0], seq=1)
+                with pytest.raises(ServiceCallError) as err:
+                    await c.feed("t", batches[1], seq=5)
+                assert err.value.code == "protocol"
+                assert "seq 1" in err.value.message
+                # the gap refusal mutated nothing: the in-order feed lands
+                ok = await c.feed("t", batches[1], seq=2)
+                assert not ok["duplicate"]
+
+    run(go())
+
+
+def test_unknown_addressees_have_distinct_codes():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("t", "no-such-program")
+                assert err.value.code == "unknown-program"
+                with pytest.raises(ServiceCallError) as err:
+                    await c.settle("ghost")
+                assert err.value.code == "unknown-tenant"
+                with pytest.raises(ServiceCallError) as err:
+                    await c.call("transmogrify")
+                assert err.value.code == "unknown-verb"
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("/etc/passwd", "telemetry")
+                assert err.value.code == "protocol"
+
+    run(go())
+
+
+def test_feed_events_must_be_a_list():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                with pytest.raises(ServiceCallError) as err:
+                    await c.call("feed", tenant="t", seq=1, events="nope")
+                assert err.value.code == "protocol"
+
+    run(go())
+
+
+def test_unknown_table_feed_rejected_session_survives():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                with pytest.raises(ServiceCallError) as err:
+                    await c.feed("t", [["+", "Bogus", [1]]], seq=1)
+                assert err.value.code == "unknown-table"
+                # admission errors keep the session open; seq unchanged
+                ok = await c.feed("t", [["+", "Reading", [0, 0, 5]]], seq=1)
+                assert ok["admitted"] == 1
+
+    run(go())
+
+
+def test_options_override_allowlist():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                # retraction/admission are tenant-grade knobs ...
+                opened = await c.open("t", "telemetry",
+                                      options={"retraction": True})
+                assert opened["created"]
+                stats = await c.stats("t")
+                assert stats["retraction"] is True
+                # ... execution strategy is not
+                with pytest.raises(ServiceCallError) as err:
+                    await c.open("u", "telemetry",
+                                 options={"strategy": "threads"})
+                assert err.value.code == "engine"
+                assert "strategy" in err.value.message
+
+    run(go())
+
+
+def test_retract_verb_deletes_and_refuses_inserts():
+    async def go():
+        async with running_service() as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry", options={"retraction": True})
+                await c.feed("t", [
+                    ["+", "Reading", [0, 0, 950]],
+                    ["+", "Reading", [0, 1, 990]],
+                ])
+                settled = await c.settle("t")
+                assert len(settled["output"]) == 2
+
+                with pytest.raises(ServiceCallError) as err:
+                    await c.retract("t", [["+", "Reading", [0, 2, 10]]])
+                assert err.value.code == "protocol"
+                assert "retract verb" in err.value.message
+
+                await c.retract("t", [["-", "Reading", [0, 0, 950]]])
+                settled = await c.settle("t")
+                # retraction settles report the full (repaired) output
+                assert settled["output"] == ["tick 0: sensor 1 hot at 990"]
+
+    run(go())
+
+
+def test_stats_verb_service_and_tenant_views(tmp_path):
+    batches = telemetry_script(seed=2, n_tuples=96)
+
+    async def go():
+        async with running_service(data_dir=tmp_path / "state") as svc:
+            async with await _client(svc) as c:
+                await c.open("a", "telemetry")
+                await c.open("b", "telemetry")
+                for batch in batches:
+                    await c.feed("a", batch)
+                await c.settle("a")
+
+                tstats = await c.stats("a")
+                assert tstats["tenant"] == "a"
+                assert tstats["program"] == "telemetry"
+                assert tstats["fed_tuples"] == sum(len(b) for b in batches)
+                assert tstats["settles"] == 1
+                assert tstats["durable_seq"] == len(batches)
+                engine = tstats["engine"]
+                assert engine["steps"] > 0
+                assert len(engine["settles"]) == 1, "per-settle record missing"
+
+                sstats = (await c.stats())["service"]
+                assert sstats["feeds"] == len(batches)
+                assert sstats["fed_tuples"] == tstats["fed_tuples"]
+                assert sstats["settles"] == 1
+                assert sstats["checkpoints"] >= 1
+                assert sstats["peak_tenants"] == 2
+                top = await c.stats()
+                assert top["tenants"] == ["a", "b"]
+                assert top["limits"]["max_tenants"] == svc.config.max_tenants
+
+    run(go())
+
+
+def test_snapshot_verb_requires_data_dir():
+    async def go():
+        async with running_service() as svc:  # no data_dir
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                with pytest.raises(ServiceCallError) as err:
+                    await c.snapshot("t")
+                assert err.value.code == "protocol"
+                assert "data directory" in err.value.message
+
+    run(go())
+
+
+def test_snapshot_verb_advances_durable_seq(tmp_path):
+    batches = telemetry_script(seed=9, n_tuples=64)
+
+    async def go():
+        async with running_service(
+            data_dir=tmp_path / "state", checkpoint_every_settles=0
+        ) as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                await c.feed("t", batches[0])
+                assert (await c.stats("t"))["durable_seq"] == 0
+                snap = await c.snapshot("t")
+                assert snap["durable_seq"] == 1
+                assert (tmp_path / "state" / "t" / "snapshot.json").exists()
+
+    run(go())
+
+
+def test_close_reaps_tenant_and_durable_state(tmp_path):
+    async def go():
+        async with running_service(data_dir=tmp_path / "state") as svc:
+            async with await _client(svc) as c:
+                await c.open("t", "telemetry")
+                await c.feed("t", [["+", "Reading", [0, 0, 1]]])
+                await c.settle("t")
+                snap = tmp_path / "state" / "t" / "snapshot.json"
+                assert snap.exists()
+                await c.close("t")
+                assert not snap.exists()
+                with pytest.raises(ServiceCallError) as err:
+                    await c.settle("t")
+                assert err.value.code == "unknown-tenant"
+
+    run(go())
+
+
+def test_concurrent_tenants_on_separate_connections():
+    """Two tenants driven from two connections interleave freely and
+    each still matches its own single-shot run."""
+    scripts = {
+        "a": telemetry_script(seed=1, n_tuples=120),
+        "b": telemetry_script(seed=2, n_tuples=120),
+    }
+    oracles = {k: oracle_output(telemetry_factory, v) for k, v in scripts.items()}
+
+    async def drive(svc, tenant):
+        async with await _client(svc) as c:
+            await c.open(tenant, "telemetry")
+            out = []
+            for batch in scripts[tenant]:
+                await c.feed(tenant, batch)
+                out.extend((await c.settle(tenant))["output"])
+            closed = await c.close(tenant)
+            return out, closed["output"]
+
+    async def go():
+        async with running_service() as svc:
+            results = await asyncio.gather(
+                drive(svc, "a"), drive(svc, "b")
+            )
+        for tenant, (increments, cumulative) in zip(("a", "b"), results):
+            assert increments == oracles[tenant]
+            assert cumulative == oracles[tenant]
+
+    run(go())

@@ -1,0 +1,94 @@
+"""Property-based testing of the wire path, extending the retraction
+property battery (tests/session/test_retraction_props.py) through the
+service: random interleavings of several tenants' insert/delete/settle
+scripts, each tenant checked against a from-scratch recompute on its
+surviving facts.
+
+Scripts are valid by construction — inserts pick keys not currently
+live (re-asserting a retracted key with a fresh generation value is
+allowed and exercised), deletes pick live facts.  The scripts travel as
+wire triples and the tenants' batches are interleaved round-robin, so
+every example exercises multi-tenant dispatch, per-tenant sequencing,
+and retraction repair through the socket."""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExecOptions
+from repro.serve import ServiceClient
+from tests.serve._progs import oracle_output, running_service, telemetry_factory
+
+N_TICKS = 4
+N_SENSORS = 3
+ALL_KEYS = [(t, s) for t in range(N_TICKS) for s in range(N_SENSORS)]
+N_TENANTS = 3
+
+
+def _value(key: tuple[int, int], gen: int) -> int:
+    # straddles the HOT threshold so retraction repairs real output
+    return 850 + ((key[0] * 7 + key[1] * 13 + gen * 29) % 12) * 20
+
+
+@st.composite
+def tenant_scripts(draw):
+    """One tenant's script: causally batched inserts/deletes plus the
+    surviving facts for the scratch recompute."""
+    n_batches = draw(st.integers(min_value=2, max_value=4))
+    live: dict[tuple[int, int], int] = {}
+    gen: dict[tuple[int, int], int] = {}
+    batches: list[list[list]] = []
+    for _ in range(n_batches):
+        batch: list[list] = []
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            if live and draw(st.booleans()):
+                key = draw(st.sampled_from(sorted(live)))
+                batch.append(["-", "Reading", [key[0], key[1], live.pop(key)]])
+            else:
+                free = [k for k in ALL_KEYS if k not in live]
+                if not free:
+                    continue
+                key = draw(st.sampled_from(free))
+                value = _value(key, gen.get(key, 0))
+                gen[key] = gen.get(key, 0) + 1
+                live[key] = value
+                batch.append(["+", "Reading", [key[0], key[1], value]])
+        if batch:
+            batches.append(batch)
+    survivors = [
+        ["+", "Reading", [k[0], k[1], v]] for k, v in sorted(live.items())
+    ]
+    return batches, survivors
+
+
+async def _run_interleaved(scripts: list[tuple[list, list]]) -> None:
+    async with running_service() as svc:
+        async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+            tenants = [f"t{i}" for i in range(len(scripts))]
+            for tenant in tenants:
+                await c.open(tenant, "telemetry", options={"retraction": True})
+            # round-robin interleave: batch j of every tenant before
+            # batch j+1 of any
+            max_batches = max(len(batches) for batches, _ in scripts)
+            for j in range(max_batches):
+                for tenant, (batches, _) in zip(tenants, scripts):
+                    if j < len(batches):
+                        await c.feed(tenant, batches[j])
+                        await c.settle(tenant)
+            for tenant, (_, survivors) in zip(tenants, scripts):
+                closed = await c.close(tenant)
+                scratch = oracle_output(
+                    telemetry_factory,
+                    [survivors] if survivors else [],
+                    options=ExecOptions(retraction=True),
+                )
+                assert closed["output"] == scratch, tenant
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(tenant_scripts(), min_size=N_TENANTS, max_size=N_TENANTS))
+def test_interleaved_tenant_scripts_equal_scratch_recompute(scripts):
+    asyncio.run(_run_interleaved(scripts))
