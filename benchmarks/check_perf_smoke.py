@@ -36,6 +36,7 @@ TOLERANCE = 1.25  # >25 % normalised wall-time regression fails
 SERVICE_TOLERANCE = 2.0  # service latency/throughput gate
 BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr3.baseline.json"
 SERVICE_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr7.baseline.json"
+COLUMNAR_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr8.baseline.json"
 
 
 def check(current: dict, baseline: dict, tolerance: float = TOLERANCE) -> list[str]:
@@ -98,6 +99,39 @@ def check_service(
     return failures
 
 
+def check_columnar(
+    current: dict, baseline: dict, tolerance: float = TOLERANCE
+) -> list[str]:
+    """Columnar gate: per app, the normalised columnar wall must stay
+    within ``tolerance`` of the committed BENCH_pr8 baseline, and the
+    columnar leg must still produce the scalar leg's results."""
+    failures: list[str] = []
+    cal_cur = current["meta"]["calibration_wall"]
+    cal_base = baseline["meta"]["calibration_wall"]
+    for app, rec in baseline["apps"].items():
+        cur = current["apps"].get(app)
+        if cur is None:
+            failures.append(f"columnar/{app}: missing from current benchmark")
+            continue
+        base_norm = rec["columnar_wall"] / cal_base
+        cur_norm = cur["columnar_wall"] / cal_cur
+        if cur_norm > base_norm * tolerance:
+            failures.append(
+                f"columnar/{app}: normalised columnar wall {cur_norm:.2f} "
+                f"exceeds baseline {base_norm:.2f} x{tolerance}"
+                f" (raw {cur['columnar_wall']:.3f}s vs {rec['columnar_wall']:.3f}s)"
+            )
+        if cur.get("outputs_equal") is False:
+            failures.append(
+                f"columnar/{app}: columnar output diverged from the scalar run"
+            )
+        if cur.get("table_sizes_equal") is False:
+            failures.append(
+                f"columnar/{app}: columnar table sizes diverged from the scalar run"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="bench_fastpath.py output to check")
@@ -107,6 +141,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="bench_service.py output to gate as well")
     ap.add_argument("--service-baseline", default=str(SERVICE_BASELINE))
     ap.add_argument("--service-tolerance", type=float, default=SERVICE_TOLERANCE)
+    ap.add_argument("--columnar-current", default=None,
+                    help="bench_columnar.py output to gate as well")
+    ap.add_argument("--columnar-baseline", default=str(COLUMNAR_BASELINE))
     args = ap.parse_args(argv)
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
@@ -116,6 +153,12 @@ def main(argv: list[str] | None = None) -> int:
             json.loads(Path(args.service_current).read_text()),
             json.loads(Path(args.service_baseline).read_text()),
             args.service_tolerance,
+        )
+    if args.columnar_current is not None:
+        failures += check_columnar(
+            json.loads(Path(args.columnar_current).read_text()),
+            json.loads(Path(args.columnar_baseline).read_text()),
+            args.tolerance,
         )
     if failures:
         print("perf-smoke FAILED:", file=sys.stderr)

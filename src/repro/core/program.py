@@ -165,6 +165,13 @@ class ExecOptions:
     #: insert-only path carries zero support-tracking overhead and is
     #: byte-identical to previous releases.
     retraction: bool = False
+    #: phase-B firing mode: "scalar" (one firing at a time, the default)
+    #: or "columnar" (evaluate each popped class's predicted queries as
+    #: one batch over the column-oriented access paths, falling back
+    #: per-rule to the scalar path whenever the prediction misses — see
+    #: :mod:`repro.plan.batchcompile`).  Outputs, table sizes and traces
+    #: are byte-identical either way.
+    execution: str = "scalar"
 
     def with_(self, **kw: Any) -> "ExecOptions":
         """Functional update, e.g. ``opts.with_(threads=8)``."""
@@ -205,6 +212,33 @@ class ExecOptions:
                 "unknown metering mode; valid modes: on, off",
                 metering=self.metering,
             )
+        if self.execution not in ("scalar", "columnar"):
+            _refuse(
+                "unknown execution mode; valid modes: scalar, columnar",
+                execution=self.execution,
+            )
+        if self.execution == "columnar":
+            if self.retraction:
+                _refuse(
+                    "columnar execution is incompatible with retraction: "
+                    "batch firing does not record per-firing support yet",
+                    execution=self.execution,
+                    retraction=self.retraction,
+                )
+            if self.strategy == "processes":
+                _refuse(
+                    "columnar execution is not supported by the "
+                    "multiprocess shard runtime yet",
+                    execution=self.execution,
+                    strategy=self.strategy,
+                )
+            if self.task_granularity != "tuple":
+                _refuse(
+                    "columnar execution requires task_granularity='tuple' "
+                    "(the batch path owns the per-class firing loop)",
+                    execution=self.execution,
+                    task_granularity=self.task_granularity,
+                )
         if self.admission not in ("strict", "warn"):
             _refuse(
                 "unknown admission mode; valid modes: strict, warn",

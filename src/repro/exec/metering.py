@@ -40,6 +40,7 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "delta_pop": 5.5,      # removal of one tuple from the Delta tree
     "rule_fire": 0.5,      # dispatch overhead of firing a rule
     "gamma_query": 1.0,    # base cost of issuing a query
+    "gamma_batchselect": 0.7,  # one bulk-prefetched query (columnar phase B)
     "reduce_op": 0.3,      # one reducer step
     "user_work": 1.0,      # explicit ctx.charge (cost given by caller)
     "csv_parse": 0.6,      # parsing one CSV record (byte-level reader)

@@ -1,0 +1,330 @@
+"""Column-oriented Gamma backend (struct-of-arrays layout).
+
+The row stores keep each tuple as one Python object and answer selects
+by probing per-table structures tuple-by-tuple.  ``ColumnarStore``
+instead keeps one typed column per field — ``array('q')`` for ints,
+``array('d')`` for floats, plain lists for strings/``any`` — plus a
+hash partition over a chosen column set, so the batch firing path
+(:mod:`repro.plan.batchcompile`) can answer a whole trigger class's
+predicted queries with ``select_batch``-style bulk probes instead of
+one full query pipeline per firing.
+
+Layout and invariants:
+
+* ``_rows`` is the row-id → :class:`JTuple` spine (``None`` marks a
+  tombstone); the typed columns are positionally parallel to it, and
+  keep their (stale) values for dead rows until compaction.
+* ``_rowids`` maps full value tuples to row ids — set semantics,
+  ``__contains__``, and duplicate detection in O(1).
+* ``_parts`` maps partition-key value tuples to row-id lists;
+  partition keys default to the table's primary key.  A table with
+  neither gets no partition index and serves everything by filtered
+  scan (still correct, no longer sub-linear).
+* ``select`` results are sorted by full value tuple — the same order
+  :class:`~repro.gamma.treeset.TreeSetStore` scans in — so swapping a
+  table to this store never perturbs result order (float reducers and
+  per-result trace events would observe a different order otherwise).
+
+Deletions (retention GC, retraction) tombstone the row and compact the
+whole store once the dead fraction passes one half.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import attrgetter
+from typing import Callable, Iterator
+
+from repro.core.errors import SchemaError
+from repro.core.query import Query
+from repro.core.schema import TableSchema
+from repro.core.tuples import JTuple
+from repro.gamma.base import CostProfile, PreparedSelect, TableStore
+
+__all__ = ["ColumnarStore", "columnar_store"]
+
+#: machine column codes per declared field type; anything else (str,
+#: any) stays a plain object list
+_ARRAY_CODES = {"int": "q", "float": "d", "bool": "b"}
+
+_row_values = attrgetter("values")
+
+
+class ColumnarStore(TableStore):
+    """Struct-of-arrays store with a hash-partitioned column set and
+    bulk ``insert_batch`` / ``select_batch`` APIs."""
+
+    kind = "columnar"
+    cost = CostProfile(insert_cost=0.9, lookup_cost=0.7, result_cost=0.2)
+
+    def __init__(self, schema: TableSchema, partition: tuple[str, ...] | None = None):
+        super().__init__(schema)
+        if partition is None:
+            partition = tuple(schema.field_names[i] for i in schema.key_indexes)
+        self._part_pos: tuple[int, ...] = tuple(
+            schema.field_position(n) for n in partition
+        )
+        self._keyed = schema.has_key
+        self._key_pos = schema.key_indexes
+        self._cols: list = [self._new_column(f.type) for f in schema.fields]
+        self._rows: list[JTuple | None] = []
+        self._rowids: dict[tuple, int] = {}
+        self._parts: dict[tuple, list[int]] = {}
+        self._by_key: dict[tuple, int] = {}
+        self._dead = 0
+
+    @staticmethod
+    def _new_column(field_type: str):
+        code = _ARRAY_CODES.get(field_type)
+        return array(code) if code is not None else []
+
+    # -- column plumbing ----------------------------------------------------
+
+    def _append_columns(self, values: tuple) -> None:
+        cols = self._cols
+        for i, v in enumerate(values):
+            col = cols[i]
+            try:
+                col.append(v)
+            except (OverflowError, TypeError):
+                # value outside the machine type (bignum in an int
+                # column): demote the column to a plain object list
+                cols[i] = col = list(col)
+                col.append(v)
+
+    def _compact(self) -> None:
+        live = [t for t in self._rows if t is not None]
+        self._cols = [self._new_column(f.type) for f in self.schema.fields]
+        self._rows = []
+        self._rowids = {}
+        self._parts = {}
+        self._by_key = {}
+        self._dead = 0
+        for t in live:
+            self.insert(t)
+
+    # -- required API -------------------------------------------------------
+
+    def insert(self, tup: JTuple) -> bool:
+        values = tup.values
+        if values in self._rowids:
+            return False
+        rid = len(self._rows)
+        self._rows.append(tup)
+        self._append_columns(values)
+        self._rowids[values] = rid
+        part_pos = self._part_pos
+        if part_pos:
+            pk = tuple(values[p] for p in part_pos)
+            bucket = self._parts.get(pk)
+            if bucket is None:
+                self._parts[pk] = [rid]
+            else:
+                bucket.append(rid)
+        if self._keyed:
+            self._by_key[tuple(values[p] for p in self._key_pos)] = rid
+        return True
+
+    def __contains__(self, tup: JTuple) -> bool:
+        return tup.values in self._rowids
+
+    def __len__(self) -> int:
+        return len(self._rowids)
+
+    def scan(self) -> Iterator[JTuple]:
+        return (t for t in self._rows if t is not None)
+
+    def clear(self) -> None:
+        self._cols = [self._new_column(f.type) for f in self.schema.fields]
+        self._rows = []
+        self._rowids = {}
+        self._parts = {}
+        self._by_key = {}
+        self._dead = 0
+
+    # -- deletion -----------------------------------------------------------
+
+    def discard(self, tup: JTuple) -> bool:
+        rid = self._rowids.pop(tup.values, None)
+        if rid is None:
+            return False
+        self._rows[rid] = None
+        self._dead += 1
+        if self._keyed:
+            k = tuple(tup.values[p] for p in self._key_pos)
+            if self._by_key.get(k) == rid:
+                del self._by_key[k]
+        if self._dead > 32 and self._dead * 2 > len(self._rows):
+            self._compact()
+        return True
+
+    # -- lookups ------------------------------------------------------------
+
+    def lookup_key(self, key: tuple) -> JTuple | None:
+        if not self._keyed:
+            raise SchemaError(f"table {self.schema.name} has no primary key")
+        rid = self._by_key.get(key)
+        return self._rows[rid] if rid is not None else None
+
+    def _candidates(self, query: Query) -> Iterator[JTuple]:
+        part_pos = self._part_pos
+        eq = query.eq
+        if part_pos and all(p in eq for p in part_pos):
+            rids = self._parts.get(tuple(eq[p] for p in part_pos))
+            if not rids:
+                return iter(())
+            rows = self._rows
+            return (t for rid in rids if (t := rows[rid]) is not None)
+        key = query.key_if_fully_bound()
+        if key is not None:
+            t = self.lookup_key(key)
+            return iter(()) if t is None else iter((t,))
+        return self.scan()
+
+    def _select_list(self, query: Query) -> list[JTuple]:
+        out = [t for t in self._candidates(query) if query.matches(t)]
+        if len(out) > 1:
+            out.sort(key=_row_values)
+        return out
+
+    def select(self, query: Query) -> Iterator[JTuple]:
+        return iter(self._select_list(query))
+
+    def lookup_cost_for(self, query: Query) -> tuple[float, str]:
+        part_pos = self._part_pos
+        if part_pos and all(p in query.eq for p in part_pos):
+            return (self.cost.lookup_cost, "partition")
+        if query.key_if_fully_bound() is not None:
+            return (self.cost.lookup_cost, "key")
+        return (2.0 * self.cost.lookup_cost, "scan")
+
+    def prepare(self, query: Query) -> PreparedSelect:
+        cost, tag = self.lookup_cost_for(query)
+        part_pos = self._part_pos
+        if tag == "partition":
+            # residual work beyond the partition probe is fixed per shape
+            residual = (
+                len(query.eq) > len(part_pos)
+                or bool(query.ranges)
+                or query.where is not None
+            )
+
+            def run(q: Query) -> list[JTuple]:
+                rids = self._parts.get(tuple(q.eq[p] for p in part_pos))
+                if not rids:
+                    return []
+                rows = self._rows
+                if residual:
+                    out = [
+                        t
+                        for rid in rids
+                        if (t := rows[rid]) is not None and q.matches(t)
+                    ]
+                else:
+                    out = [t for rid in rids if (t := rows[rid]) is not None]
+                if len(out) > 1:
+                    out.sort(key=_row_values)
+                return out
+
+        else:
+
+            def run(q: Query) -> list[JTuple]:
+                return self._select_list(q)
+
+        return PreparedSelect(run, cost, tag, self.cost, self.schema.name)
+
+    # -- bulk APIs ----------------------------------------------------------
+
+    def insert_batch(self, tups: list[JTuple]) -> list[bool]:
+        """Insert many tuples; per-tuple outcomes in order (set
+        semantics, exactly :meth:`insert`)."""
+        insert = self.insert
+        return [insert(t) for t in tups]
+
+    def select_batch(self, queries: list[Query]) -> list[list[JTuple]]:
+        """Answer many queries at once; results positionally aligned."""
+        sel = self._select_list
+        return [sel(q) for q in queries]
+
+    def prepare_batch(
+        self, probe: Query
+    ) -> Callable[[list[tuple], list[tuple] | None], list[list[JTuple]]] | None:
+        """Resolve a *bulk* select path for one query shape, or ``None``
+        when this shape cannot be served from the partition index (the
+        caller falls back to per-trigger prepared selects).
+
+        The returned callable takes ``eq_rows`` — one tuple of equality
+        values per query, ordered by ascending field position — and
+        ``rng_rows`` — per query, one ``(lo, hi, lo_inc, hi_inc)``
+        quadruple per range position in ascending order (``None`` when
+        the shape has no ranges) — and returns one result list per row,
+        each sorted by full value tuple like :meth:`select`.
+        """
+        part_pos = self._part_pos
+        if not part_pos or probe.where is not None:
+            return None
+        if not all(p in probe.eq for p in part_pos):
+            return None
+        eq_positions = tuple(sorted(probe.eq))
+        rng_positions = tuple(sorted(probe.ranges))
+        part_sel = tuple(eq_positions.index(p) for p in part_pos)
+        resid_sel = tuple(
+            (i, p) for i, p in enumerate(eq_positions) if p not in part_pos
+        )
+
+        def run_batch(
+            eq_rows: list[tuple], rng_rows: list[tuple] | None
+        ) -> list[list[JTuple]]:
+            rows = self._rows
+            parts = self._parts
+            cols = self._cols
+            out: list[list[JTuple]] = []
+            for i, erow in enumerate(eq_rows):
+                rids = parts.get(tuple(erow[j] for j in part_sel))
+                if not rids:
+                    out.append([])
+                    continue
+                got: list[JTuple] = []
+                rrow = rng_rows[i] if rng_rows is not None else None
+                for rid in rids:
+                    t = rows[rid]
+                    if t is None:
+                        continue
+                    ok = True
+                    for j, p in resid_sel:
+                        if cols[p][rid] != erow[j]:
+                            ok = False
+                            break
+                    if ok and rrow is not None:
+                        for k, p in enumerate(rng_positions):
+                            lo, hi, lo_inc, hi_inc = rrow[k]
+                            v = cols[p][rid]
+                            if lo is not None and (
+                                v < lo or (v == lo and not lo_inc)
+                            ):
+                                ok = False
+                                break
+                            if hi is not None and (
+                                v > hi or (v == hi and not hi_inc)
+                            ):
+                                ok = False
+                                break
+                    if ok:
+                        got.append(t)
+                if len(got) > 1:
+                    got.sort(key=_row_values)
+                out.append(got)
+            return out
+
+        return run_batch
+
+
+def columnar_store(partition: tuple[str, ...] | None = None):
+    """Factory for ``ExecOptions(store_overrides={...})``: a
+    :class:`ColumnarStore` partitioned on the given fields (default:
+    the table's primary key)."""
+
+    def factory(schema: TableSchema) -> ColumnarStore:
+        return ColumnarStore(schema, partition)
+
+    return factory

@@ -1,0 +1,822 @@
+"""Batch (columnar) compilation of rule metadata into prefetch plans.
+
+Under ``ExecOptions(execution="columnar")`` the kernel's phase B wants
+to evaluate a rule's queries once per *trigger batch* instead of once
+per firing.  Rule bodies are opaque Python, so the only static
+description of their queries is the rule's :class:`RuleMeta` — and meta
+is advisory: it was written for the causality prover, nothing checks it
+against the body.  A plan compiled from it therefore must never be
+*trusted*, only *used as a prediction*:
+
+* at ``freeze()`` time, :func:`compile_batch_plan` turns each
+  prefetchable ``SymQuery`` of a single-branch meta into a
+  :class:`_SpecCompiled` — per-field value *sources* (trigger field,
+  constant, or a trigger-linear expression) for the equality bindings,
+  and range operators decomposed from the meta's linear constraints;
+* per step, the bound plan prefetches every spec over the whole
+  trigger batch — through the store's bulk ``prepare_batch`` path when
+  it has one (:class:`~repro.gamma.columnar.ColumnarStore`), else via
+  the shared compiled-plan prepared select per trigger;
+* at body-call time, :class:`BatchRuleContext` *verifies* the concrete
+  call against the prediction — schema identity, kind, constrained
+  positions, and every eq/range **value** — and only on an exact match
+  serves the prefetched result (computed from the same read-only Gamma
+  through the same access path, hence provably what the scalar path
+  would have returned, with the identical trace event).  Any mismatch
+  falls through to the normal planned path, so wrong or stale meta is
+  an efficiency miss, never a correctness bug.
+
+Two hazards make "same read-only Gamma" subtle, and both are handled
+here: a ``-noDelta`` cascade can insert into Gamma *during* phase B, so
+every spec on a ``-noDelta`` table carries a mutation-epoch snapshot
+and refuses to serve if the table changed since prefetch; and a query
+that follows a NEGATIVE guard in the meta is only prefetched for
+triggers whose guard result was empty (the guard-taken branch never
+reaches it — prefetching it anyway would be wasted work, and serving
+semantics never depend on the gating being right).
+
+Rules whose negative/aggregate queries must still be *adjudicated*
+dynamically (``causality_check != "off"`` without
+``assume_stratified``) are excluded by the kernel at bind time: the
+adjudicator needs a concrete query + compiled bound, so those rules
+keep the scalar path and their exact warning behaviour.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Mapping
+
+from repro.core.errors import CausalityError, RuleError
+from repro.core.ordering import (
+    Lit,
+    OrderDecls,
+    OrderingError,
+    Par,
+    Seq,
+    compare_timestamps,
+)
+from repro.core.query import Query, QueryKind
+from repro.core.rules import Rule, RuleContext
+from repro.core.reducers import reduce_all
+from repro.core.schema import TableSchema
+from repro.core.tuples import JTuple, TableHandle
+from repro.solver.terms import Rel, Term, var
+
+__all__ = [
+    "BatchCompiledPlan",
+    "BatchBoundPlan",
+    "BatchPrefetch",
+    "BatchRuleContext",
+    "compile_batch_plan",
+    "put_always_causal",
+    "put_fast_compare",
+]
+
+_NUMERIC = ("int", "float", "bool")
+
+#: fresh-variable prefix for a query's own (unbound) fields when the
+#: meta's constraint callback is evaluated for decomposition
+_QVAR = "__batchq."
+
+_MISSING = object()
+_MISS = object()
+
+
+def _num(frac: Fraction):
+    return int(frac) if frac.denominator == 1 else float(frac)
+
+
+def put_always_causal(
+    put_schema: TableSchema, trigger_schema: TableSchema, decls: OrderDecls
+) -> bool:
+    """True iff *every* tuple of ``put_schema`` is timestamped at or
+    after *every* tuple of ``trigger_schema`` — i.e. the put-side
+    causality comparison is decided by the orderby structure alone,
+    before any data-dependent (``seq``) level is reached.  Used to skip
+    the per-put ``compare_timestamps`` in the columnar context; a
+    ``False`` just keeps the dynamic check, so this never loosens §4."""
+    po = put_schema.orderby
+    to = trigger_schema.orderby
+    for pe, te in zip(po, to):
+        kind = type(pe)
+        if kind is not type(te):
+            return False  # structurally mismatched level: runtime raises
+        if kind is Lit:
+            if pe.name == te.name:
+                continue
+            try:
+                return decls.rank(pe.name) > decls.rank(te.name)
+            except OrderingError:
+                return False
+        if kind is Par:
+            continue  # par levels compare equal regardless of value
+        return False  # seq level: data-dependent
+    # every shared level ties; a longer put key extends the trigger's
+    # (compares after), an equal length ties, a shorter one precedes
+    return len(po) >= len(to)
+
+
+def put_fast_compare(
+    put_schema: TableSchema, trigger_schema: TableSchema
+) -> tuple[int, int] | None:
+    """Field positions ``(put_pos, trig_pos)`` when the first orderby
+    level that can differ between the two schemas is a ``seq`` field on
+    both sides (every earlier level an identical literal): a put whose
+    seq value is *strictly greater* then compares after the trigger at
+    that level, so the §4 check can be skipped without materialising
+    either timestamp.  Lower-or-equal values fall back to the exact
+    dynamic comparison, so this is a pure short-circuit."""
+    po = put_schema.orderby
+    to = trigger_schema.orderby
+    if len(po) != len(to):
+        return None
+    for pe, te in zip(po, to):
+        kind = type(pe)
+        if kind is not type(te):
+            return None
+        if kind is Lit:
+            if pe.name != te.name:
+                return None
+            continue
+        if kind is Seq:
+            return (
+                put_schema.field_position(pe.field),
+                trigger_schema.field_position(te.field),
+            )
+        return None  # par level: values erased, nothing to compare
+    return None  # fully literal and identical: put_always_causal covers it
+
+
+def _compile_source(term: Term, trigger: TableSchema):
+    """Compile a trigger-linear :class:`Term` into a closure
+    ``trigger_values -> value``; ``None`` when the term involves
+    anything but numeric trigger fields and constants."""
+    if term.is_constant():
+        c = _num(term.constant)
+        return lambda values: c
+    items: list[tuple[int, Fraction]] = []
+    for name, coeff in term.coeffs.items():
+        if not name.startswith("trig."):
+            return None
+        pos = trigger.index.get(name[5:])
+        if pos is None or trigger.fields[pos].type not in _NUMERIC:
+            return None
+        items.append((pos, coeff))
+    const = term.constant
+    if len(items) == 1 and items[0][1] == 1:
+        pos = items[0][0]
+        if const == 0:
+            return lambda values: values[pos]
+        if const.denominator == 1:
+            c = int(const)
+            return lambda values: values[pos] + c
+    coeffs = tuple((pos, _num(c)) for pos, c in items)
+    k = _num(const)
+
+    def source(values):
+        v = k
+        for pos, c in coeffs:
+            v = v + c * values[pos]
+        return v
+
+    return source
+
+
+def _decompose_constraints(
+    query_schema: TableSchema,
+    trigger: TableSchema,
+    constraints: Callable | None,
+) -> list[tuple[str, str, Callable]] | None:
+    """Turn a meta query's constraint callback into ``(field, op,
+    bound-source)`` triples — the range spec the body is predicted to
+    pass.  ``None`` = not decomposable (spec is unprefetchable)."""
+    if constraints is None:
+        return []
+    q_fields = {
+        f.name: var(_QVAR + f.name)
+        for f in query_schema.fields
+        if f.type in _NUMERIC
+    }
+    try:
+        atoms = list(constraints(q_fields))
+    except Exception:
+        return None
+    out: list[tuple[str, str, Callable]] = []
+    for con in atoms:
+        if con.rel == Rel.EQ:
+            return None  # bodies express equalities as eq args, not ranges
+        term = con.term
+        qvars = [(v, c) for v, c in term.coeffs.items() if v.startswith(_QVAR)]
+        if not qvars:
+            continue  # pure trigger fact: not part of the query shape
+        if len(qvars) > 1:
+            return None  # cross-field constraint: not a range
+        qname, coeff = qvars[0]
+        fname = qname[len(_QVAR):]
+        # coeff*q + rest REL 0  ->  q REL' -rest/coeff (flip on coeff<0)
+        rest_coeffs = {v: -c / coeff for v, c in term.coeffs.items() if v != qname}
+        bound = Term(rest_coeffs, -term.constant / coeff)
+        source = _compile_source(bound, trigger)
+        if source is None:
+            return None
+        if coeff > 0:
+            op = "lt" if con.rel == Rel.LT else "le"
+        else:
+            op = "gt" if con.rel == Rel.LT else "ge"
+        out.append((fname, op, source))
+    return out
+
+
+class _SpecCompiled:
+    """One prefetchable query of a rule's meta, fully compiled."""
+
+    __slots__ = (
+        "schema",
+        "kind",
+        "eq_positions",
+        "eq_sources",
+        "range_fields",
+        "range_positions",
+        "gate",
+        "match",
+    )
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        kind: QueryKind,
+        eq_items: list[tuple[int, Callable]],
+        range_items: list[tuple[str, str, Callable]],
+        gate: int | None,
+    ):
+        # canonical order: ascending field position (matches both the
+        # Query eq dict the prefetch builds and the bulk-store row
+        # convention); the serve-time match works by position, so the
+        # body may use either positional-prefix or named-kwarg style
+        eq_items = sorted(eq_items)
+        self.schema = schema
+        self.kind = kind
+        self.eq_positions = tuple(pos for pos, _src in eq_items)
+        self.eq_sources = tuple(src for _pos, src in eq_items)
+        # group range ops per field, fields in ascending position order
+        grouped: dict[str, list[tuple[str, Callable]]] = {}
+        for fname, op, src in range_items:
+            grouped.setdefault(fname, []).append((op, src))
+        fields = sorted(grouped, key=schema.field_position)
+        self.range_fields = tuple(
+            (fname, tuple(op for op, _s in grouped[fname]), tuple(s for _o, s in grouped[fname]))
+        for fname in fields)
+        self.range_positions = tuple(schema.field_position(f) for f in fields)
+        self.gate = gate
+        self.match = self._compile_match()
+
+    def _compile_match(self):
+        schema = self.schema
+        eq_positions = self.eq_positions
+        names = tuple(schema.field_names[p] for p in eq_positions)
+        n_eq = len(eq_positions)
+        pos_set = frozenset(eq_positions)
+        range_fields = self.range_fields
+
+        def match(prefix: tuple, eq: Mapping, ranges, exp: tuple) -> bool:
+            np_ = len(prefix)
+            if np_ + len(eq) != n_eq:
+                return False
+            for i in range(np_):
+                if i not in pos_set:
+                    return False
+            j = 0
+            for pos, name in zip(eq_positions, names):
+                v = prefix[pos] if pos < np_ else eq.get(name, _MISSING)
+                if v is _MISSING or v != exp[j]:
+                    return False
+                j += 1
+            if range_fields:
+                if not ranges or len(ranges) != len(range_fields):
+                    return False
+                for fname, ops, _srcs in range_fields:
+                    spec = ranges.get(fname)
+                    if not isinstance(spec, Mapping) or len(spec) != len(ops):
+                        return False
+                    for op in ops:
+                        v = spec.get(op, _MISSING)
+                        if v is _MISSING or v != exp[j]:
+                            return False
+                        j += 1
+            elif ranges:
+                return False
+            return True
+
+        return match
+
+
+class _TailProbe:
+    """A trailing *unbound* NEGATIVE meta query on a keyed table: the
+    meta predicts no values (its call count and bindings are decided by
+    the body's inner loop), so nothing can be prefetched — but once the
+    positional specs are consumed, any ``get_uniq``/``absent`` that
+    fully binds the table's primary key can be served **live** by one
+    ``lookup_key`` (the key invariant caps matches at one, so this is
+    exactly what the scalar prepared select returns, read at the same
+    moment the scalar path would read it — no staleness is possible)."""
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+
+
+class BatchCompiledPlan:
+    """The freeze-time batch plan of one rule: its prefetchable query
+    specs, in predicted call order, plus an optional tail probe."""
+
+    __slots__ = ("rule", "specs", "tail")
+
+    def __init__(
+        self, rule: Rule, specs: list[_SpecCompiled], tail: _TailProbe | None
+    ):
+        self.rule = rule
+        self.specs = specs
+        self.tail = tail
+
+    def bind(self, db, plans, mut_epoch: dict[str, int]) -> "BatchBoundPlan":
+        """Resolve the specs against one run's database and plan cache."""
+        return BatchBoundPlan(self, db, plans, mut_epoch)
+
+
+def compile_batch_plan(rule: Rule) -> BatchCompiledPlan | None:
+    """Compile a rule's meta into a batch prefetch plan; ``None`` when
+    nothing is prefetchable (no meta, several branches — whose call
+    order is data-dependent — or no decomposable query)."""
+    meta = rule.meta
+    if meta is None or len(getattr(meta, "branches", ())) != 1:
+        return None
+    trigger = meta.trigger_schema
+    branch = meta.branches[0]
+    specs: list[_SpecCompiled] = []
+    tail: _TailProbe | None = None
+    last_negative: int | None = None
+    for q in branch.queries:
+        compiled = _compile_spec(q, trigger, last_negative)
+        if compiled is None:
+            if (
+                q.kind is QueryKind.NEGATIVE
+                and not q.bound
+                and q.constraints is None
+                and q.schema.has_key
+            ):
+                # the cursor cannot represent specs past a variable
+                # -count probe loop, so the tail ends the plan
+                tail = _TailProbe(q.schema)
+                break
+            continue
+        specs.append(compiled)
+        if compiled.kind is QueryKind.NEGATIVE:
+            last_negative = len(specs) - 1
+    if not specs and tail is None:
+        return None
+    return BatchCompiledPlan(rule, specs, tail)
+
+
+def _compile_spec(q, trigger: TableSchema, gate: int | None) -> _SpecCompiled | None:
+    eq_items: list[tuple[int, Callable]] = []
+    for name, term in q.bound.items():
+        pos = q.schema.index.get(name)
+        if pos is None:
+            return None
+        source = _compile_source(term, trigger)
+        if source is None:
+            return None  # string-typed or non-trigger binding
+        eq_items.append((pos, source))
+    if not eq_items:
+        return None  # unbounded query: never worth predicting
+    range_items = _decompose_constraints(q.schema, trigger, q.constraints)
+    if range_items is None:
+        return None
+    rng_pos = {q.schema.field_position(f) for f, _op, _s in range_items}
+    if rng_pos & {pos for pos, _src in eq_items}:
+        return None  # eq+range on one field: bodies cannot express this
+    return _SpecCompiled(q.schema, q.kind, eq_items, range_items, gate)
+
+
+class _SpecBound:
+    """A compiled spec resolved against one run: shared prepared
+    select, optional store bulk path, mutation-epoch guard."""
+
+    __slots__ = ("spec", "plan", "batch_run", "epoch_ref", "table_name")
+
+    def __init__(self, spec: _SpecCompiled, db, plans, mut_epoch: dict[str, int]):
+        self.spec = spec
+        schema = spec.schema
+        self.table_name = schema.name
+        handle = TableHandle(schema)
+        # register the shape in the shared plan cache (dummy values;
+        # plan compilation depends only on constrained positions) so
+        # serve-time hits bump the same per-plan stats the scalar path
+        # would, and the generic prefetch path reuses its access path
+        eq = {schema.field_names[p]: 0 for p in spec.eq_positions}
+        ranges = (
+            {fname: {op: 0 for op in ops} for fname, ops, _s in spec.range_fields}
+            or None
+        )
+        self.plan, _probe = plans.lookup(handle, (), None, ranges, eq, spec.kind)
+        store = db.store(schema.name)
+        prepare_batch = getattr(store, "prepare_batch", None)
+        self.batch_run = (
+            prepare_batch(_probe) if prepare_batch is not None else None
+        )
+        # -noDelta tables can grow *during* phase B (cascade inserts);
+        # a spec on one only serves while its epoch is unchanged
+        self.epoch_ref = mut_epoch if schema.name in mut_epoch else None
+
+
+class _TailBound:
+    """A :class:`_TailProbe` resolved against one run: the store's
+    ``lookup_key`` plus the shared compiled plan the scalar path would
+    use for the same full-key shape (so serve-time hits bump the same
+    per-plan stats)."""
+
+    __slots__ = (
+        "schema",
+        "plan",
+        "lookup",
+        "key_positions",
+        "key_names",
+        "n_key",
+        "pos_set",
+        "table_name",
+    )
+
+    def __init__(self, tail: _TailProbe, db, plans):
+        schema = tail.schema
+        self.schema = schema
+        self.table_name = schema.name
+        self.key_positions = schema.key_indexes
+        self.key_names = tuple(schema.field_names[i] for i in schema.key_indexes)
+        self.n_key = len(self.key_positions)
+        self.pos_set = frozenset(self.key_positions)
+        handle = TableHandle(schema)
+        eq = {name: 0 for name in self.key_names}
+        self.plan, _probe = plans.lookup(
+            handle, (), None, None, eq, QueryKind.NEGATIVE
+        )
+        self.lookup = db.store(schema.name).lookup_key
+
+
+class BatchPrefetch:
+    """One rule's prefetched results for one trigger batch."""
+
+    __slots__ = ("bound", "results", "expects", "epochs", "next_index")
+
+    def __init__(self, bound, results, expects, epochs):
+        self.bound = bound
+        self.results = results
+        self.expects = expects
+        self.epochs = epochs
+        self.next_index = 0
+
+
+class BatchBoundPlan:
+    """A rule's batch plan bound to one run; builds a
+    :class:`BatchPrefetch` per trigger batch."""
+
+    __slots__ = ("rule", "specs", "n_specs", "tail", "mut_epoch")
+
+    def __init__(self, compiled: BatchCompiledPlan, db, plans, mut_epoch):
+        self.rule = compiled.rule
+        self.specs = [
+            _SpecBound(s, db, plans, mut_epoch) for s in compiled.specs
+        ]
+        self.n_specs = len(self.specs)
+        self.tail = (
+            _TailBound(compiled.tail, db, plans)
+            if compiled.tail is not None
+            else None
+        )
+        self.mut_epoch = mut_epoch
+
+    def prefetch(self, triggers: list[JTuple]) -> tuple[BatchPrefetch, int]:
+        """Evaluate every spec over the trigger batch.  Returns the
+        prefetch plus the number of bulk-resolved probes (for the
+        ``gamma_batchselect`` meter)."""
+        results: list[list] = []
+        expects: list[list] = []
+        epochs: list[int | None] = []
+        n = len(triggers)
+        n_probes = 0
+        for st in self.specs:
+            spec = st.spec
+            rows: list = [None] * n
+            exps: list = [None] * n
+            gate = spec.gate
+            gate_rows = results[gate] if gate is not None else None
+            eq_sources = spec.eq_sources
+            range_fields = spec.range_fields
+            probe_idx: list[int] = []
+            eq_rows: list[tuple] = []
+            rng_rows: list[tuple] | None = [] if range_fields else None
+            for i, tup in enumerate(triggers):
+                if gate_rows is not None:
+                    g = gate_rows[i]
+                    if g is None or g:
+                        continue  # guard taken (or unknown): body never asks
+                values = tup.values
+                erow = tuple(src(values) for src in eq_sources)
+                if range_fields:
+                    quads = []
+                    flat = []
+                    for _fname, ops, srcs in range_fields:
+                        lo = hi = None
+                        lo_inc = hi_inc = True
+                        for op, src in zip(ops, srcs):
+                            v = src(values)
+                            flat.append(v)
+                            if op == "lt":
+                                hi, hi_inc = v, False
+                            elif op == "le":
+                                hi, hi_inc = v, True
+                            elif op == "gt":
+                                lo, lo_inc = v, False
+                            else:
+                                lo, lo_inc = v, True
+                        quads.append((lo, hi, lo_inc, hi_inc))
+                    exps[i] = erow + tuple(flat)
+                    rng_rows.append(tuple(quads))
+                else:
+                    exps[i] = erow
+                probe_idx.append(i)
+                eq_rows.append(erow)
+            if eq_rows:
+                n_probes += len(eq_rows)
+                if st.batch_run is not None:
+                    got = st.batch_run(eq_rows, rng_rows)
+                else:
+                    got = []
+                    run = st.plan.prepared.run
+                    schema = spec.schema
+                    kind = spec.kind
+                    eq_positions = spec.eq_positions
+                    rng_positions = spec.range_positions
+                    for j, erow in enumerate(eq_rows):
+                        rdict = (
+                            dict(zip(rng_positions, rng_rows[j]))
+                            if rng_rows is not None
+                            else {}
+                        )
+                        q = Query(
+                            schema, dict(zip(eq_positions, erow)), rdict, None, kind
+                        )
+                        got.append(run(q))
+                for j, i in enumerate(probe_idx):
+                    rows[i] = got[j]
+            results.append(rows)
+            expects.append(exps)
+            ep = st.epoch_ref
+            epochs.append(ep[st.table_name] if ep is not None else None)
+        return BatchPrefetch(self, results, expects, epochs), n_probes
+
+
+class BatchRuleContext(RuleContext):
+    """A :class:`RuleContext` that first offers each query to the
+    firing's prefetched rows (strict positional cursor), falling back
+    to the inherited planned path on any mismatch.  Reused across
+    firings by the columnar kernel — :meth:`reset` restores the
+    per-firing state ``__init__`` would."""
+
+    __slots__ = ("_pf", "_pfi", "_cursor", "_put_safe", "in_use")
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pf = None
+        self._pfi = 0
+        self._cursor = 0
+        self._put_safe: dict[int, object] = {}
+        self.in_use = False
+
+    def reset(
+        self,
+        trigger: JTuple,
+        trigger_ts,
+        trace: list | None,
+        pf: BatchPrefetch | None,
+        pfi: int,
+        put_safe: dict[int, object],
+    ) -> None:
+        self.trigger = trigger
+        self.trigger_ts = trigger_ts
+        self.puts = []
+        self.output = []
+        self._finished = False
+        self._neg_warned = False
+        self._ts_ok = None
+        self._trace = trace
+        self._pf = pf
+        self._pfi = pfi
+        self._cursor = 0
+        self._put_safe = put_safe
+
+    # -- effects: the scalar ``put`` minus dead weight -----------------------
+
+    def put(self, tup: JTuple) -> None:
+        """Base :meth:`RuleContext.put` with the no-op meter charge
+        dropped (columnar firings share ``NULL_METER``) and the §4
+        comparison skipped when it is statically decided
+        (:func:`put_always_causal`) or short-circuited by a seq-value
+        compare (:func:`put_fast_compare`) — everything else, including
+        every error message, is byte-identical."""
+        if self._finished:
+            self._guard()
+        if self._sched is not None:
+            self._sched()
+        if not isinstance(tup, JTuple):
+            raise RuleError(f"put expects a tuple, got {type(tup).__name__}")
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "put",
+                    {
+                        "rule": self._rule.name,
+                        "table": tup.schema.name,
+                        "tuple": repr(tup),
+                    },
+                )
+            )
+        if self._check_mode != "off":
+            # True = statically causal; (p, t) = skip iff the put's seq
+            # value strictly exceeds the trigger's; absent = full check
+            ent = self._put_safe.get(id(tup.schema))
+            if ent is not True and (
+                ent is None or tup.values[ent[0]] <= self.trigger.values[ent[1]]
+            ):
+                ts = self._db.timestamp(tup)
+                if ts is not self._ts_ok:
+                    if compare_timestamps(ts, self.trigger_ts) < 0:
+                        raise CausalityError(
+                            f"rule {self._rule.name} put {tup!r} (ts {ts}) into the "
+                            f"past of its trigger {self.trigger!r} (ts {self.trigger_ts})"
+                        )
+                    self._ts_ok = ts
+        self.puts.append(tup)
+
+    # -- queries: serve from the prefetch / the live tail probe --------------
+
+    def _serve_tail(self, tail: _TailBound, table, prefix, eq, ranges, where):
+        """Serve a full-key NEGATIVE probe by one live ``lookup_key``.
+        The cursor does not advance: the tail absorbs any number of
+        probes (the body's inner loop decides how many)."""
+        if table.schema is not tail.schema or where is not None or ranges:
+            return _MISS
+        np_ = len(prefix)
+        if np_ + len(eq) != tail.n_key:
+            return _MISS
+        key_names = tail.key_names
+        if np_ == 0:
+            if tail.n_key == 1:
+                vals = eq.get(key_names[0], _MISSING)
+                if vals is _MISSING:
+                    return _MISS
+                vals = (vals,)
+            else:
+                out = []
+                for name in key_names:
+                    v = eq.get(name, _MISSING)
+                    if v is _MISSING:
+                        return _MISS
+                    out.append(v)
+                vals = tuple(out)
+        else:
+            pos_set = tail.pos_set
+            for p in range(np_):
+                if p not in pos_set:
+                    return _MISS
+            out = []
+            for j, pos in enumerate(tail.key_positions):
+                if pos < np_:
+                    out.append(prefix[pos])
+                else:
+                    v = eq.get(key_names[j], _MISSING)
+                    if v is _MISSING:
+                        return _MISS
+                    out.append(v)
+            vals = tuple(out)
+        t = tail.lookup(vals)
+        res = [] if t is None else [t]
+        plan = tail.plan
+        if self._collector is not None:
+            hit = plan.rule_hits.get(self._rule.name)
+            if hit is None:
+                plan.rule_hits[self._rule.name] = [1, len(res)]
+            else:
+                hit[0] += 1
+                hit[1] += len(res)
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "query",
+                    {
+                        "rule": self._rule.name,
+                        "table": plan.table_name,
+                        "kind": QueryKind.NEGATIVE.value,
+                        "n_results": len(res),
+                    },
+                )
+            )
+        return res
+
+    def _serve(self, table: TableHandle, prefix, eq, ranges, where, kind):
+        pf = self._pf
+        if pf is None:
+            return _MISS
+        cur = self._cursor
+        bound = pf.bound
+        specs = bound.specs
+        if cur >= bound.n_specs:
+            tail = bound.tail
+            if tail is None or kind is not QueryKind.NEGATIVE:
+                return _MISS
+            return self._serve_tail(tail, table, prefix, eq, ranges, where)
+        st = specs[cur]
+        spec = st.spec
+        if spec.kind is not kind or spec.schema is not table.schema:
+            return _MISS
+        i = self._pfi
+        res = pf.results[cur][i]
+        if res is None:
+            return _MISS
+        snap = pf.epochs[cur]
+        if snap is not None and st.epoch_ref[st.table_name] != snap:
+            return _MISS  # a -noDelta cascade touched the table: stale
+        if not spec.match(prefix, eq, ranges, pf.expects[cur][i]) or where is not None:
+            return _MISS
+        self._cursor = cur + 1
+        plan = st.plan
+        n = len(res)
+        if self._collector is not None:
+            hit = plan.rule_hits.get(self._rule.name)
+            if hit is None:
+                plan.rule_hits[self._rule.name] = [1, n]
+            else:
+                hit[0] += 1
+                hit[1] += n
+        if self._trace is not None:
+            self._trace.append(
+                (
+                    "query",
+                    {
+                        "rule": self._rule.name,
+                        "table": plan.table_name,
+                        "kind": kind.value,
+                        "n_results": n,
+                    },
+                )
+            )
+        return res
+
+    # -- query overrides: serve-or-fallback ---------------------------------
+
+    def get(self, table, *prefix, where=None, ranges=None, **eq):
+        res = self._serve(table, prefix, eq, ranges, where, QueryKind.POSITIVE)
+        if res is not _MISS:
+            if self._finished:
+                self._guard()
+            return res
+        return super().get(table, *prefix, where=where, ranges=ranges, **eq)
+
+    def get_uniq(self, table, *prefix, where=None, ranges=None, **eq):
+        res = self._serve(table, prefix, eq, ranges, where, QueryKind.NEGATIVE)
+        if res is _MISS:
+            return super().get_uniq(
+                table, *prefix, where=where, ranges=ranges, **eq
+            )
+        if self._finished:
+            self._guard()
+        if len(res) > 1:
+            raise RuleError(f"get uniq? {table.name} matched {len(res)} tuples")
+        return res[0] if res else None
+
+    def absent(self, table, *prefix, where=None, ranges=None, **eq):
+        res = self._serve(table, prefix, eq, ranges, where, QueryKind.NEGATIVE)
+        if res is _MISS:
+            return super().absent(
+                table, *prefix, where=where, ranges=ranges, **eq
+            )
+        if self._finished:
+            self._guard()
+        return not res
+
+    def reduce(self, table, *prefix, reducer, value, where=None, ranges=None, **eq):
+        res = self._serve(table, prefix, eq, ranges, where, QueryKind.AGGREGATE)
+        if res is _MISS:
+            return super().reduce(
+                table,
+                *prefix,
+                reducer=reducer,
+                value=value,
+                where=where,
+                ranges=ranges,
+                **eq,
+            )
+        self._guard()
+        self._meter.charge("reduce_op", n=len(res))
+        return reduce_all(reducer, (value(t) for t in res))

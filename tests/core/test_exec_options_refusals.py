@@ -59,6 +59,16 @@ MATRIX = [
       "task_granularity='tuple'"]),
     (dict(retraction=True, strategy="processes"),
      ["retraction=True", "strategy='processes'", "multiprocess"]),
+    (dict(execution="vectorized"),
+     ["execution='vectorized'", "scalar, columnar"]),
+    (dict(execution="columnar", retraction=True),
+     ["execution='columnar'", "retraction=True", "per-firing support"]),
+    (dict(execution="columnar", strategy="processes"),
+     ["execution='columnar'", "strategy='processes'",
+      "multiprocess shard runtime"]),
+    (dict(execution="columnar", task_granularity="rule"),
+     ["execution='columnar'", "task_granularity='rule'",
+      "task_granularity='tuple'"]),
 ]
 
 
@@ -100,6 +110,12 @@ def test_refusals_are_catchable_as_engine_errors():
         dict(retraction=True, strategy="threads", threads=2),
         dict(index_mode="explicit", indexes={"Edge": ("dst",)}),
         dict(retention={"T": RetentionHint("gen", 2)}),
+        dict(execution="columnar"),
+        dict(execution="columnar", metering="off"),
+        # not refused: non-sequential strategies downgrade to scalar at
+        # run time with a note rather than refusing up front
+        dict(execution="columnar", strategy="chaos", chaos_seed=3),
+        dict(execution="columnar", strategy="threads", threads=2),
     ],
 )
 def test_valid_option_combinations_are_accepted(kwargs):

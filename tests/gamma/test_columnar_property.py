@@ -1,0 +1,266 @@
+"""Property-based equivalence: ``ColumnarStore`` ≡ ``TreeSetStore``.
+
+The columnar backend reorganises storage (struct-of-arrays columns, a
+hash partition, tombstone deletion with whole-store compaction) but
+must stay observationally identical to the sorted row oracle: same
+membership, same lengths, and — because §1.3 determinism rides on
+iteration order — the *exact* sorted-by-values select results.
+Hypothesis drives random insert/discard scripts and random queries
+across partition shapes, keyed tables, the bulk batch APIs, and the
+compaction threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import QueryKind, build_query
+from repro.core.schema import TableSchema
+from repro.core.tuples import TableHandle
+from repro.gamma import ColumnarStore, TreeSetStore
+
+small_int = st.integers(min_value=0, max_value=4)  # small domain → collisions
+small_float = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0])
+small_str = st.sampled_from(["x", "y"])
+
+plain_rows = st.lists(
+    st.tuples(small_int, small_int, small_float, small_str), max_size=50
+)
+keyed_rows = st.lists(st.tuples(small_int, small_int, small_float), max_size=30)
+
+range_spec = st.fixed_dictionaries(
+    {},
+    optional={
+        "ge": small_float,
+        "gt": small_float,
+        "le": small_float,
+        "lt": small_float,
+    },
+).filter(bool)
+
+#: partition shapes: default (primary key / none), single field,
+#: multi-field, and a field never bound by equality
+PARTITIONS = [
+    pytest.param(None, id="default"),
+    pytest.param(("a",), id="part-a"),
+    pytest.param(("a", "b"), id="part-ab"),
+    pytest.param(("s",), id="part-s"),
+]
+
+
+def plain_schema() -> TableSchema:
+    return TableSchema("Ev", "int a, int b, float c, str s", orderby=("Ev",))
+
+
+def keyed_schema() -> TableSchema:
+    return TableSchema("Kv", "int a, int b -> float c", orderby=("Kv",))
+
+
+def _query(schema: TableSchema, draw):
+    eq: dict[str, object] = {}
+    for f in schema.fields:
+        if draw(st.booleans()):
+            if f.type == "int":
+                eq[f.name] = draw(small_int)
+            elif f.type == "float":
+                eq[f.name] = draw(small_float)
+            else:
+                eq[f.name] = draw(small_str)
+    ranges: dict[str, dict] = {}
+    for f in schema.fields:
+        if f.name not in eq and f.type in ("int", "float") and draw(st.booleans()):
+            ranges[f.name] = draw(range_spec)
+    where = None
+    if draw(st.booleans()):
+        parity = draw(st.integers(min_value=0, max_value=1))
+        where = lambda t: t.values[0] % 2 == parity  # noqa: E731
+    return build_query(
+        schema, where=where, ranges=ranges or None, kind=QueryKind.POSITIVE, **eq
+    )
+
+
+def _assert_stores_agree(columnar, oracle, schema, draw, n_queries=3):
+    assert len(columnar) == len(oracle)
+    assert sorted(t.values for t in columnar.scan()) == sorted(
+        t.values for t in oracle.scan()
+    )
+    for _ in range(n_queries):
+        q = _query(schema, draw)
+        assert list(columnar.select(q)) == list(oracle.select(q)), repr(q)
+        # the prepared path must serve exactly what the ad-hoc path does
+        assert columnar.prepare(q).run(q) == list(oracle.select(q)), repr(q)
+
+
+class TestPlainSchema:
+    @pytest.mark.parametrize("partition", PARTITIONS)
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_script_equivalence(self, partition, data):
+        """Random insert/discard interleavings, then random selects."""
+        schema = plain_schema()
+        handle = TableHandle(schema)
+        columnar = ColumnarStore(schema, partition)
+        oracle = TreeSetStore(schema)
+        inserted = []
+        for row in data.draw(plain_rows):
+            t = handle.new(*row)
+            assert columnar.insert(t) == oracle.insert(t)
+            inserted.append(t)
+        for t in inserted:
+            if data.draw(st.booleans()):
+                assert columnar.discard(t) == oracle.discard(t)
+                assert (t in columnar) == (t in oracle)
+        _assert_stores_agree(columnar, oracle, schema, data.draw)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_apis_match_scalar(self, data):
+        """insert_batch/select_batch are positionally exactly the
+        per-item insert/select outcomes."""
+        schema = plain_schema()
+        handle = TableHandle(schema)
+        columnar = ColumnarStore(schema, ("a",))
+        oracle = TreeSetStore(schema)
+        tuples = [handle.new(*row) for row in data.draw(plain_rows)]
+        assert columnar.insert_batch(tuples) == [oracle.insert(t) for t in tuples]
+        queries = [_query(schema, data.draw) for _ in range(4)]
+        assert columnar.select_batch(queries) == [
+            list(oracle.select(q)) for q in queries
+        ]
+
+
+class TestPreparedBatch:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_run_batch_matches_per_query_select(self, data):
+        """``prepare_batch`` bulk probes (partition + residual eq +
+        range quadruples) ≡ one ``select`` per reconstructed query."""
+        schema = plain_schema()
+        handle = TableHandle(schema)
+        columnar = ColumnarStore(schema, ("a",))
+        for row in data.draw(plain_rows):
+            columnar.insert(handle.new(*row))
+
+        with_b = data.draw(st.booleans())  # residual equality beyond part
+        with_rng = data.draw(st.booleans())  # range on the float column
+        probe_eq = {"a": 0} | ({"b": 0} if with_b else {})
+        probe = build_query(
+            schema,
+            ranges={"c": {"ge": 0.0}} if with_rng else None,
+            **probe_eq,
+        )
+        run_batch = columnar.prepare_batch(probe)
+        assert run_batch is not None, "partition-served shape must compile"
+
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        eq_rows, rng_rows, singles = [], [], []
+        for _ in range(n):
+            a = data.draw(small_int)
+            eq = {"a": a}
+            row = [a]
+            if with_b:
+                b = data.draw(small_int)
+                eq["b"] = b
+                row.append(b)
+            ranges = None
+            if with_rng:
+                lo = data.draw(st.one_of(st.none(), small_float))
+                hi = data.draw(st.one_of(st.none(), small_float))
+                lo_inc = data.draw(st.booleans())
+                hi_inc = data.draw(st.booleans())
+                rng_rows.append(((lo, hi, lo_inc, hi_inc),))
+                spec = {}
+                if lo is not None:
+                    spec["ge" if lo_inc else "gt"] = lo
+                if hi is not None:
+                    spec["le" if hi_inc else "lt"] = hi
+                ranges = {"c": spec} if spec else None
+            eq_rows.append(tuple(row))
+            singles.append(build_query(schema, ranges=ranges, **eq))
+
+        got = run_batch(eq_rows, rng_rows if with_rng else None)
+        assert got == [list(columnar.select(q)) for q in singles]
+
+    def test_unservable_shapes_refuse(self):
+        schema = plain_schema()
+        columnar = ColumnarStore(schema, ("a",))
+        # where-lambda, partition not fully bound, no partition at all
+        assert columnar.prepare_batch(
+            build_query(schema, a=1, where=lambda t: True)
+        ) is None
+        assert columnar.prepare_batch(build_query(schema, b=1)) is None
+        unpart = ColumnarStore(schema)  # no key → no partition index
+        assert unpart.prepare_batch(build_query(schema, a=1)) is None
+
+
+class TestKeyedSchema:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_key_tracks_inserts_and_discards(self, data):
+        schema = keyed_schema()
+        handle = TableHandle(schema)
+        columnar = ColumnarStore(schema)
+        oracle = TreeSetStore(schema)
+        by_key: dict[tuple, object] = {}
+        for row in data.draw(keyed_rows):
+            t = handle.new(*row)
+            if t.key() in by_key:
+                continue  # the engine's key invariant: one tuple per key
+            by_key[t.key()] = t
+            columnar.insert(t)
+            oracle.insert(t)
+        for key, t in list(by_key.items()):
+            if data.draw(st.booleans()):
+                columnar.discard(t)
+                oracle.discard(t)
+                del by_key[key]
+        for key, t in by_key.items():
+            assert columnar.lookup_key(key) is t
+        assert columnar.lookup_key((99, 99)) is None
+        _assert_stores_agree(columnar, oracle, schema, data.draw)
+
+
+class TestCompaction:
+    def test_threshold_compaction_preserves_contents(self):
+        """Push past the tombstone threshold (>32 dead, >half dead) and
+        check the rebuilt store serves identically."""
+        schema = plain_schema()
+        handle = TableHandle(schema)
+        columnar = ColumnarStore(schema, ("a",))
+        oracle = TreeSetStore(schema)
+        tuples = [handle.new(i % 5, i, float(i % 3), "x") for i in range(100)]
+        for t in tuples:
+            columnar.insert(t)
+            oracle.insert(t)
+        for t in tuples[:70]:
+            columnar.discard(t)
+            oracle.discard(t)
+        # the row spine shrank below the original 100: compaction fired
+        assert len(columnar._rows) < 100, "compaction threshold must have fired"
+        assert len(columnar._rows) - columnar._dead == 30
+        assert len(columnar) == len(oracle) == 30
+        for t in tuples[:70]:
+            assert t not in columnar
+        q = build_query(schema, a=2)
+        assert list(columnar.select(q)) == list(oracle.select(q))
+        # survivors keep full fidelity through the rebuild
+        assert [t.values for t in sorted(columnar.scan(), key=lambda t: t.values)] == [
+            t.values for t in oracle.scan()
+        ]
+
+    def test_bignum_demotes_column_without_losing_rows(self):
+        """A value outside the machine int range demotes the typed
+        column to an object list; lookups still serve it."""
+        schema = plain_schema()
+        handle = TableHandle(schema)
+        columnar = ColumnarStore(schema, ("a",))
+        big = handle.new(1, 2**80, 0.0, "x")
+        assert columnar.insert(handle.new(1, 7, 0.0, "x"))
+        assert columnar.insert(big)
+        assert big in columnar
+        got = list(columnar.select(build_query(schema, a=1)))
+        assert [t.values for t in got] == [(1, 7, 0.0, "x"), (1, 2**80, 0.0, "x")]
+        run_batch = columnar.prepare_batch(build_query(schema, a=1, b=0))
+        assert run_batch([(1, 2**80)], None) == [[big]]

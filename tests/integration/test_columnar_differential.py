@@ -1,0 +1,201 @@
+"""Differential harness for the columnar batch-execution tier.
+
+``execution="columnar"`` is a pure performance feature: the §1.3
+determinism contract demands it change *time*, never results.  This
+harness runs every example program with the columnar tier armed and
+asserts byte-identical ``output_text()``, equal ``table_sizes``, and
+zero divergent semantic trace events (``trace_diff``) against the
+metered sequential reference — the same bar the fast-path matrix sets.
+
+Extra legs beyond the 5-app matrix:
+
+* a program defined here whose rule passes an opaque ``where`` lambda —
+  the batch prefetch cannot serve it, so every such query falls back to
+  the scalar planned path (plus a rule with no meta at all, which fires
+  scalar outright) — results must still be identical;
+* a ``ColumnarStore`` ``store_overrides`` leg (columnar tier over the
+  columnar backend), compared against a scalar run over the *same*
+  stores so select orders are comparable;
+* a 20-seed chaos fuzz leg: chaos is not sequential, so the columnar
+  knob must downgrade itself with a note and the run must still match
+  the reference byte for byte.
+
+Trace-compared legs use the apps' default stores: cross-run trace
+equality needs select orders that are stable across two program
+builds, which hash-bucket stores do not guarantee (bucket iteration
+follows tuple hashes, which mix the schema object's identity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.median import run_median
+from repro.apps.pvwatts import run_pvwatts
+from repro.apps.sensors import run_sensors
+from repro.apps.ship import run_ship
+from repro.apps.shortestpath import GraphSpec, run_shortestpath
+from repro.core import ExecOptions, Program
+from repro.solver import RuleMeta
+from repro.csvio.synth import generate_csv_bytes
+from repro.gamma import columnar_store
+from repro.stats.report import run_report
+from repro.trace import format_divergence, trace_diff
+
+APPS = ["ship", "pvwatts", "shortestpath", "sensors", "median"]
+
+
+@pytest.fixture(scope="module")
+def small_csv() -> bytes:
+    lines = generate_csv_bytes(n_years=1).split(b"\n")
+    return b"\n".join(lines[:1500]) + b"\n"
+
+
+@pytest.fixture(scope="module")
+def apps(small_csv):
+    vals = np.random.default_rng(9).random(500)
+    spec = GraphSpec(n_vertices=90, extra_edges=140, seed=3)
+    return {
+        "ship": lambda o: run_ship(o),
+        "pvwatts": lambda o: run_pvwatts(small_csv, o, n_readers=2),
+        "shortestpath": lambda o: run_shortestpath(spec, o, n_gen_tasks=4),
+        "sensors": lambda o: run_sensors(n_ticks=12, n_sensors=4, options=o),
+        "median": lambda o: run_median(vals, o, n_regions=6),
+    }
+
+
+@pytest.fixture(scope="module")
+def references(apps):
+    """The metered sequential runs every columnar run must match."""
+    return {name: run(ExecOptions(trace=True)) for name, run in apps.items()}
+
+
+def _assert_same(got, ref, label: str) -> None:
+    assert got.output_text() == ref.output_text(), f"output diverged: {label}"
+    assert got.table_sizes == ref.table_sizes, f"table sizes diverged: {label}"
+    d = trace_diff(ref.trace, got.trace)
+    assert d is None, f"trace diverged: {label}: {format_divergence(d)}"
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_columnar_matches_sequential_reference(app, apps, references):
+    got = apps[app](ExecOptions(trace=True, execution="columnar"))
+    _assert_same(got, references[app], f"{app} under columnar")
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_columnar_fast_path_matches_reference(app, apps, references):
+    """metering="off" + columnar — the benchmark configuration."""
+    got = apps[app](
+        ExecOptions(trace=True, metering="off", execution="columnar")
+    )
+    _assert_same(got, references[app], f"{app} under columnar fast path")
+
+
+# -- opaque-where fallback ---------------------------------------------------
+
+
+def _build_where_program() -> Program:
+    """A program whose hot rule queries with an opaque ``where`` lambda:
+    its meta compiles a batch spec, but serve-time verification sees the
+    lambda and falls back to the scalar planned path for every call.  A
+    second rule carries no meta at all, so it always fires scalar."""
+    p = Program("wherefall")
+    Src = p.table("Src", "int k", orderby=("Src",))
+    Item = p.table("Item", "int k, int v", orderby=("Item",))
+    Probe = p.table("Probe", "int k", orderby=("Probe",))
+    p.order("Src", "Item")
+    p.order("Item", "Probe")
+
+    @p.foreach(Src, unsafe=True)
+    def seed(ctx, s):
+        for i in range(12):
+            ctx.put(Item.new(s.k * 100 + i, i * i))
+        ctx.put(Probe.new(s.k))
+
+    meta = RuleMeta(Probe)
+    t = meta.trigger
+    meta.branch().query(Item, k=t["k"])
+
+    @p.foreach(Probe, meta=meta, assume_stratified=True)
+    def check(ctx, probe):
+        evens = ctx.get(Item, where=lambda it: it.v % 2 == 0)
+        ctx.println(f"probe {probe.k}: {len(evens)} even items")
+
+    @p.foreach(Item)  # no meta: no batch plan, scalar firing path
+    def loud(ctx, item):
+        if item.v > 81:
+            ctx.println(f"large item {item.k}")
+
+    for k in range(4):
+        p.put(Src.new(k))
+    return p
+
+
+def test_opaque_where_falls_back_scalar():
+    ref = _build_where_program().run(ExecOptions(trace=True))
+    got = _build_where_program().run(
+        ExecOptions(trace=True, execution="columnar")
+    )
+    _assert_same(got, ref, "where-lambda program under columnar")
+    notes = "\n".join(got.stats.notes)
+    # the metered->off downgrade note proves the batch tier was armed
+    assert "execution='columnar'" in notes
+    # the no-meta rule fired scalar-only; the stats notes say so
+    assert any(
+        "rule 'loud'" in n and "0 batch" in n for n in got.stats.notes
+    ), got.stats.notes
+
+
+def test_run_report_renders_columnar_notes(apps):
+    got = apps["shortestpath"](ExecOptions(execution="columnar"))
+    report = run_report(got)
+    assert "columnar: rule 'dijkstra' fired" in report
+    assert "columnar: batch widths" in report
+
+
+# -- ColumnarStore store_overrides leg ---------------------------------------
+
+
+def test_columnar_tier_over_columnar_store(apps):
+    """Columnar execution over the columnar backend: both legs share
+    the ColumnarStore overrides so select orders are comparable."""
+    spec = GraphSpec(n_vertices=90, extra_edges=140, seed=3)
+    overrides = {
+        "Done": columnar_store(),
+        "Edge": columnar_store(partition=("src",)),
+    }
+    ref = run_shortestpath(
+        spec,
+        ExecOptions(trace=True, store_overrides=overrides),
+        n_gen_tasks=4,
+    )
+    got = run_shortestpath(
+        spec,
+        ExecOptions(
+            trace=True, execution="columnar", store_overrides=overrides
+        ),
+        n_gen_tasks=4,
+    )
+    _assert_same(got, ref, "shortestpath columnar over ColumnarStore")
+
+
+# -- chaos fuzz: the knob downgrades, results stay identical -----------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_chaos_fuzz_columnar_downgrades(seed, apps, references):
+    got = apps["shortestpath"](
+        ExecOptions(
+            strategy="chaos",
+            chaos_seed=seed,
+            metering="off",
+            trace=True,
+            execution="columnar",
+        )
+    )
+    _assert_same(got, references["shortestpath"], f"chaos seed {seed} columnar")
+    assert any(
+        "execution='columnar' ignored" in n for n in got.stats.notes
+    ), got.stats.notes
