@@ -1,0 +1,186 @@
+"""Machine-readable codegen-execution benchmark (BENCH_pr9.json).
+
+Measures sequential wall time for the two fig-workload apps (fig12
+Dijkstra, fig08 PvWatts) in the zero-overhead scalar configuration
+(compiled plans + ``metering="off"``, exactly the ``fast_wall`` legs of
+``bench_fastpath.py``), in the columnar batch tier, and in the codegen
+tier (``execution="codegen"`` on the same configuration), and records
+the speedups.  For cross-machine context it also normalises the codegen
+walls against the committed PR 3 fast walls via each file's spin-loop
+calibration constant.
+
+Methodology matches ``bench_fastpath.py``/``bench_columnar.py``: legs
+run interleaved, round-robin, reporting the minimum wall across rounds
+after one warmup round.  Result equality between the legs (output
+fingerprint and table sizes) is asserted and recorded; the byte-
+identical guarantee is covered separately by
+``tests/integration/test_codegen_differential.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py --out BENCH_pr9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.apps.pvwatts import array_of_hashsets_store, run_pvwatts
+from repro.apps.shortestpath import (
+    GraphSpec,
+    recommended_options,
+    run_shortestpath,
+)
+from repro.core import ExecOptions
+from repro.csvio import generate_csv_bytes
+
+SPEC = GraphSpec(n_vertices=2000, extra_edges=4000)
+CSV = generate_csv_bytes(n_years=1, seed=42, order="by-month")
+
+#: the PR 3 fast-path baseline this PR's speedup target is quoted against
+PR3_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr3.baseline.json"
+
+EXECUTIONS = ("scalar", "columnar", "codegen")
+
+
+def _dijkstra(execution: str):
+    return run_shortestpath(
+        SPEC,
+        recommended_options(ExecOptions(metering="off", execution=execution)),
+    )
+
+
+def _pvwatts(execution: str):
+    return run_pvwatts(
+        CSV,
+        ExecOptions(
+            no_delta=frozenset({"PvWatts"}),
+            store_overrides={
+                "PvWatts": array_of_hashsets_store(concurrent=False)
+            },
+            metering="off",
+            execution=execution,
+        ),
+        n_readers=8,
+    )
+
+
+APPS = {"dijkstra": _dijkstra, "pvwatts": _pvwatts}
+
+
+def _fingerprint(result) -> str:
+    return hashlib.sha1(result.output_text().encode()).hexdigest()
+
+
+def _calibration(n: int = 2_000_000) -> float:
+    t0 = time.perf_counter()
+    sum(i * i for i in range(n))
+    return time.perf_counter() - t0
+
+
+def run_bench(rounds: int = 3) -> dict:
+    legs = [(app, execution) for app in APPS for execution in EXECUTIONS]
+    walls: dict[tuple[str, str], float] = {leg: float("inf") for leg in legs}
+    results: dict[tuple[str, str], object] = {}
+    for leg in legs:  # warmup round
+        app, execution = leg
+        results[leg] = APPS[app](execution)
+    for _ in range(rounds):
+        for leg in legs:
+            app, execution = leg
+            t0 = time.perf_counter()
+            r = APPS[app](execution)
+            walls[leg] = min(walls[leg], time.perf_counter() - t0)
+            results[leg] = r
+
+    pr3 = json.loads(PR3_BASELINE.read_text()) if PR3_BASELINE.exists() else None
+    calibration = _calibration()
+    apps: dict[str, dict] = {}
+    for app in APPS:
+        scalar = results[(app, "scalar")]
+        codegen = results[(app, "codegen")]
+        entry = {
+            "scalar_wall": round(walls[(app, "scalar")], 4),
+            "columnar_wall": round(walls[(app, "columnar")], 4),
+            "codegen_wall": round(walls[(app, "codegen")], 4),
+            "speedup_codegen_vs_scalar": round(
+                walls[(app, "scalar")] / walls[(app, "codegen")], 3
+            ),
+            "speedup_codegen_vs_columnar": round(
+                walls[(app, "columnar")] / walls[(app, "codegen")], 3
+            ),
+            "outputs_equal": _fingerprint(scalar) == _fingerprint(codegen),
+            "table_sizes_equal": scalar.table_sizes == codegen.table_sizes,
+        }
+        if pr3 is not None:
+            pr3_fast = pr3["apps"][app]["sequential"]["fast_wall"]
+            pr3_cal = pr3["meta"]["calibration_wall"]
+            # normalise both walls to calibration units, so the recorded
+            # cross-version speedup measures the engine, not the machine
+            entry["pr3_fast_wall"] = pr3_fast
+            entry["speedup_vs_pr3_fast_normalized"] = round(
+                (pr3_fast / pr3_cal) / (walls[(app, "codegen")] / calibration),
+                3,
+            )
+        apps[app] = entry
+
+    return {
+        "apps": apps,
+        "meta": {
+            "bench": "pr9 codegen execution",
+            "calibration_wall": calibration,
+            "dijkstra_spec": {
+                "n_vertices": SPEC.n_vertices,
+                "extra_edges": SPEC.extra_edges,
+            },
+            "pvwatts_input": "synthetic 1 year, seed 42, 8 readers",
+            "method": "interleaved, min wall across rounds, 1 warmup round",
+            "rounds": rounds,
+            "target": (
+                "codegen >= 1.8x over the scalar fast path same-machine on "
+                "dijkstra or pvwatts; speedup_vs_pr3_fast_normalized is "
+                "calibration-normalised against the committed PR 3 walls "
+                "(2x-vs-pr3 shortfalls are noted honestly in meta.notes)"
+            ),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_pr9.json")
+    ap.add_argument("--rounds", type=int, default=3)
+    args = ap.parse_args(argv)
+    bench = run_bench(rounds=args.rounds)
+    # the honest-shortfall note: the acceptance target is 1.8x over
+    # same-machine scalar; the stretch target is 2x over the committed
+    # PR 3 fast walls after calibration normalisation
+    notes = []
+    for app, entry in bench["apps"].items():
+        norm = entry.get("speedup_vs_pr3_fast_normalized")
+        if norm is not None and norm < 2.0:
+            notes.append(
+                f"{app}: normalized speedup vs BENCH_pr3 fast_wall is "
+                f"{norm}x, short of the 2x stretch target "
+                f"(same-machine codegen-vs-scalar: "
+                f"{entry['speedup_codegen_vs_scalar']}x)"
+            )
+    if notes:
+        bench["meta"]["notes"] = notes
+    Path(args.out).write_text(json.dumps(bench, indent=1, sort_keys=True) + "\n")
+    for app, entry in bench["apps"].items():
+        print(
+            f"{app}: scalar {entry['scalar_wall']}s, columnar "
+            f"{entry['columnar_wall']}s, codegen {entry['codegen_wall']}s, "
+            f"codegen speedup {entry['speedup_codegen_vs_scalar']}x vs scalar"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,16 @@ throughput must not fall below baseline / tolerance.  The service
 tolerance is wider than the engine one because client-observed
 latencies fold in scheduler and socket noise.
 
-Exit status 1 if any (app, strategy) fast wall regressed by more than
-``TOLERANCE`` after calibration, if a sequential fast run no longer
-matches the legacy run's output, or if the service gate fails.
+``--columnar-current`` and ``--codegen-current`` gate the batch-tier and
+codegen-tier benchmarks against ``baselines/BENCH_pr8.baseline.json``
+and ``baselines/BENCH_pr9.baseline.json`` the same way: per app, the
+tier's normalised wall must stay within tolerance of its committed
+baseline and the tier's results must still match the scalar leg's.
+All three engine gates share one normalised-wall comparison
+(:func:`gate_normalised_wall`), so the calibration arithmetic cannot
+drift between them.
+
+Exit status 1 if any gate fails.
 """
 
 from __future__ import annotations
@@ -37,6 +44,66 @@ SERVICE_TOLERANCE = 2.0  # service latency/throughput gate
 BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr3.baseline.json"
 SERVICE_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr7.baseline.json"
 COLUMNAR_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr8.baseline.json"
+CODEGEN_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr9.baseline.json"
+
+
+def gate_normalised_wall(
+    label: str,
+    wall_key: str,
+    cur: dict,
+    base: dict,
+    cal_cur: float,
+    cal_base: float,
+    tolerance: float,
+) -> str | None:
+    """The one calibration-normalised wall comparison every engine gate
+    uses: each file's wall is divided by its own spin-loop calibration
+    constant and the current run fails if it exceeds the baseline by
+    more than ``tolerance``.  Returns the failure line, or None."""
+    base_norm = base[wall_key] / cal_base
+    cur_norm = cur[wall_key] / cal_cur
+    if cur_norm > base_norm * tolerance:
+        return (
+            f"{label}: normalised {wall_key} {cur_norm:.2f} "
+            f"exceeds baseline {base_norm:.2f} x{tolerance}"
+            f" (raw {cur[wall_key]:.3f}s vs {base[wall_key]:.3f}s)"
+        )
+    return None
+
+
+def _gate_tier(
+    tier: str,
+    wall_key: str,
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+) -> list[str]:
+    """Per-app tier gate shared by the columnar and codegen benchmarks:
+    normalised ``wall_key`` within tolerance, and the tier's results
+    (output fingerprint and table sizes) still equal to the scalar
+    leg's measured in the same file."""
+    failures: list[str] = []
+    cal_cur = current["meta"]["calibration_wall"]
+    cal_base = baseline["meta"]["calibration_wall"]
+    for app, rec in baseline["apps"].items():
+        cur = current["apps"].get(app)
+        if cur is None:
+            failures.append(f"{tier}/{app}: missing from current benchmark")
+            continue
+        failure = gate_normalised_wall(
+            f"{tier}/{app}", wall_key, cur, rec, cal_cur, cal_base, tolerance
+        )
+        if failure is not None:
+            failures.append(failure)
+        if cur.get("outputs_equal") is False:
+            failures.append(
+                f"{tier}/{app}: {tier} output diverged from the scalar run"
+            )
+        if cur.get("table_sizes_equal") is False:
+            failures.append(
+                f"{tier}/{app}: {tier} table sizes diverged from the scalar run"
+            )
+    return failures
 
 
 def check(current: dict, baseline: dict, tolerance: float = TOLERANCE) -> list[str]:
@@ -53,14 +120,12 @@ def check(current: dict, baseline: dict, tolerance: float = TOLERANCE) -> list[s
             if cur is None:
                 failures.append(f"{app}/{strategy}: missing from current benchmark")
                 continue
-            base_norm = rec["fast_wall"] / cal_base
-            cur_norm = cur["fast_wall"] / cal_cur
-            if cur_norm > base_norm * tolerance:
-                failures.append(
-                    f"{app}/{strategy}: normalised fast wall {cur_norm:.2f} "
-                    f"exceeds baseline {base_norm:.2f} x{tolerance}"
-                    f" (raw {cur['fast_wall']:.3f}s vs {rec['fast_wall']:.3f}s)"
-                )
+            failure = gate_normalised_wall(
+                f"{app}/{strategy}", "fast_wall", cur, rec,
+                cal_cur, cal_base, tolerance,
+            )
+            if failure is not None:
+                failures.append(failure)
             if cur.get("outputs_equal") is False:
                 failures.append(
                     f"{app}/{strategy}: fast output diverged from the legacy run"
@@ -105,30 +170,27 @@ def check_columnar(
     """Columnar gate: per app, the normalised columnar wall must stay
     within ``tolerance`` of the committed BENCH_pr8 baseline, and the
     columnar leg must still produce the scalar leg's results."""
-    failures: list[str] = []
-    cal_cur = current["meta"]["calibration_wall"]
-    cal_base = baseline["meta"]["calibration_wall"]
-    for app, rec in baseline["apps"].items():
-        cur = current["apps"].get(app)
-        if cur is None:
-            failures.append(f"columnar/{app}: missing from current benchmark")
-            continue
-        base_norm = rec["columnar_wall"] / cal_base
-        cur_norm = cur["columnar_wall"] / cal_cur
-        if cur_norm > base_norm * tolerance:
-            failures.append(
-                f"columnar/{app}: normalised columnar wall {cur_norm:.2f} "
-                f"exceeds baseline {base_norm:.2f} x{tolerance}"
-                f" (raw {cur['columnar_wall']:.3f}s vs {rec['columnar_wall']:.3f}s)"
-            )
-        if cur.get("outputs_equal") is False:
-            failures.append(
-                f"columnar/{app}: columnar output diverged from the scalar run"
-            )
-        if cur.get("table_sizes_equal") is False:
-            failures.append(
-                f"columnar/{app}: columnar table sizes diverged from the scalar run"
-            )
+    return _gate_tier("columnar", "columnar_wall", current, baseline, tolerance)
+
+
+def check_codegen(
+    current: dict, baseline: dict, tolerance: float = TOLERANCE
+) -> list[str]:
+    """Codegen gate: per app, the normalised codegen wall must stay
+    within ``tolerance`` of the committed BENCH_pr9 baseline, the
+    codegen leg must still produce the scalar leg's results, and the
+    codegen tier must keep its speedup edge: at least 1.8x over the
+    same-file scalar wall on at least one app."""
+    failures = _gate_tier("codegen", "codegen_wall", current, baseline, tolerance)
+    speedups = {
+        app: cur.get("speedup_codegen_vs_scalar", 0.0)
+        for app, cur in current.get("apps", {}).items()
+    }
+    if speedups and max(speedups.values()) < 1.8:
+        failures.append(
+            "codegen: no app reached the 1.8x same-machine speedup over "
+            f"the scalar fast path (got {speedups})"
+        )
     return failures
 
 
@@ -144,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--columnar-current", default=None,
                     help="bench_columnar.py output to gate as well")
     ap.add_argument("--columnar-baseline", default=str(COLUMNAR_BASELINE))
+    ap.add_argument("--codegen-current", default=None,
+                    help="bench_codegen.py output to gate as well")
+    ap.add_argument("--codegen-baseline", default=str(CODEGEN_BASELINE))
     args = ap.parse_args(argv)
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
@@ -158,6 +223,12 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_columnar(
             json.loads(Path(args.columnar_current).read_text()),
             json.loads(Path(args.columnar_baseline).read_text()),
+            args.tolerance,
+        )
+    if args.codegen_current is not None:
+        failures += check_codegen(
+            json.loads(Path(args.codegen_current).read_text()),
+            json.loads(Path(args.codegen_baseline).read_text()),
             args.tolerance,
         )
     if failures:

@@ -1,0 +1,33 @@
+"""Pluggable execution tiers for the step kernel.
+
+The kernel's §5 step loop is fixed — pop the minimal class, phase A
+insert, phase B fire, phase C apply effects — but *how* phase B fires
+and how puts route is a per-run choice (``ExecOptions(execution=...)``).
+Each choice is a :class:`~repro.core.executors.base.StepExecutor`:
+
+* :mod:`~repro.core.executors.scalar` — one task per trigger through a
+  fresh :class:`~repro.core.rules.RuleContext`; the reference tier and
+  the only one every strategy supports;
+* :mod:`~repro.core.executors.columnar` — whole-class batch firing over
+  predicted-query prefetches (PR 8);
+* :mod:`~repro.core.executors.codegen` — rule bodies compiled at
+  ``freeze()`` into straight-line drivers (this PR).
+
+Tier selection, the refusal rows ``ExecOptions.__post_init__`` raises
+on, and the downgrade rows the kernel notes at init all live in one
+table: :mod:`~repro.core.executors.registry`.
+"""
+
+from repro.core.executors.base import StepExecutor
+from repro.core.executors.registry import (
+    EXECUTION_TIERS,
+    check_execution_options,
+    resolve_executor,
+)
+
+__all__ = [
+    "StepExecutor",
+    "EXECUTION_TIERS",
+    "check_execution_options",
+    "resolve_executor",
+]

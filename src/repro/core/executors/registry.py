@@ -1,0 +1,197 @@
+"""One table for execution-tier selection, refusal, and downgrade.
+
+Before this table existed the rules were split: ``program.py`` refused
+some ``execution=`` combinations at option-construction time while the
+kernel's init silently downgraded others with a stats note.  Both kinds
+of row now live here, keyed by tier:
+
+* **refusal rows** are *configuration contradictions* — combinations the
+  run could never honour even in principle (columnar under the
+  multiprocess shard runtime, codegen with retraction).  They raise the
+  canonical ``invalid ExecOptions: ...`` error from
+  ``ExecOptions.__post_init__`` via :func:`check_execution_options`, so
+  an impossible request fails before any engine state exists.
+* **downgrade rows** are *environmental misses* — the option set is
+  coherent but this particular run cannot arm the tier (non-sequential
+  strategy, plan cache disabled, tracing a tier that emits no trace
+  events).  :func:`resolve_executor` notes the reason on the stats
+  collector and falls back to the scalar tier; results are identical
+  either way, because execution tiers never change semantics.
+
+The split is a contract: anything a *different* option value would fix
+refuses; anything that depends on the run environment downgrades.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executors.base import StepExecutor
+    from repro.core.kernel import StepKernel
+
+__all__ = [
+    "EXECUTION_TIERS",
+    "REFUSALS",
+    "DOWNGRADES",
+    "check_execution_options",
+    "resolve_executor",
+]
+
+#: valid ``ExecOptions.execution`` values, in documentation order
+EXECUTION_TIERS = ("scalar", "columnar", "codegen")
+
+
+def _knobs(options: Any, *names: str) -> dict[str, Any]:
+    return {"execution": options.execution, **{n: getattr(options, n) for n in names}}
+
+
+# -- refusal rows ------------------------------------------------------------
+# (tier, offending(options) -> knob dict | None, reason); the knob dict
+# feeds program._refuse, which renders the canonical
+# ``invalid ExecOptions: knob=value[, ...] -- reason`` message.
+
+REFUSALS: list[tuple[str, Callable[[Any], dict | None], str]] = [
+    (
+        "columnar",
+        lambda o: _knobs(o, "retraction") if o.retraction else None,
+        "columnar execution is incompatible with retraction: "
+        "batch firing does not record per-firing support yet",
+    ),
+    (
+        "columnar",
+        lambda o: _knobs(o, "strategy") if o.strategy == "processes" else None,
+        "columnar execution is not supported by the "
+        "multiprocess shard runtime yet",
+    ),
+    (
+        "columnar",
+        lambda o: (
+            _knobs(o, "task_granularity") if o.task_granularity != "tuple" else None
+        ),
+        "columnar execution requires task_granularity='tuple' "
+        "(the batch path owns the per-class firing loop)",
+    ),
+    (
+        "codegen",
+        lambda o: _knobs(o, "retraction") if o.retraction else None,
+        "codegen execution is incompatible with retraction: "
+        "generated rule drivers do not record per-firing support yet",
+    ),
+    (
+        "codegen",
+        lambda o: _knobs(o, "strategy") if o.strategy == "processes" else None,
+        "codegen execution is not supported by the "
+        "multiprocess shard runtime yet",
+    ),
+    (
+        "codegen",
+        lambda o: (
+            _knobs(o, "task_granularity") if o.task_granularity != "tuple" else None
+        ),
+        "codegen execution requires task_granularity='tuple' "
+        "(the generated driver owns the per-class firing loop)",
+    ),
+]
+
+
+def check_execution_options(options: Any, refuse: Callable[..., None]) -> None:
+    """Validate ``options.execution`` against the refusal rows.
+
+    ``refuse`` is :func:`repro.core.program._refuse`, injected by the
+    caller so this module never imports :mod:`repro.core.program`
+    (which imports the kernel, which imports the executors)."""
+    if options.execution not in EXECUTION_TIERS:
+        refuse(
+            "unknown execution mode; valid modes: " + ", ".join(EXECUTION_TIERS),
+            execution=options.execution,
+        )
+    for tier, offending, reason in REFUSALS:
+        if tier != options.execution:
+            continue
+        knobs = offending(options)
+        if knobs:
+            refuse(reason, **knobs)
+
+
+# -- downgrade rows ----------------------------------------------------------
+# (tier, applies(kernel) -> bool, note(kernel) -> str); rows are checked
+# in order and the FIRST applicable one downgrades the run to scalar
+# with its note — later rows are conditions the scalar run no longer
+# cares about.
+
+
+def _non_sequential(kernel: "StepKernel") -> bool:
+    from repro.exec.sequential import SequentialStrategy
+
+    return not isinstance(kernel.strategy, SequentialStrategy)
+
+
+DOWNGRADES: list[tuple[str, Callable[["StepKernel"], bool], Callable[["StepKernel"], str]]] = [
+    (
+        "columnar",
+        _non_sequential,
+        lambda k: (
+            "execution='columnar' ignored: the batch firing path is "
+            f"sequential-only and this run uses the {k.strategy.name!r} "
+            "strategy; all rules fire through the scalar path"
+        ),
+    ),
+    (
+        "columnar",
+        lambda k: k._plans is None,
+        lambda k: (
+            "execution='columnar' ignored: batch plans build on the "
+            "compiled-plan cache, which plan_cache=False disables"
+        ),
+    ),
+    (
+        "codegen",
+        _non_sequential,
+        lambda k: (
+            "execution='codegen' ignored: the generated firing path is "
+            f"sequential-only and this run uses the {k.strategy.name!r} "
+            "strategy; all rules fire through the scalar path"
+        ),
+    ),
+    (
+        "codegen",
+        lambda k: k._plans is None,
+        lambda k: (
+            "execution='codegen' ignored: generated query sites build on "
+            "the compiled-plan cache, which plan_cache=False disables"
+        ),
+    ),
+    (
+        "codegen",
+        lambda k: k.tracer is not None,
+        lambda k: (
+            "execution='codegen' ignored: generated rule bodies emit no "
+            "trace events; trace=True runs fire through the scalar path"
+        ),
+    ),
+]
+
+
+def resolve_executor(kernel: "StepKernel") -> "StepExecutor":
+    """Build the kernel's executor: the requested tier, or scalar with a
+    downgrade note when an applicable row says this run cannot arm it.
+    Tier classes import lazily — the registry is consulted by
+    ``ExecOptions.__post_init__`` long before any tier is needed."""
+    from repro.core.executors.scalar import ScalarExecutor
+
+    requested = kernel.options.execution
+    if requested != "scalar":
+        for tier, applies, note in DOWNGRADES:
+            if tier == requested and applies(kernel):
+                kernel._note(note(kernel))
+                return ScalarExecutor(kernel)
+        if requested == "columnar":
+            from repro.core.executors.columnar import ColumnarExecutor
+
+            return ColumnarExecutor(kernel)
+        if requested == "codegen":
+            from repro.core.executors.codegen import CodegenExecutor
+
+            return CodegenExecutor(kernel)
+    return ScalarExecutor(kernel)

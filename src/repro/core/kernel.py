@@ -55,12 +55,13 @@ from repro.core.errors import (
     RetractionError,
     UnknownTableError,
 )
-from repro.core.ordering import Lit, Timestamp, compare_timestamps
+from repro.core.executors.registry import resolve_executor
+from repro.core.ordering import Timestamp, compare_timestamps
 from repro.core.program import ExecOptions, Program
-from repro.core.rules import Rule, RuleContext
-from repro.core.support import FiringRecord, SupportIndex
+from repro.core.rules import Rule
+from repro.core.support import SupportIndex
 from repro.core.tuples import JTuple
-from repro.exec.base import EngineTask, Strategy, TaskResult
+from repro.exec.base import Strategy, TaskResult
 from repro.exec.chaos import ChaosStrategy
 from repro.exec.forkjoin import ForkJoinStrategy
 from repro.exec.metering import DEFAULT_WEIGHTS, NULL_METER, CostMeter
@@ -68,14 +69,6 @@ from repro.exec.sequential import SequentialStrategy
 from repro.exec.threads import ThreadStrategy
 from repro.gamma.base import StoreRegistry
 from repro.gamma.treeset import ConcurrentSkipListStore, TreeSetStore
-from repro.plan.batchcompile import (
-    BatchBoundPlan,
-    BatchPrefetch,
-    BatchRuleContext,
-    compile_batch_plan,
-    put_always_causal,
-    put_fast_compare,
-)
 from repro.plan.cache import PlanCache
 from repro.simcore.machine import MachineReport
 from repro.stats.collector import StatsCollector
@@ -200,30 +193,12 @@ class StepKernel:
         # compiled query plans, warmed from the program's static access
         # patterns; None -> RuleContext uses the generic build_query path
         self._plans = PlanCache(self.db, program) if options.plan_cache else None
-        # columnar (batch) firing: phase B evaluates each rule's
-        # predicted queries over the whole popped class at once and
-        # serves the firings from the prefetched rows; any firing whose
-        # concrete calls diverge from the prediction falls back to the
-        # scalar path, so results are byte-identical either way
-        self._columnar = False
-        #: per--noDelta-table mutation counters — a prefetched result is
-        #: only served while its table's epoch is unchanged, because a
-        #: -noDelta cascade can insert into Gamma *during* phase B
+        #: per--noDelta-table mutation counters — batch tiers only serve
+        #: a prefetched/generated result while its table's epoch is
+        #: unchanged, because a -noDelta cascade can insert into Gamma
+        #: *during* phase B.  Lives here (empty unless a tier populates
+        #: it) because the shared ``_immediate`` cascade path bumps it.
         self._mut_epoch: dict[str, int] = {}
-        self._batch_plans: dict[int, BatchBoundPlan] = {}
-        self._batch_ctxs: dict[int, BatchRuleContext] = {}
-        self._rule_batch_fires: dict[str, int] = {}
-        self._rule_scalar_fires: dict[str, int] = {}
-        self._batch_widths: dict[int, int] = {}
-        #: tables whose orderby is all-literal: their tuples share one
-        #: timestamp per run, cached by name in ``_const_ts``
-        self._const_names: frozenset[str] = frozenset()
-        self._const_ts: dict[str, Timestamp] = {}
-        #: trigger table -> {id(schema): True} for put targets whose
-        #: causality check is statically decided (put_always_causal)
-        self._put_safe_cache: dict[str, dict[int, object]] = {}
-        if options.execution == "columnar":
-            self._init_columnar(options, program)
         # deferred stats tallies: (table, rule) -> firings and
         # (rule, table) -> puts, folded into the collector at settle time
         # — totals identical to per-event on_fire/on_put, without paying
@@ -287,6 +262,15 @@ class StepKernel:
             import threading
 
             self._lock = threading.Lock()
+        # execution tier (ExecOptions.execution): how phase B fires and
+        # how puts route.  The registry applies the one downgrade table
+        # (noting why a requested tier stays off); whatever tier wins,
+        # results are byte-identical — tiers change cost, never
+        # semantics.  The bound methods are cached on the instance so
+        # cascades pay one attribute load, not a dispatch chain.
+        self.executor = resolve_executor(self)
+        self._fire_one = self.executor.fire_one
+        self._handle_puts = self.executor.handle_puts
 
     # -- construction helpers ------------------------------------------------
 
@@ -297,57 +281,6 @@ class StepKernel:
         self.stats.note(message)
         if self.options.causality_check == "strict":
             warnings.warn(message, EngineWarning, stacklevel=4)
-
-    def _init_columnar(self, options: ExecOptions, program: Program) -> None:
-        """Arm the batch firing path, or note why it stays off.  Either
-        way the run's results are identical — columnar is purely an
-        execution tier."""
-        if not isinstance(self.strategy, SequentialStrategy):
-            self._note(
-                "execution='columnar' ignored: the batch firing path is "
-                f"sequential-only and this run uses the {self.strategy.name!r} "
-                "strategy; all rules fire through the scalar path"
-            )
-            return
-        if self._plans is None:
-            self._note(
-                "execution='columnar' ignored: batch plans build on the "
-                "compiled-plan cache, which plan_cache=False disables"
-            )
-            return
-        self._columnar = True
-        if self._metered:
-            self._metered = False
-            self._note(
-                "metering downgraded to 'off' under execution='columnar': "
-                "the batch firing path shares one no-op meter across each "
-                "class (results are identical; per-task costs are not "
-                "collected)"
-            )
-        self._mut_epoch = {name: 0 for name in options.no_delta}
-        self._const_names = frozenset(
-            name
-            for name, schema in program.schemas().items()
-            if all(isinstance(e, Lit) for e in schema.orderby)
-        )
-        check_off = options.causality_check == "off"
-        for rule in program.rules:
-            # rules whose negative/aggregate queries are dynamically
-            # adjudicated need a concrete Query per call; they keep the
-            # scalar path (and their exact warning behaviour)
-            if not (check_off or rule.assume_stratified):
-                continue
-            compiled = compile_batch_plan(rule)
-            if compiled is not None:
-                self._batch_plans[id(rule)] = compiled.bind(
-                    self.db, self._plans, self._mut_epoch
-                )
-        # every firing — popped or cascaded — now routes through the
-        # slim reused-context path (instance attribute shadows the
-        # class method, so _fire_rules picks it up unchanged); put
-        # routing takes the run-hoisted cascade loop
-        self._fire_one = self._fire_one_columnar  # type: ignore[method-assign]
-        self._handle_puts = self._handle_puts_columnar  # type: ignore[method-assign]
 
     @staticmethod
     def _make_strategy(options: ExecOptions) -> Strategy:
@@ -432,88 +365,10 @@ class StepKernel:
         return t
 
     # -- put routing -------------------------------------------------------------
-
-    def _handle_puts(self, ctx_puts: list[JTuple], result: TaskResult, rule_name: str) -> None:
-        """Route a rule's puts.  -noDelta tables cascade immediately
-        inside the producing task (§5.1); everything else is buffered on
-        the task result and enters Delta after the batch joins — which
-        keeps Delta mutation out of the parallel phase and effect order
-        deterministic."""
-        tallies = self._put_tallies
-        for tup in ctx_puts:
-            name = tup.schema.name
-            key = (rule_name, name)
-            tallies[key] = tallies.get(key, 0) + 1
-            if name in self._no_delta:
-                self._tt(name)[0] += 1
-                self._immediate(tup, result)
-            else:
-                result.puts.append(tup)
-
-    def _put_safe_for(self, name: str, schema) -> dict[int, object]:
-        """Build (and cache) the per-trigger-table put-check map:
-        ``True`` for statically-causal targets (:func:`put_always_causal`),
-        a ``(put_pos, trig_pos)`` pair for seq-comparable ones
-        (:func:`put_fast_compare`); everything else stays on the full
-        dynamic §4 comparison."""
-        decls = self.program.decls
-        psafe: dict[int, object] = {}
-        for s in self.program.schemas().values():
-            if put_always_causal(s, schema, decls):
-                psafe[id(s)] = True
-            else:
-                fc = put_fast_compare(s, schema)
-                if fc is not None:
-                    psafe[id(s)] = fc
-        self._put_safe_cache[name] = psafe
-        return psafe
-
-    def _handle_puts_columnar(
-        self, ctx_puts: list[JTuple], result: TaskResult, rule_name: str
-    ) -> None:
-        """:meth:`_handle_puts` for the columnar tier: same routing and
-        per-tuple depth-first cascade order, with the store / rule-list
-        / tally lookups hoisted per same-table run — -noDelta cascades
-        put thousands of same-table tuples per firing, and this loop is
-        where they spend phase B."""
-        tallies = self._put_tallies
-        nd = self._no_delta
-        buffered = result.puts
-        insert_into = self.db._insert_into
-        fire = self._fire_one_columnar
-        ep = self._mut_epoch
-        cur: str | None = None
-        tt = rules = ret = store = None
-        in_gamma = False
-        for tup in ctx_puts:
-            name = tup.schema.name
-            key = (rule_name, name)
-            tallies[key] = tallies.get(key, 0) + 1
-            if name not in nd:
-                buffered.append(tup)
-                continue
-            if name != cur:
-                cur = name
-                tt = self._tt(name)
-                in_gamma = name not in self._no_gamma
-                store = self.db.store(name) if in_gamma else None
-                rules = self.program.rules_for(name)
-                ret = self._retention.get(name)
-            tt[0] += 1
-            if in_gamma:
-                if insert_into(store, tup) is InsertOutcome.DUPLICATE:
-                    tt[1] += 1
-                    continue
-                tt[2] += 1
-                ep[name] += 1
-                if ret is not None:
-                    v = tup.values[ret[0]]
-                    if ret[2] is None or v > ret[2]:
-                        ret[2] = v
-            else:
-                tt[3] += 1
-            for rule in rules:
-                fire(rule, tup, result)
+    #
+    # ``self._handle_puts`` and ``self._fire_one`` are the executor's
+    # bound methods, cached in __init__ — put routing and single-firing
+    # dispatch are the two operations every tier specialises.
 
     def _immediate(self, tup: JTuple, result: TaskResult) -> None:
         """-noDelta path: straight into Gamma and fire now, inside the
@@ -567,12 +422,12 @@ class StepKernel:
         ng = self._no_gamma
         db = self.db
         tt = self._tt
-        # columnar tier: a batch-local repeat always resolves to a Delta
+        # batch tiers: a batch-local repeat always resolves to a Delta
         # dedup — phase C never mutates Gamma, so the repeat sees the
         # same precheck verdict as its first occurrence, and the tree
         # (which already holds or rejected that occurrence) dedups it —
         # so repeats skip the store probe and timestamping entirely
-        seen: set[JTuple] | None = set() if self._columnar else None
+        seen: set[JTuple] | None = set() if self.executor.dedupe_phase_c else None
         for i, (tup, _meter) in enumerate(pending):
             name = tup.schema.name
             if seen is not None:
@@ -621,203 +476,6 @@ class StepKernel:
                 continue
             self._fire_one(rule, tup, result)
 
-    def _fire_one(self, rule: Rule, tup: JTuple, result: TaskResult) -> None:
-        tallies = self._fire_tallies
-        key = (tup.schema.name, rule.name)
-        tallies[key] = tallies.get(key, 0) + 1
-        result.meter.charge("rule_fire")
-        rec = (
-            FiringRecord(rule.name, self._rule_index[id(rule)], tup)
-            if self._support is not None
-            else None
-        )
-        ctx = RuleContext(
-            self.db,
-            self.program.decls,
-            result.meter,
-            rule,
-            tup,
-            self.db.timestamp(tup),
-            self._check_mode,
-            self.stats,
-            self._lock,
-            self.strategy.yield_point,
-            result.events if self.tracer is not None else None,
-            self._plans,
-            rec,
-        )
-        rule.body(ctx, tup)
-        ctx.finish()
-        result.fired_rules.append(rule.name)
-        if ctx.output:
-            result.output.extend(ctx.output)
-            if rec is None:
-                # same key shape as _output_key, so the per-step sort in
-                # _run_step reproduces the keyed order retraction mode
-                # maintains via _insert_output
-                tie = (tup.schema.name, tuple(repr(v) for v in tup.values))
-                ridx = self._rule_index[id(rule)]
-                result.out_keys.extend(
-                    (ctx.trigger_ts.key, tie, ridx, j)
-                    for j in range(len(ctx.output))
-                )
-            self.stats.rule(rule.name).output_lines += len(ctx.output)
-        if rec is not None:
-            rec.puts = tuple(ctx.puts)
-            rec.lines = tuple(ctx.output)
-            result.firings.append(rec)
-        self._handle_puts(ctx.puts, result, rule.name)
-
-    def _fire_one_columnar(
-        self,
-        rule: Rule,
-        tup: JTuple,
-        result: TaskResult,
-        pf: BatchPrefetch | None = None,
-        pfi: int = 0,
-    ) -> None:
-        """Columnar analogue of :meth:`_fire_one`: fire through the
-        rule's reused :class:`BatchRuleContext`, serving predicted
-        queries from the class prefetch (``pf``/``pfi``; cascade
-        firings arrive with no prefetch and run the plain planned
-        path).  Everything observable — puts, output keys, stats
-        tallies, trace events — is identical to the scalar method."""
-        name = tup.schema.name
-        tallies = self._fire_tallies
-        key = (name, rule.name)
-        tallies[key] = tallies.get(key, 0) + 1
-        counts = (
-            self._rule_batch_fires if pf is not None else self._rule_scalar_fires
-        )
-        counts[rule.name] = counts.get(rule.name, 0) + 1
-        trace = result.events if self.tracer is not None else None
-        # constant-orderby tables share one timestamp object per run;
-        # for them the per-trigger memo probe (a whole-tuple hash) is
-        # replaced by one name lookup
-        ts = self._const_ts.get(name)
-        if ts is None:
-            ts = self.db.timestamp(tup)
-            if name in self._const_names:
-                self._const_ts[name] = ts
-        psafe = self._put_safe_cache.get(name)
-        if psafe is None:
-            psafe = self._put_safe_for(name, tup.schema)
-        rid = id(rule)
-        ctx = self._batch_ctxs.get(rid)
-        if ctx is None or ctx.in_use:
-            # first firing of the rule, or a -noDelta cascade re-entered
-            # it while an outer firing still owns the shared context
-            fresh = BatchRuleContext(
-                self.db,
-                self.program.decls,
-                NULL_METER,
-                rule,
-                tup,
-                ts,
-                self._check_mode,
-                self.stats,
-                self._lock,
-                self.strategy.yield_point,
-                trace,
-                self._plans,
-                None,
-            )
-            fresh._pf = pf
-            fresh._pfi = pfi
-            fresh._put_safe = psafe
-            if ctx is None:
-                self._batch_ctxs[rid] = fresh
-                fresh.in_use = True
-            ctx = fresh
-        else:
-            ctx.in_use = True
-            ctx.reset(tup, ts, trace, pf, pfi, psafe)
-        rule.body(ctx, tup)
-        ctx.finish()
-        if self.tracer is not None:
-            result.fired_rules.append(rule.name)
-        if ctx.output:
-            result.output.extend(ctx.output)
-            tie = (tup.schema.name, tuple(repr(v) for v in tup.values))
-            ridx = self._rule_index[id(rule)]
-            result.out_keys.extend(
-                (ctx.trigger_ts.key, tie, ridx, j)
-                for j in range(len(ctx.output))
-            )
-            self.stats.rule(rule.name).output_lines += len(ctx.output)
-        puts = ctx.puts
-        # release before routing puts: a -noDelta cascade triggered by
-        # them may legitimately re-fire this same rule, and ctx.reset
-        # rebinds (never mutates) the lists captured above
-        ctx.in_use = False
-        if puts:
-            self._handle_puts(puts, result, rule.name)
-
-    def _fire_batch(self, prepared: list[tuple[JTuple, InsertOutcome | None]]) -> list[TaskResult]:
-        """Columnar phase B: prefetch each rule's predicted queries
-        over the whole class, then fire every (trigger, rule) pair in
-        the scalar submission order through the slim context path.
-
-        Tracing gets one :class:`TaskResult` per trigger (so the task
-        events match the scalar trace byte for byte); otherwise the
-        whole class shares a single sink result, whose ``puts`` /
-        ``output`` accumulate in exactly the order the per-task results
-        would concatenate to."""
-        by_table: dict[str, list[JTuple]] = {}
-        ordinals: list[int] = []
-        for tup, outcome in prepared:
-            if outcome is InsertOutcome.DUPLICATE:
-                ordinals.append(-1)
-                continue
-            lst = by_table.get(tup.schema.name)
-            if lst is None:
-                lst = by_table[tup.schema.name] = []
-            ordinals.append(len(lst))
-            lst.append(tup)
-        prefetches: dict[int, BatchPrefetch] = {}
-        bplans = self._batch_plans
-        if bplans:
-            widths = self._batch_widths
-            for name, triggers in by_table.items():
-                for rule in self.program.rules_for(name):
-                    bp = bplans.get(id(rule))
-                    if bp is None:
-                        continue
-                    pf, n_probes = bp.prefetch(triggers)
-                    prefetches[id(rule)] = pf
-                    if n_probes:
-                        self.meter.charge("gamma_batchselect", n=n_probes)
-                    w = len(triggers)
-                    widths[w] = widths.get(w, 0) + 1
-        tracer = self.tracer
-        results: list[TaskResult] = []
-        sink = None
-        if tracer is None:
-            sink = TaskResult(trigger=None, meter=NULL_METER)  # type: ignore[arg-type]
-            results.append(sink)
-        rules_for = self.program.rules_for
-        tt = self._tt
-        fire = self._fire_one_columnar
-        get_pf = prefetches.get
-        for (tup, outcome), ordinal in zip(prepared, ordinals):
-            name = tup.schema.name
-            if tracer is not None:
-                result = TaskResult(trigger=tup, meter=NULL_METER)
-                results.append(result)
-            else:
-                result = sink  # type: ignore[assignment]
-            if outcome is InsertOutcome.DUPLICATE:
-                result.duplicate = True
-                tt(name)[1] += 1
-                continue
-            if outcome is None:  # -noGamma table
-                tt(name)[3] += 1
-            else:
-                tt(name)[2] += 1
-            for rule in rules_for(name):
-                fire(rule, tup, result, get_pf(id(rule)), ordinal)
-        return results
-
     # -- step machinery -------------------------------------------------------------
 
     def _new_result(self, trigger: JTuple) -> TaskResult:
@@ -827,92 +485,6 @@ class StepKernel:
         if self._metered:
             return TaskResult(trigger=trigger)
         return TaskResult(trigger=trigger, meter=NULL_METER)
-
-    def _make_task(
-        self,
-        tup: JTuple,
-        outcome: InsertOutcome | None,
-        refire: bool = False,
-        dead: bool = False,
-    ) -> EngineTask:
-        """Task closure for one popped tuple.  ``outcome`` is the Gamma
-        insertion result decided in the sequential prepare phase; the
-        task charges for it and fires the triggered rules.  Retraction
-        mode adds ``refire`` (fire even though the Gamma insert is a
-        duplicate — DRed rederivation) and ``dead`` (the tuple was
-        killed by a repair cascade after it was popped — behave like a
-        duplicate, trace-stable)."""
-
-        def run() -> TaskResult:
-            result = self._new_result(tup)
-            result.meter.charge("delta_pop")
-            name = tup.schema.name
-            dead_now = dead or (
-                self._dead_step is not None and tup in self._dead_step
-            )
-            if dead_now:
-                result.duplicate = True
-                self._tt(name)[1] += 1
-                return result
-            if outcome is None:  # -noGamma table
-                self._tt(name)[3] += 1
-            else:
-                result.meter.charge_store_op("insert", self.db.store(name))
-                if outcome is InsertOutcome.DUPLICATE:
-                    self._tt(name)[1] += 1
-                    if not refire:
-                        result.duplicate = True
-                        return result
-                else:
-                    self._tt(name)[2] += 1
-            self._fire_rules(tup, result)
-            return result
-
-        return EngineTask(trigger=tup, run=run)
-
-    def _make_rule_task(
-        self,
-        tup: JTuple,
-        rule: Rule,
-        outcome: InsertOutcome | None,
-        charge_insert: bool,
-    ) -> EngineTask:
-        """§5.2's first extension: "we could create one task per rule
-        that is triggered".  The first rule task of a tuple also pays
-        its Delta-pop and Gamma-insert costs."""
-
-        def run() -> TaskResult:
-            result = self._new_result(tup)
-            name = tup.schema.name
-            if charge_insert:
-                result.meter.charge("delta_pop")
-                if outcome is None:
-                    self._tt(name)[3] += 1
-                else:
-                    result.meter.charge_store_op("insert", self.db.store(name))
-                    self._tt(name)[2] += 1
-            self._fire_one(rule, tup, result)
-            return result
-
-        return EngineTask(trigger=tup, run=run)
-
-    def _build_tasks(
-        self, prepared: list[tuple[JTuple, InsertOutcome | None]]
-    ) -> list[EngineTask]:
-        if not self._per_rule_tasks:
-            return [self._make_task(tup, outcome) for tup, outcome in prepared]
-        tasks: list[EngineTask] = []
-        for tup, outcome in prepared:
-            if outcome is InsertOutcome.DUPLICATE:
-                tasks.append(self._make_task(tup, outcome))  # dup bookkeeping
-                continue
-            rules = self.program.rules_for(tup.schema.name)
-            if not rules:
-                tasks.append(self._make_task(tup, outcome))
-                continue
-            for i, rule in enumerate(rules):
-                tasks.append(self._make_rule_task(tup, rule, outcome, charge_insert=i == 0))
-        return tasks
 
     # -- retraction machinery ---------------------------------------------------
     #
@@ -1318,7 +890,7 @@ class StepKernel:
         if self._support is not None:
             rprepared = self._prepare_retraction_batch(batch)
             tasks = [
-                self._make_task(t, o, refire=rf, dead=dd)
+                self.executor.make_task(t, o, refire=rf, dead=dd)
                 for t, o, rf, dd in rprepared
             ]
             results = self.strategy.run_batch(tasks)
@@ -1328,15 +900,10 @@ class StepKernel:
                 for tup, outcome in prepared:
                     if outcome is InsertOutcome.NEW:
                         self._note_retained(tup.schema.name, tup)
-            if self._columnar:
-                # Phase B, columnar tier: whole-class prefetch + slim
-                # sequential firing (same submission order as the tasks
-                # the scalar path would have built)
-                results = self._fire_batch(prepared)
-            else:
-                tasks = self._build_tasks(prepared)
-                # Phase B: fire (possibly genuinely threaded).
-                results = self.strategy.run_batch(tasks)
+            # Phase B: the execution tier fires the class (the scalar
+            # tier builds one task per trigger and hands them to the
+            # strategy; batch tiers own the whole-class firing loop)
+            results = self.executor.fire_class(prepared)
         if self.tracer is not None:
             self._flush_task_events(results)
         if self._support is not None:
@@ -1498,25 +1065,14 @@ class StepKernel:
         self._fire_tallies.clear()
         self._put_tallies.clear()
         self._table_tallies.clear()
+        # the tier flushes first: codegen merges its per-site query
+        # counters into the shared plans' rule_hits, which
+        # absorb_planned below folds into the collector and clears
+        self.executor.flush_stats()
         if self._plans is not None:
             self.stats.absorb_planned(self._plans.plans())
             for plan in self._plans.plans():
                 plan.rule_hits.clear()
-        if self._columnar:
-            batch, scalar = self._rule_batch_fires, self._rule_scalar_fires
-            for name in sorted(set(batch) | set(scalar)):
-                self.stats.note(
-                    f"columnar: rule {name!r} fired "
-                    f"{batch.get(name, 0)} batch / {scalar.get(name, 0)} scalar"
-                )
-            if self._batch_widths:
-                hist = ", ".join(
-                    f"{w}:{c}" for w, c in sorted(self._batch_widths.items())
-                )
-                self.stats.note(f"columnar: batch widths (width:classes) {hist}")
-            batch.clear()
-            scalar.clear()
-            self._batch_widths.clear()
 
     # -- trace bookends ---------------------------------------------------------
 

@@ -212,33 +212,13 @@ class ExecOptions:
                 "unknown metering mode; valid modes: on, off",
                 metering=self.metering,
             )
-        if self.execution not in ("scalar", "columnar"):
-            _refuse(
-                "unknown execution mode; valid modes: scalar, columnar",
-                execution=self.execution,
-            )
-        if self.execution == "columnar":
-            if self.retraction:
-                _refuse(
-                    "columnar execution is incompatible with retraction: "
-                    "batch firing does not record per-firing support yet",
-                    execution=self.execution,
-                    retraction=self.retraction,
-                )
-            if self.strategy == "processes":
-                _refuse(
-                    "columnar execution is not supported by the "
-                    "multiprocess shard runtime yet",
-                    execution=self.execution,
-                    strategy=self.strategy,
-                )
-            if self.task_granularity != "tuple":
-                _refuse(
-                    "columnar execution requires task_granularity='tuple' "
-                    "(the batch path owns the per-class firing loop)",
-                    execution=self.execution,
-                    task_granularity=self.task_granularity,
-                )
+        # execution-tier refusals live in one table shared with the
+        # kernel's tier registry (repro.core.executors.registry): rows a
+        # different option value would fix refuse here; rows that depend
+        # on the run environment downgrade with a note at kernel init
+        from repro.core.executors.registry import check_execution_options
+
+        check_execution_options(self, _refuse)
         if self.admission not in ("strict", "warn"):
             _refuse(
                 "unknown admission mode; valid modes: strict, warn",

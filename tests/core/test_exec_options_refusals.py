@@ -60,7 +60,7 @@ MATRIX = [
     (dict(retraction=True, strategy="processes"),
      ["retraction=True", "strategy='processes'", "multiprocess"]),
     (dict(execution="vectorized"),
-     ["execution='vectorized'", "scalar, columnar"]),
+     ["execution='vectorized'", "scalar, columnar, codegen"]),
     (dict(execution="columnar", retraction=True),
      ["execution='columnar'", "retraction=True", "per-firing support"]),
     (dict(execution="columnar", strategy="processes"),
@@ -68,6 +68,14 @@ MATRIX = [
       "multiprocess shard runtime"]),
     (dict(execution="columnar", task_granularity="rule"),
      ["execution='columnar'", "task_granularity='rule'",
+      "task_granularity='tuple'"]),
+    (dict(execution="codegen", retraction=True),
+     ["execution='codegen'", "retraction=True", "per-firing support"]),
+    (dict(execution="codegen", strategy="processes"),
+     ["execution='codegen'", "strategy='processes'",
+      "multiprocess shard runtime"]),
+    (dict(execution="codegen", task_granularity="rule"),
+     ["execution='codegen'", "task_granularity='rule'",
       "task_granularity='tuple'"]),
 ]
 
@@ -112,11 +120,71 @@ def test_refusals_are_catchable_as_engine_errors():
         dict(retention={"T": RetentionHint("gen", 2)}),
         dict(execution="columnar"),
         dict(execution="columnar", metering="off"),
+        dict(execution="codegen"),
+        dict(execution="codegen", metering="off"),
         # not refused: non-sequential strategies downgrade to scalar at
         # run time with a note rather than refusing up front
         dict(execution="columnar", strategy="chaos", chaos_seed=3),
         dict(execution="columnar", strategy="threads", threads=2),
+        dict(execution="codegen", strategy="threads", threads=2),
+        dict(execution="codegen", trace=True),
     ],
 )
 def test_valid_option_combinations_are_accepted(kwargs):
     assert ExecOptions(**kwargs)
+
+
+# -- registry resolution: one table decides the kernel's tier ----------------
+
+
+def _tiny_program():
+    from repro.core import Program
+
+    p = Program("tiny")
+    T = p.table("T", "int x", orderby=("T",))
+
+    @p.foreach(T)
+    def echo(ctx, t):
+        ctx.println(f"x={t.x}")
+
+    p.put(T.new(1))
+    return p
+
+
+#: (options, resolved tier, fragment of the downgrade note or None)
+RESOLUTION = [
+    (dict(), "scalar", None),
+    (dict(execution="scalar"), "scalar", None),
+    (dict(execution="columnar"), "columnar", None),
+    (dict(execution="codegen"), "codegen", None),
+    (dict(execution="columnar", strategy="threads", threads=2),
+     "scalar", "execution='columnar' ignored"),
+    (dict(execution="columnar", plan_cache=False),
+     "scalar", "plan_cache=False disables"),
+    (dict(execution="codegen", strategy="threads", threads=2),
+     "scalar", "execution='codegen' ignored"),
+    (dict(execution="codegen", plan_cache=False),
+     "scalar", "plan_cache=False disables"),
+    (dict(execution="codegen", trace=True),
+     "scalar", "emit no trace events"),
+]
+
+
+@pytest.mark.parametrize(
+    "kwargs, tier, note",
+    RESOLUTION,
+    ids=[
+        "-".join(f"{k}={v}" for k, v in sorted(kwargs.items())) or "default"
+        for kwargs, _, _ in RESOLUTION
+    ],
+)
+def test_registry_resolves_executor_and_notes_downgrades(kwargs, tier, note):
+    from repro.core.kernel import StepKernel
+
+    kernel = StepKernel(_tiny_program(), ExecOptions(**kwargs))
+    assert kernel.executor.name == tier
+    notes = "\n".join(kernel.stats.notes)
+    if note is None:
+        assert "ignored" not in notes, notes
+    else:
+        assert note in notes, notes

@@ -1,0 +1,234 @@
+"""Differential harness for the codegen execution tier.
+
+``execution="codegen"`` is a pure performance feature: the §1.3
+determinism contract demands it change *time*, never results.  This
+harness runs every example program with the codegen tier armed and
+asserts byte-identical ``output_text()`` and equal ``table_sizes``
+against the sequential scalar reference.
+
+The codegen tier differs from the columnar one in one visible way:
+generated rule bodies emit no trace events, so ``trace=True``
+*downgrades* the whole run to the scalar path (registry row) instead of
+running generated code untraced.  The traced legs here therefore assert
+the downgrade note *and* full trace parity — the downgraded run is the
+scalar run, byte for byte, trace events included.
+
+Extra legs beyond the 5-app matrix:
+
+* a program whose hot rule queries with an opaque ``where`` lambda —
+  codegen refuses that body (a lambda can close over anything), keeps
+  the rule scalar with a ``kept scalar`` note, and results must still
+  be identical; the other rules in the same program fire generated;
+* a 20-seed chaos fuzz leg: chaos is not sequential, so the codegen
+  knob must downgrade itself with a note and the run must still match
+  the reference byte for byte;
+* report legs: the per-rule fired-counts notes and the
+  ``dump_generated_source`` inspection hook advertised by them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.median import run_median
+from repro.apps.pvwatts import run_pvwatts
+from repro.apps.sensors import run_sensors
+from repro.apps.ship import run_ship
+from repro.apps.shortestpath import GraphSpec, run_shortestpath
+from repro.core import ExecOptions, Program
+from repro.csvio.synth import generate_csv_bytes
+from repro.plan.codegen import dump_generated_source
+from repro.solver import RuleMeta
+from repro.stats.report import run_report
+from repro.trace import format_divergence, trace_diff
+
+APPS = ["ship", "pvwatts", "shortestpath", "sensors", "median"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_generated_sources_for_ci():
+    """With CODEGEN_DUMP_DIR set (the CI codegen job), write every
+    generated driver module to disk after the suite — on failure the
+    directory is uploaded as an artifact, so a differential break
+    ships the exact code that diverged."""
+    yield
+    out = os.environ.get("CODEGEN_DUMP_DIR")
+    if not out:
+        return
+    from repro.plan.codegen import all_generated_sources
+
+    os.makedirs(out, exist_ok=True)
+    for qualname, src in all_generated_sources().items():
+        safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in qualname)
+        with open(os.path.join(out, f"{safe}.py"), "w") as f:
+            f.write(src)
+
+
+@pytest.fixture(scope="module")
+def small_csv() -> bytes:
+    lines = generate_csv_bytes(n_years=1).split(b"\n")
+    return b"\n".join(lines[:1500]) + b"\n"
+
+
+@pytest.fixture(scope="module")
+def apps(small_csv):
+    vals = np.random.default_rng(9).random(500)
+    spec = GraphSpec(n_vertices=90, extra_edges=140, seed=3)
+    return {
+        "ship": lambda o: run_ship(o),
+        "pvwatts": lambda o: run_pvwatts(small_csv, o, n_readers=2),
+        "shortestpath": lambda o: run_shortestpath(spec, o, n_gen_tasks=4),
+        "sensors": lambda o: run_sensors(n_ticks=12, n_sensors=4, options=o),
+        "median": lambda o: run_median(vals, o, n_regions=6),
+    }
+
+
+@pytest.fixture(scope="module")
+def references(apps):
+    """The sequential scalar runs every codegen run must match."""
+    return {name: run(ExecOptions()) for name, run in apps.items()}
+
+
+@pytest.fixture(scope="module")
+def traced_references(apps):
+    return {name: run(ExecOptions(trace=True)) for name, run in apps.items()}
+
+
+def _assert_results(got, ref, label: str) -> None:
+    assert got.output_text() == ref.output_text(), f"output diverged: {label}"
+    assert got.table_sizes == ref.table_sizes, f"table sizes diverged: {label}"
+
+
+def _assert_same(got, ref, label: str) -> None:
+    _assert_results(got, ref, label)
+    d = trace_diff(ref.trace, got.trace)
+    assert d is None, f"trace diverged: {label}: {format_divergence(d)}"
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_codegen_matches_sequential_reference(app, apps, references):
+    got = apps[app](ExecOptions(execution="codegen"))
+    _assert_results(got, references[app], f"{app} under codegen")
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_codegen_fast_path_matches_reference(app, apps, references):
+    """metering="off" + codegen — the benchmark configuration.  The
+    metering knob is moot (codegen forces it off with a note) but the
+    leg pins that down too."""
+    got = apps[app](ExecOptions(metering="off", execution="codegen"))
+    _assert_results(got, references[app], f"{app} under codegen fast path")
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_trace_downgrades_codegen_to_scalar(app, apps, traced_references):
+    """trace=True + codegen = the scalar run, trace events included."""
+    got = apps[app](ExecOptions(trace=True, execution="codegen"))
+    _assert_same(got, traced_references[app], f"{app} traced under codegen")
+    assert any(
+        "execution='codegen' ignored" in n and "trace" in n
+        for n in got.stats.notes
+    ), got.stats.notes
+
+
+# -- opaque-where fallback ---------------------------------------------------
+
+
+def _build_where_program() -> Program:
+    """A program whose hot rule queries with an opaque ``where`` lambda:
+    codegen refuses the body (``where`` predicates stay scalar) while
+    the sibling rules compile and fire generated."""
+    p = Program("wherefall")
+    Src = p.table("Src", "int k", orderby=("Src",))
+    Item = p.table("Item", "int k, int v", orderby=("Item",))
+    Probe = p.table("Probe", "int k", orderby=("Probe",))
+    p.order("Src", "Item")
+    p.order("Item", "Probe")
+
+    @p.foreach(Src, unsafe=True)
+    def seed(ctx, s):
+        for i in range(12):
+            ctx.put(Item.new(s.k * 100 + i, i * i))
+        ctx.put(Probe.new(s.k))
+
+    meta = RuleMeta(Probe)
+    t = meta.trigger
+    meta.branch().query(Item, k=t["k"])
+
+    @p.foreach(Probe, meta=meta, assume_stratified=True)
+    def check(ctx, probe):
+        evens = ctx.get(Item, where=lambda it: it.v % 2 == 0)
+        ctx.println(f"probe {probe.k}: {len(evens)} even items")
+
+    @p.foreach(Item)
+    def loud(ctx, item):
+        if item.v > 81:
+            ctx.println(f"large item {item.k}")
+
+    for k in range(4):
+        p.put(Src.new(k))
+    return p
+
+
+def test_opaque_where_keeps_rule_scalar():
+    ref = _build_where_program().run(ExecOptions())
+    got = _build_where_program().run(ExecOptions(execution="codegen"))
+    _assert_results(got, ref, "where-lambda program under codegen")
+    notes = got.stats.notes
+    assert any(
+        "codegen: rule 'check' kept scalar" in n for n in notes
+    ), notes
+    # the refused rule fired scalar inside the codegen tier...
+    assert any(
+        "rule 'check' fired 0 generated / 4 scalar" in n for n in notes
+    ), notes
+    # ...while its siblings fired through generated drivers
+    assert any(
+        "rule 'seed' fired 4 generated / 0 scalar" in n for n in notes
+    ), notes
+
+
+def test_run_report_renders_codegen_notes(apps):
+    got = apps["shortestpath"](ExecOptions(execution="codegen"))
+    report = run_report(got)
+    assert "codegen: rule 'dijkstra' fired" in report
+    assert "rule(s) compiled" in report
+    assert "dump_generated_source" in report
+
+
+def test_dump_generated_source_hook():
+    p = _build_where_program()
+    seed, check = p.rules[0], p.rules[1]
+    # nothing compiled yet for a fresh body that never ran under codegen
+    p.run(ExecOptions(execution="codegen"))
+    src = dump_generated_source(seed)
+    assert src is not None and "_cg_make" in src and "_cg_driver" in src
+    # refused rules have no generated source
+    assert dump_generated_source(check) is None
+    # the hook also accepts the raw body function
+    assert dump_generated_source(seed.body) == src
+
+
+# -- chaos fuzz: the knob downgrades, results stay identical -----------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_chaos_fuzz_codegen_downgrades(seed, apps, traced_references):
+    got = apps["shortestpath"](
+        ExecOptions(
+            strategy="chaos",
+            chaos_seed=seed,
+            metering="off",
+            trace=True,
+            execution="codegen",
+        )
+    )
+    _assert_same(
+        got, traced_references["shortestpath"], f"chaos seed {seed} codegen"
+    )
+    assert any(
+        "execution='codegen' ignored" in n for n in got.stats.notes
+    ), got.stats.notes
