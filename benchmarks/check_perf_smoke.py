@@ -29,6 +29,15 @@ All three engine gates share one normalised-wall comparison
 (:func:`gate_normalised_wall`), so the calibration arithmetic cannot
 drift between them.
 
+``--dist-current`` gates the distributed-runtime benchmark
+(``bench_dist.py`` output) against ``baselines/BENCH_pr10.baseline.json``:
+per (transport, workers) leg, the normalised wall must stay within the
+(wider) ``--dist-tolerance``, every leg's output must still equal the
+sequential engine's, and the structural claim of the v2 mesh must keep
+holding — coordinator control-plane bytes at 8 workers below half the
+embedded PR 5 relay reference (byte counts are machine-independent, so
+that bound needs no normalisation).
+
 Exit status 1 if any gate fails.
 """
 
@@ -41,10 +50,12 @@ from pathlib import Path
 
 TOLERANCE = 1.25  # >25 % normalised wall-time regression fails
 SERVICE_TOLERANCE = 2.0  # service latency/throughput gate
+DIST_TOLERANCE = 2.0  # multiprocess walls fold in fork/scheduler noise
 BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr3.baseline.json"
 SERVICE_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr7.baseline.json"
 COLUMNAR_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr8.baseline.json"
 CODEGEN_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr9.baseline.json"
+DIST_BASELINE = Path(__file__).parent / "baselines" / "BENCH_pr10.baseline.json"
 
 
 def gate_normalised_wall(
@@ -194,6 +205,60 @@ def check_codegen(
     return failures
 
 
+def check_dist(
+    current: dict, baseline: dict, tolerance: float = DIST_TOLERANCE
+) -> list[str]:
+    """Distributed gate: per (transport, workers) leg, the normalised
+    wall stays within tolerance of the committed BENCH_pr10 baseline,
+    the distributed output still equals the sequential engine's, and
+    the coordinator's control plane stays shuffle-free — at 8 workers
+    its byte count must remain below half the PR 5 relay reference
+    embedded in the baseline."""
+    failures: list[str] = []
+    cal_cur = current["meta"]["calibration_wall"]
+    cal_base = baseline["meta"]["calibration_wall"]
+    for transport, legs in baseline["transports"].items():
+        cur_legs = current.get("transports", {}).get(transport)
+        if cur_legs is None:
+            failures.append(f"dist/{transport}: missing from current benchmark")
+            continue
+        for w, rec in legs.items():
+            cur = cur_legs.get(w)
+            if cur is None:
+                failures.append(
+                    f"dist/{transport} x{w}: missing from current benchmark"
+                )
+                continue
+            failure = gate_normalised_wall(
+                f"dist/{transport} x{w}", "wall", cur, rec,
+                cal_cur, cal_base, tolerance,
+            )
+            if failure is not None:
+                failures.append(failure)
+            if cur.get("outputs_equal") is False:
+                failures.append(
+                    f"dist/{transport} x{w}: output diverged from the "
+                    "sequential engine"
+                )
+            if cur.get("table_sizes_equal") is False:
+                failures.append(
+                    f"dist/{transport} x{w}: table sizes diverged from the "
+                    "sequential engine"
+                )
+    relay8 = baseline["relay_reference"]["legs"].get("8")
+    cur8 = current.get("transports", {}).get("pipe", {}).get("8")
+    if relay8 is not None and cur8 is not None:
+        ceiling = relay8["coordinator_bytes"] * 0.5
+        if cur8["coordinator_bytes"] > ceiling:
+            failures.append(
+                f"dist: coordinator control bytes at 8 workers "
+                f"({cur8['coordinator_bytes']}) exceed half the PR 5 relay "
+                f"reference ({relay8['coordinator_bytes']}) — the shuffle "
+                "is leaking back onto the control plane"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="bench_fastpath.py output to check")
@@ -209,6 +274,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--codegen-current", default=None,
                     help="bench_codegen.py output to gate as well")
     ap.add_argument("--codegen-baseline", default=str(CODEGEN_BASELINE))
+    ap.add_argument("--dist-current", default=None,
+                    help="bench_dist.py output to gate as well")
+    ap.add_argument("--dist-baseline", default=str(DIST_BASELINE))
+    ap.add_argument("--dist-tolerance", type=float, default=DIST_TOLERANCE)
     args = ap.parse_args(argv)
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
@@ -230,6 +299,12 @@ def main(argv: list[str] | None = None) -> int:
             json.loads(Path(args.codegen_current).read_text()),
             json.loads(Path(args.codegen_baseline).read_text()),
             args.tolerance,
+        )
+    if args.dist_current is not None:
+        failures += check_dist(
+            json.loads(Path(args.dist_current).read_text()),
+            json.loads(Path(args.dist_baseline).read_text()),
+            args.dist_tolerance,
         )
     if failures:
         print("perf-smoke FAILED:", file=sys.stderr)

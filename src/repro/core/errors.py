@@ -75,6 +75,26 @@ class EngineError(JStarError):
     incorrectly (e.g. ``run`` called twice)."""
 
 
+class WorkerLostError(EngineError):
+    """A distributed worker process went away mid-protocol (EOF or a
+    broken pipe on its control channel).  Names the dead node and the
+    in-flight superstep/attempt epoch so recovery logs are actionable;
+    the coordinator catches it for crash recovery and only lets it
+    escape when the cluster cannot make progress (e.g. a worker that
+    dies during the spawn handshake)."""
+
+    def __init__(self, node: int, step: int | None = None, attempt: int | None = None):
+        where = ""
+        if step is not None:
+            where = f" during step {step}"
+            if attempt is not None:
+                where += f" (attempt {attempt})"
+        super().__init__(f"worker {node} was lost{where}")
+        self.node = node
+        self.step = step
+        self.attempt = attempt
+
+
 class RetractionError(EngineError):
     """A ``Delete`` event could not be honoured: the tuple was never
     inserted as a base fact, names a derived tuple, or retraction was

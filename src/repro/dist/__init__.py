@@ -5,11 +5,20 @@ communication costs).  Two runtimes share one placement vocabulary:
 costs), `repro.dist.procrun` runs real OS worker processes — the latter
 is also reachable as ``ExecOptions(strategy="processes")``."""
 
-from repro.dist.check import QueryLocality, check_locality
+from repro.dist.check import QueryLocality, check_locality, locality_summary
 from repro.dist.engine import DistEngine, DistOptions, DistRunResult, run_distributed
 from repro.dist.network import NetModel, StepTraffic, WireStats
-from repro.dist.placement import OnNode, Partitioned, Placement, PlacementMap, Replicated
+from repro.dist.placement import (
+    OnNode,
+    Partitioned,
+    Placement,
+    PlacementMap,
+    Replicated,
+    spread_hash,
+)
 from repro.dist.procrun import ProcessShardRuntime, run_sharded
+from repro.dist.rebalance import Rebalancer
+from repro.dist.transport import TRANSPORTS, resolve_transport
 
 __all__ = [
     "DistEngine",
@@ -23,9 +32,14 @@ __all__ = [
     "OnNode",
     "Placement",
     "PlacementMap",
+    "spread_hash",
     "NetModel",
     "StepTraffic",
     "WireStats",
     "QueryLocality",
     "check_locality",
+    "locality_summary",
+    "Rebalancer",
+    "TRANSPORTS",
+    "resolve_transport",
 ]

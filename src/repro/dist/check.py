@@ -22,7 +22,19 @@ from repro.core.program import Program
 from repro.dist.placement import OnNode, PlacementMap, Partitioned, Replicated
 from repro.solver.obligations import RuleMeta
 
-__all__ = ["QueryLocality", "check_locality"]
+__all__ = ["QueryLocality", "check_locality", "locality_summary"]
+
+
+def locality_summary(findings: list["QueryLocality"]) -> dict[str, int]:
+    """Verdict → count over a set of findings — the one-line shape of a
+    placement's query plan (how much of the workload stays local, how
+    much routes, how much degenerates into broadcast gathers).  Used by
+    reports and tests to assert a placement's wire behaviour without
+    enumerating every finding."""
+    out: dict[str, int] = {}
+    for f in findings:
+        out[f.verdict] = out.get(f.verdict, 0) + 1
+    return out
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,14 @@ from repro.core.errors import EngineError
 from repro.core.schema import TableSchema
 from repro.core.tuples import JTuple
 
-__all__ = ["Partitioned", "Replicated", "OnNode", "Placement", "PlacementMap"]
+__all__ = [
+    "Partitioned",
+    "Replicated",
+    "OnNode",
+    "Placement",
+    "PlacementMap",
+    "spread_hash",
+]
 
 
 def _stable_hash(value) -> int:
@@ -48,6 +55,19 @@ def _stable_hash(value) -> int:
             h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
         return h
     raise EngineError(f"cannot partition on value {value!r}")
+
+
+def spread_hash(values) -> int:
+    """Order-sensitive stable fold of a tuple's values, in [0, 2^31).
+
+    This is the spread key for firing replicated-trigger tuples: every
+    node owns the tuple, so the fire node is free — but it must be the
+    *same* free choice on every run and in every process, which rules
+    out ``hash()``."""
+    acc = 0
+    for v in values:
+        acc = (acc * 31 + _stable_hash(v)) & 0x7FFFFFFF
+    return acc
 
 
 @dataclass(frozen=True)
@@ -159,3 +179,13 @@ class PlacementMap:
                 )
             return p.node
         return None
+
+    def owners_of(self, tup: JTuple, n_nodes: int) -> list[int]:
+        """Every node whose shard stores this tuple: one node for
+        partitioned/pinned tables, all nodes for replicated ones.  The
+        v2 runtime ships each fresh put to exactly this set (the
+        worker-to-worker shuffle targets)."""
+        home = self.home_of(tup, n_nodes)
+        if home is None:
+            return list(range(n_nodes))
+        return [home]

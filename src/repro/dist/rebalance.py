@@ -1,0 +1,111 @@
+"""Adaptive fire-placement rebalancing for the multiprocess runtime.
+
+§2 stage 3 separates *what* runs from *where* it runs; the v2
+coordinator exploits that split at runtime.  Tuple **ownership** is
+fixed by the :class:`~repro.dist.placement.PlacementMap` for the whole
+run (moving shards mid-run would invalidate every routed query), but
+the node that *fires* a replicated-trigger tuple is a free choice —
+every node owns a replica, so any node can run its rules.  PR 5 spread
+those fires with a uniform stable-hash modulo; this module makes the
+spread adaptive.
+
+Every ``every`` supersteps the coordinator hands the
+:class:`Rebalancer` the cumulative per-node fire counts it already
+tracks.  When the busiest node exceeds ``threshold`` × the mean, the
+rebalancer emits a new weight vector — inverse to the observed load,
+clamped so one noisy window cannot starve a node — and the spread
+becomes a weighted cut of the stable hash space.  Each plan is
+surfaced as a stats note (and a meta trace event), so a run report
+shows exactly when and why fire placement moved.
+
+Two properties keep this safe:
+
+* **semantic transparency** — only fire *placement* moves, never data
+  ownership, and the ``node`` trace key is volatile, so a rebalanced
+  run stays byte-identical to the sequential engine;
+* **determinism** — decisions read only the per-node fire counts,
+  which are themselves deterministic, so the same run rebalances the
+  same way on every transport and every repetition (wire-byte counters
+  are deliberately *not* inputs: hello frames differ in size between
+  the unix and tcp transports).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = ["Rebalancer"]
+
+#: weight clamp: a plan can shift at most 4× load away from / onto one
+#: node per window, so a pathological first window cannot starve a node
+_MIN_W, _MAX_W = 0.25, 4.0
+
+
+class Rebalancer:
+    """Watches per-node fire counts and reweights the replicated-trigger
+    fire spread between supersteps."""
+
+    def __init__(self, n_nodes: int, every: int = 16, threshold: float = 1.25):
+        self.n_nodes = n_nodes
+        self.every = every
+        self.threshold = threshold
+        self.weights: list[float] = [1.0] * n_nodes
+        #: cumulative-weight boundaries over the spread-hash space, or
+        #: None while the spread is still the uniform modulo
+        self._cuts: list[int] | None = None
+        self.plans: list[dict] = []
+
+    # -- the spread -----------------------------------------------------------
+
+    def fire_node(self, h: int) -> int:
+        """Map a :func:`~repro.dist.placement.spread_hash` to the node
+        that fires the tuple.  Uniform modulo until the first plan, a
+        weighted cut of the hash space afterwards — both deterministic
+        functions of the hash alone."""
+        if self._cuts is None:
+            return h % self.n_nodes
+        return bisect_right(self._cuts, h & 0x7FFFFFFF)
+
+    # -- the policy -----------------------------------------------------------
+
+    def maybe_rebalance(self, step: int, fires: dict[int, int]) -> dict | None:
+        """Called between supersteps with cumulative per-node fire
+        counts; returns a plan dict when placement moved, else None."""
+        if self.every <= 0 or self.n_nodes < 2 or step % self.every != 0:
+            return None
+        counts = [fires.get(n, 0) for n in range(self.n_nodes)]
+        total = sum(counts)
+        if total < 4 * self.n_nodes:
+            return None  # too few fires to judge a skew
+        mean = total / self.n_nodes
+        imbalance = max(counts) / mean
+        if imbalance < self.threshold:
+            return None
+        # inverse-load weights (+1 smoothing so an idle node is finite)
+        raw = [mean / (c + 1.0) for c in counts]
+        self.weights = [min(_MAX_W, max(_MIN_W, w)) for w in raw]
+        span = 0x80000000
+        scale = span / sum(self.weights)
+        cuts: list[int] = []
+        acc = 0.0
+        for w in self.weights[:-1]:
+            acc += w * scale
+            cuts.append(int(acc))
+        self._cuts = cuts
+        plan = {
+            "step": step,
+            "fires": counts,
+            "imbalance": round(imbalance, 3),
+            "weights": [round(w, 3) for w in self.weights],
+        }
+        self.plans.append(plan)
+        return plan
+
+    @staticmethod
+    def describe(plan: dict) -> str:
+        """One-line stats note for a plan."""
+        return (
+            f"rebalance plan at step {plan['step']}: per-node fires "
+            f"{plan['fires']} (imbalance {plan['imbalance']}x); "
+            f"replicated-trigger spread reweighted to {plan['weights']}"
+        )

@@ -97,7 +97,9 @@ def format_settles(settles: list[dict]) -> str:
 
 def format_nodes(nodes: list[dict]) -> str:
     """Per-node compute and measured wire traffic of a multiprocess
-    sharded run (:mod:`repro.dist.procrun`)."""
+    sharded run (:mod:`repro.dist.procrun`) — control plane (msgs /
+    sent B / recv B, coordinator↔worker) and data plane (peer columns,
+    the worker-to-worker shuffle mesh) separately."""
     headers = [
         "node",
         "fires",
@@ -107,6 +109,9 @@ def format_nodes(nodes: list[dict]) -> str:
         "msgs",
         "sent B",
         "recv B",
+        "peer msgs",
+        "peer sent B",
+        "peer recv B",
         "recovered",
     ]
     rows = [
@@ -119,6 +124,9 @@ def format_nodes(nodes: list[dict]) -> str:
             str(n.get("msgs", 0)),
             str(n.get("bytes_sent", 0)),
             str(n.get("bytes_recv", 0)),
+            str(n.get("peer_msgs", 0)),
+            str(n.get("peer_bytes_sent", 0)),
+            str(n.get("peer_bytes_recv", 0)),
             str(n.get("recovered", 0)),
         ]
         for i, n in enumerate(nodes)

@@ -1,0 +1,144 @@
+"""Wire transport layer (repro.dist.transport): framing, EOF,
+drain-while-sending, listeners, and transport selection."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.dist.transport import (
+    MAX_FRAME_BYTES,
+    PeerListener,
+    SocketChannel,
+    connect_channel,
+    resolve_transport,
+    wait_readable,
+)
+
+
+def _pair() -> tuple[SocketChannel, SocketChannel]:
+    a, b = socket.socketpair()
+    return SocketChannel(a), SocketChannel(b)
+
+
+class TestSocketChannel:
+    def test_roundtrip_preserves_frame_boundaries(self):
+        a, b = _pair()
+        a.send_bytes(b"first")
+        a.send_bytes(b"")
+        a.send_bytes(b"x" * 100_000)
+        assert b.recv_bytes() == b"first"
+        assert b.recv_bytes() == b""
+        assert b.recv_bytes() == b"x" * 100_000
+        a.close()
+        b.close()
+
+    def test_clean_close_reads_as_eof(self):
+        a, b = _pair()
+        a.close()
+        with pytest.raises(EOFError):
+            b.recv_bytes()
+        b.close()
+
+    def test_poll(self):
+        a, b = _pair()
+        assert not b.poll(0.0)
+        a.send_bytes(b"ping")
+        assert b.poll(1.0)
+        a.close()
+        b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = _pair()
+        class Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+        with pytest.raises(EngineError, match="exceeds the transport ceiling"):
+            a.send_bytes(Huge())
+        a.close()
+        b.close()
+
+    def test_send_with_drain_services_incoming_while_blocked(self):
+        # shrink both send buffers so a large frame cannot fit: without
+        # the drain callback pulling the peer's traffic, two senders
+        # facing each other like this would deadlock
+        raw_a, raw_b = socket.socketpair()
+        for s in (raw_a, raw_b):
+            s.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        a, b = SocketChannel(raw_a), SocketChannel(raw_b)
+        big = b"y" * (1 << 20)
+        received: list[bytes] = []
+
+        def drain() -> None:
+            while a.poll(0.0):
+                received.append(a.recv_bytes())
+
+        echo = threading.Thread(target=lambda: b.send_bytes(b.recv_bytes()))
+        echo.start()
+        a.send_with_drain(big, drain)
+        echo.join(timeout=30)
+        while len(received) == 0:
+            received.append(a.recv_bytes())
+        assert received == [big]
+        a.close()
+        b.close()
+
+
+class TestPeerListener:
+    @pytest.mark.parametrize("transport", ["pipe", "tcp"])
+    def test_accept_and_roundtrip(self, transport):
+        lst = PeerListener(transport, tag="t")
+        kind = "tcp" if transport == "tcp" else "unix"
+        assert lst.address[0] == kind
+        client = connect_channel(lst.address)
+        server = lst.accept(timeout=5.0)
+        assert server is not None
+        client.send_bytes(b"hello")
+        assert server.recv_bytes() == b"hello"
+        server.send_bytes(b"back")
+        assert client.recv_bytes() == b"back"
+        client.close()
+        server.close()
+        lst.close()
+
+    def test_accept_timeout_returns_none(self):
+        lst = PeerListener("pipe", tag="t")
+        assert lst.accept(timeout=0.05) is None
+        lst.close()
+
+
+class TestSelection:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("DIST_TRANSPORT", "tcp")
+        assert resolve_transport("pipe") == "pipe"
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("DIST_TRANSPORT", "tcp")
+        assert resolve_transport(None) == "tcp"
+
+    def test_default_is_pipe(self, monkeypatch):
+        monkeypatch.delenv("DIST_TRANSPORT", raising=False)
+        assert resolve_transport(None) == "pipe"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(EngineError, match="unknown dist transport"):
+            resolve_transport("carrier-pigeon")
+
+
+class TestWaitReadable:
+    def test_empty_input(self):
+        assert wait_readable([], timeout=0.0) == []
+
+    def test_mixed_listener_and_channel(self):
+        lst = PeerListener("pipe", tag="t")
+        a, b = _pair()
+        assert wait_readable([lst, b], timeout=0.0) == []
+        a.send_bytes(b"z")
+        ready = wait_readable([lst, b], timeout=1.0)
+        assert ready == [b]
+        a.close()
+        b.close()
+        lst.close()
